@@ -1,0 +1,71 @@
+//! **Extra ablations** (design decisions D2/D4 of DESIGN.md, beyond the
+//! paper's tables):
+//!
+//! * MTL momentum sweep `m ∈ {0, 0.9, 0.99, 1.0}` — `m = 0.99` should be
+//!   near-optimal: `m = 0` collapses the Siamese onto every round's target
+//!   (no stabilization), `m = 1` freezes it (no feedback).
+//! * ε sweep for the retained share of the original space —
+//!   `ε ∈ {0, 0.2, 0.5}`: some retention guards against PSA pruning away
+//!   the optimum; too much wastes the pruned space.
+
+use pruner::gpu::GpuSpec;
+use pruner::ir::zoo;
+use pruner::tuner::{ModelSetup, Tuner};
+use pruner_bench::{campaign_config, k80_pretrained_pacm, top_tasks, write_result, TextTable};
+use pruner::cost::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    knob: String,
+    value: f64,
+    final_ms: f64,
+}
+
+fn main() {
+    let spec = GpuSpec::titan_v();
+    let net = top_tasks(&zoo::resnet50(1), 8);
+    println!("pre-training the K80 Siamese model...");
+    let pretrained = k80_pretrained_pacm(0);
+
+    let mut rows = Vec::new();
+
+    println!("\nMTL momentum sweep on {} ...", net.name());
+    let mut table = TextTable::new(&["momentum", "final latency (ms)"]);
+    for &m in &[0.0f32, 0.9, 0.99, 1.0] {
+        let cfg = campaign_config(53);
+        let mut tuner = Tuner::new(
+            spec.clone(),
+            cfg,
+            ModelSetup::Mtl { pretrained: pretrained.clone(), momentum: m },
+        );
+        tuner.add_network(&net);
+        let result = tuner.run();
+        table.row(vec![format!("{m}"), format!("{:.3}", result.best_latency_s * 1e3)]);
+        rows.push(AblationRow {
+            knob: "momentum".into(),
+            value: m as f64,
+            final_ms: result.best_latency_s * 1e3,
+        });
+    }
+    table.print();
+
+    println!("\nepsilon (original-space retention) sweep on {} ...", net.name());
+    let mut table = TextTable::new(&["epsilon", "final latency (ms)"]);
+    for &eps in &[0.0f64, 0.2, 0.5] {
+        let mut cfg = campaign_config(53);
+        cfg.epsilon = eps;
+        let mut tuner = Tuner::new(spec.clone(), cfg, ModelSetup::Fresh(ModelKind::Pacm));
+        tuner.add_network(&net);
+        let result = tuner.run();
+        table.row(vec![format!("{eps}"), format!("{:.3}", result.best_latency_s * 1e3)]);
+        rows.push(AblationRow {
+            knob: "epsilon".into(),
+            value: eps,
+            final_ms: result.best_latency_s * 1e3,
+        });
+    }
+    table.print();
+
+    write_result("ablation_extra", &rows);
+}

@@ -1,0 +1,73 @@
+//! **Figure 13** — Scalability: tuned latency versus shape for the
+//! BERT-large MatMul and the ResNet-50 Conv2d on TITAN V.
+//!
+//! Paper shape to reproduce: Pruner's tuned latency scales smoothly with
+//! the workload size (no cliffs where the tuner falls apart), staying at a
+//! stable fraction of the roofline across the sweep.
+
+use pruner::gpu::{GpuSpec, Simulator};
+use pruner::ir::suites;
+use pruner::tuner::TunerConfig;
+use pruner::Pruner;
+use pruner_bench::{full_scale, write_result, TextTable};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig13Point {
+    sweep: String,
+    workload: String,
+    gflops: f64,
+    tuned_ms: f64,
+    roofline_ms: f64,
+    roofline_frac: f64,
+}
+
+fn main() {
+    let spec = GpuSpec::titan_v();
+    let sim = Simulator::new(spec.clone());
+    let mut cfg = TunerConfig::default();
+    if !full_scale() {
+        cfg.rounds = 30;
+        cfg.space_size = 192;
+        cfg.target_pool = 768;
+    }
+
+    let mut points = Vec::new();
+    let mut table =
+        TextTable::new(&["sweep", "workload", "GFLOPs", "tuned (ms)", "roofline (ms)", "frac"]);
+    for (sweep, ops) in [
+        ("matmul (BERT-large FFN)", suites::matmul_scalability_sweep()),
+        ("conv2d (ResNet-50 3x3)", suites::conv_scalability_sweep()),
+    ] {
+        for wl in ops {
+            let result = Pruner::builder(spec.clone())
+                .workload(wl.clone())
+                .config(cfg)
+                .seed(13)
+                .build()
+                .tune();
+            let roof = sim.roofline(&wl);
+            let frac = roof / result.best_latency_s;
+            table.row(vec![
+                sweep.to_string(),
+                wl.to_string(),
+                format!("{:.2}", wl.flops() / 1e9),
+                format!("{:.4}", result.best_latency_s * 1e3),
+                format!("{:.4}", roof * 1e3),
+                format!("{frac:.2}"),
+            ]);
+            points.push(Fig13Point {
+                sweep: sweep.to_string(),
+                workload: wl.to_string(),
+                gflops: wl.flops() / 1e9,
+                tuned_ms: result.best_latency_s * 1e3,
+                roofline_ms: roof * 1e3,
+                roofline_frac: frac,
+            });
+        }
+    }
+
+    println!("\nFigure 13: scalability of Pruner on TITAN V\n");
+    table.print();
+    write_result("fig13", &points);
+}

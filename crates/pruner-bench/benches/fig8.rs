@@ -1,0 +1,78 @@
+//! **Figure 8 (and 16)** — Online-mode end-to-end tuning curves: Ansor vs
+//! Pruner w/o MTL vs Pruner (MTL) on ViT, DeepLab-V3 and BERT-base.
+//!
+//! Default scale runs the A100; `PRUNER_BENCH_FULL=1` adds Orin and
+//! TITAN V (the full Figure 16 grid).
+//!
+//! Paper shape to reproduce: both Pruner variants reach any given latency
+//! earlier than Ansor, and the MTL curve drops fastest at the start
+//! (warm-started cost model).
+
+use pruner::gpu::GpuSpec;
+use pruner::ir::zoo;
+use pruner_bench::{
+    full_scale, k80_pretrained_pacm, run_online, sample_curve, top_tasks, write_result,
+    OnlineMethod, TextTable,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Curve {
+    platform: String,
+    network: String,
+    method: String,
+    final_ms: f64,
+    total_search_s: f64,
+    curve: Vec<(u64, f64, f64)>,
+}
+
+fn main() {
+    let platforms: Vec<GpuSpec> = if full_scale() {
+        vec![GpuSpec::a100(), GpuSpec::orin(), GpuSpec::titan_v()]
+    } else {
+        vec![GpuSpec::a100()]
+    };
+    let networks = [zoo::vit(1), zoo::deeplabv3_r50(1), zoo::bert_base(1, 128)];
+    let methods = [OnlineMethod::Ansor, OnlineMethod::PrunerNoMtl, OnlineMethod::Pruner];
+
+    println!("pre-training the K80 Siamese model...");
+    let pretrained = k80_pretrained_pacm(0);
+
+    let mut curves = Vec::new();
+    for spec in &platforms {
+        for net in &networks {
+            let net = top_tasks(net, 8);
+            println!("\n=== {} on {} ===", net.name(), spec.name);
+            let mut ansor_final = f64::INFINITY;
+            let mut table = TextTable::new(&["method", "final (ms)", "time@Ansor-parity (s)"]);
+            for &method in &methods {
+                let result = run_online(spec.clone(), &net, method, &pretrained, 21);
+                if method == OnlineMethod::Ansor {
+                    ansor_final = result.best_latency_s;
+                }
+                let parity = result
+                    .curve
+                    .time_to_reach(ansor_final)
+                    .map(|t| format!("{t:.0}"))
+                    .unwrap_or_else(|| "-".into());
+                table.row(vec![
+                    method.label().to_string(),
+                    format!("{:.3}", result.best_latency_s * 1e3),
+                    parity,
+                ]);
+                curves.push(Fig8Curve {
+                    platform: spec.name.clone(),
+                    network: net.name().to_string(),
+                    method: method.label().to_string(),
+                    final_ms: result.best_latency_s * 1e3,
+                    total_search_s: result.stats.total_s(),
+                    curve: sample_curve(&result, 40),
+                });
+            }
+            table.print();
+        }
+    }
+
+    println!("\nFigure 8: online-mode tuning curves (JSON holds the full series)");
+    write_result("fig8_fig16", &curves);
+}

@@ -1,0 +1,89 @@
+//! **§3.3 memory footprint** — peak cost-model memory at inference batch
+//! 4096.
+//!
+//! Paper numbers: PaCM 1,694 MB, TensetMLP/Ansor 1,546 MB, TLP 4,812 MB
+//! (on GPU, including the CUDA context). Our models run on CPU, so the
+//! comparable quantity is weights + per-batch activation bytes; the shape
+//! to reproduce is the *ordering*: TLP ≫ PaCM > TensetMLP ≈ Ansor.
+
+use pruner::cost::{AnsorModel, PacmModel, TensetMlpModel, TlpModel};
+use pruner::features::{FLOW_DIM, MAX_FLOW, MAX_STMTS, MAX_TOKENS, STMT_DIM, TLP_DIM};
+use pruner_bench::{write_result, TextTable};
+use serde::Serialize;
+
+const BATCH: usize = 4096;
+const F32: usize = 4;
+
+#[derive(Serialize)]
+struct MemoryRow {
+    method: String,
+    weights: usize,
+    activation_mb: f64,
+    total_mb: f64,
+}
+
+/// Activation bytes of one batched forward pass, counted layer by layer.
+fn activation_bytes(method: &str) -> usize {
+    match method {
+        // stmt path: [B*S, 32] -> [B*S, 128] -> [B*S, 128] -> pool [B, 128];
+        // flow path: [B*F, 23] -> [B*F, 32] -> attention (q,k,v,scores[F],
+        // ctx) -> pool [B, 32]; head: [B, 160] -> [B, 64] -> [B, 1].
+        "PaCM" => {
+            let stmt = BATCH * MAX_STMTS * (STMT_DIM + 128 + 128) + BATCH * 128;
+            let flow = BATCH * MAX_FLOW * (FLOW_DIM + 32 * 4 + MAX_FLOW + 16) + BATCH * 32;
+            let head = BATCH * (160 + 64 + 1);
+            (stmt + flow + head) * F32
+        }
+        "TensetMLP" => {
+            let stmt = BATCH * MAX_STMTS * (STMT_DIM + 128 + 128) + BATCH * 128;
+            let head = BATCH * (64 + 1);
+            (stmt + head) * F32
+        }
+        // Two attention blocks over 12 tokens dominate: q/k/v/scores/ctx
+        // per block plus residuals.
+        "TLP" => {
+            let embed = BATCH * MAX_TOKENS * (TLP_DIM + 32);
+            let attn = 2 * BATCH * MAX_TOKENS * (32 * 4 + MAX_TOKENS + 32);
+            let head = BATCH * (32 + 64 + 1);
+            (embed + attn + head) * F32
+        }
+        "Ansor" => {
+            let body = BATCH * (STMT_DIM + 64 + 64 + 1);
+            body * F32
+        }
+        _ => unreachable!("unknown method"),
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(&["Method", "Weights", "Activations (MB)", "Total (MB)"]);
+    let entries: Vec<(&str, usize)> = vec![
+        ("TensetMLP", TensetMlpModel::new(0).weight_count()),
+        ("TLP", TlpModel::new(0).weight_count()),
+        ("PaCM", PacmModel::new(0).weight_count()),
+        ("Ansor", AnsorModel::new(0).weight_count()),
+    ];
+    for (name, weights) in entries {
+        let act = activation_bytes(name) as f64 / (1024.0 * 1024.0);
+        let total = act + (weights * F32) as f64 / (1024.0 * 1024.0);
+        table.row(vec![
+            name.to_string(),
+            weights.to_string(),
+            format!("{act:.1}"),
+            format!("{total:.1}"),
+        ]);
+        rows.push(MemoryRow { method: name.into(), weights, activation_mb: act, total_mb: total });
+    }
+    println!("\nCost-model memory at inference batch {BATCH} (§3.3)\n");
+    table.print();
+    let tlp = rows.iter().find(|r| r.method == "TLP").unwrap().total_mb;
+    let pacm = rows.iter().find(|r| r.method == "PaCM").unwrap().total_mb;
+    let tenset = rows.iter().find(|r| r.method == "TensetMLP").unwrap().total_mb;
+    println!(
+        "\nshape check: TLP/{{PaCM}} = {:.2}x (paper 2.8x), PaCM/TensetMLP = {:.2}x (paper 1.10x)",
+        tlp / pacm,
+        pacm / tenset
+    );
+    write_result("memory", &rows);
+}

@@ -1,0 +1,143 @@
+//! **Table 1** — Quality comparison of the search space on NVIDIA T4.
+//!
+//! For each workload, Best-k compares the optimum of the *entire* space to
+//! the k-th best program inside (a) an equally-sized random sample and
+//! (b) the PSA target space, at space sizes 512 and 256.
+//!
+//! Paper shape to reproduce: the target space dominates random sampling on
+//! every workload and every k, with the gap widening at size 256
+//! (paper: Avg-512 B-1 0.902 → 0.997; Avg-256 B-1 0.854 → 0.979).
+
+use pruner::cost::metrics::{best_k, SpaceEval};
+use pruner::gpu::{GpuSpec, Simulator};
+use pruner::ir::Network;
+use pruner::psa::Psa;
+use pruner::sketch::evolve;
+use pruner_bench::{full_scale, top_tasks, write_result, TextTable};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table1Row {
+    network: String,
+    space_size: usize,
+    random: [f64; 3],
+    target: [f64; 3],
+}
+
+fn main() {
+    let spec = GpuSpec::t4();
+    let sim = Simulator::new(spec.clone());
+    let psa = Psa::new(spec.clone());
+    let limits = spec.limits();
+    let (pool_size, tasks_per_net, resamples) =
+        if full_scale() { (4000, usize::MAX, 200) } else { (1536, 10, 50) };
+
+    let networks: Vec<Network> = pruner::dataset::table1_networks();
+    let ks = [1usize, 5, 20];
+    let sizes = [512usize, 256];
+
+    let mut rows: Vec<Table1Row> = Vec::new();
+    let mut table = TextTable::new(&[
+        "Models", "Size", "Rand B-1", "Rand B-5", "Rand B-20", "Tgt B-1", "Tgt B-5", "Tgt B-20",
+    ]);
+
+    for &size in &sizes {
+        let mut avg_random = [0.0f64; 3];
+        let mut avg_target = [0.0f64; 3];
+        for net in &networks {
+            let net = top_tasks(net, tasks_per_net.min(net.num_tasks()));
+            // Per task: full pool + latencies.
+            let mut task_pools = Vec::new();
+            for sg in net.subgraphs() {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    size as u64 ^ (sg.workload.key().len() as u64 * 7919),
+                );
+                let pool = evolve::init_population(&sg.workload, pool_size, &limits, &mut rng);
+                if pool.len() < size {
+                    continue; // tiny spaces carry no pruning signal
+                }
+                let lats: Vec<f64> = pool.iter().map(|p| sim.latency(p)).collect();
+                task_pools.push((sg.weight, pool, lats));
+            }
+
+            // PSA target spaces.
+            let target_spaces: Vec<SpaceEval> = task_pools
+                .iter()
+                .map(|(w, pool, lats)| {
+                    let full_optimum = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let pruned = psa.prune(pool.clone(), size);
+                    let space_latencies: Vec<f64> =
+                        pruned.iter().map(|p| sim.latency(p)).collect();
+                    SpaceEval { weight: *w, full_optimum, space_latencies }
+                })
+                .collect();
+            let target: Vec<f64> =
+                ks.iter().map(|&k| best_k(&target_spaces, k)).collect();
+
+            // Random spaces, averaged over resamples.
+            let mut rng = ChaCha8Rng::seed_from_u64(0xAB + size as u64);
+            let mut random_acc = [0.0f64; 3];
+            for _ in 0..resamples {
+                let spaces: Vec<SpaceEval> = task_pools
+                    .iter()
+                    .map(|(w, pool, lats)| {
+                        let full_optimum =
+                            lats.iter().cloned().fold(f64::INFINITY, f64::min);
+                        let picks: Vec<f64> = (0..size)
+                            .map(|_| lats[rng.gen_range(0..pool.len())])
+                            .collect();
+                        SpaceEval { weight: *w, full_optimum, space_latencies: picks }
+                    })
+                    .collect();
+                for (i, &k) in ks.iter().enumerate() {
+                    random_acc[i] += best_k(&spaces, k);
+                }
+            }
+            let random: Vec<f64> =
+                random_acc.iter().map(|v| v / resamples as f64).collect();
+
+            table.row(vec![
+                net.name().to_string(),
+                size.to_string(),
+                format!("{:.3}", random[0]),
+                format!("{:.3}", random[1]),
+                format!("{:.3}", random[2]),
+                format!("{:.3}", target[0]),
+                format!("{:.3}", target[1]),
+                format!("{:.3}", target[2]),
+            ]);
+            for i in 0..3 {
+                avg_random[i] += random[i] / networks.len() as f64;
+                avg_target[i] += target[i] / networks.len() as f64;
+            }
+            rows.push(Table1Row {
+                network: net.name().to_string(),
+                space_size: size,
+                random: [random[0], random[1], random[2]],
+                target: [target[0], target[1], target[2]],
+            });
+        }
+        table.row(vec![
+            format!("Avg-{size}"),
+            size.to_string(),
+            format!("{:.3}", avg_random[0]),
+            format!("{:.3}", avg_random[1]),
+            format!("{:.3}", avg_random[2]),
+            format!("{:.3}", avg_target[0]),
+            format!("{:.3}", avg_target[1]),
+            format!("{:.3}", avg_target[2]),
+        ]);
+        rows.push(Table1Row {
+            network: format!("Avg-{size}"),
+            space_size: size,
+            random: avg_random,
+            target: avg_target,
+        });
+    }
+
+    println!("\nTable 1: search-space quality on NVIDIA T4 (Best-k, higher is better)\n");
+    table.print();
+    write_result("table1", &rows);
+}

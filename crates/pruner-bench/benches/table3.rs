@@ -1,0 +1,75 @@
+//! **Table 3** — Compile (tuning wall-clock) time for a fixed trial budget
+//! on TITAN V: Ansor vs Pruner w/o MTL vs Pruner.
+//!
+//! Paper shape to reproduce (2,000 trials): Pruner w/o MTL ≈ 84% and
+//! Pruner ≈ 75% of Ansor's time — the savings come from PSA replacing
+//! expensive cost-model evaluations over huge spaces and from MTL's warm
+//! start needing less online training.
+
+use pruner::gpu::GpuSpec;
+use pruner::ir::zoo;
+use pruner_bench::{
+    k80_pretrained_pacm, run_online, top_tasks, write_result, OnlineMethod, TextTable,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table3Row {
+    network: String,
+    ansor_min: f64,
+    no_mtl_min: f64,
+    pruner_min: f64,
+}
+
+fn main() {
+    let spec = GpuSpec::titan_v();
+    let nets = [
+        zoo::resnet50(1),
+        zoo::inception_v3(1),
+        zoo::vit(1),
+        zoo::deeplabv3_r50(1),
+        zoo::bert_base(1, 128),
+    ];
+
+    println!("pre-training the K80 Siamese model...");
+    let pretrained = k80_pretrained_pacm(0);
+
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(&["Method", "R50", "I-V3", "ViT", "DL-V3", "B-base"]);
+    let mut minutes = [Vec::new(), Vec::new(), Vec::new()];
+    for net in &nets {
+        let net = top_tasks(net, 8);
+        println!("  tuning {}...", net.name());
+        let mut row_vals = [0.0; 3];
+        for (i, method) in
+            [OnlineMethod::Ansor, OnlineMethod::PrunerNoMtl, OnlineMethod::Pruner]
+                .iter()
+                .enumerate()
+        {
+            let result = run_online(spec.clone(), &net, *method, &pretrained, 41);
+            row_vals[i] = result.stats.total_s() / 60.0;
+            minutes[i].push(row_vals[i]);
+        }
+        rows.push(Table3Row {
+            network: net.name().to_string(),
+            ansor_min: row_vals[0],
+            no_mtl_min: row_vals[1],
+            pruner_min: row_vals[2],
+        });
+    }
+    for (i, label) in ["Ansor", "w/o MTL", "Pruner"].iter().enumerate() {
+        let mut cells = vec![label.to_string()];
+        cells.extend(minutes[i].iter().map(|m| format!("{m:.2}")));
+        table.row(cells);
+    }
+
+    println!("\nTable 3: compile time in minutes for the same trial budget (TITAN V)\n");
+    table.print();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\naverage ratio vs Ansor: w/o MTL {:.1}%, Pruner {:.1}%  (paper: 84.1% / 75.3%)",
+        100.0 * avg(&minutes[1]) / avg(&minutes[0]),
+        100.0 * avg(&minutes[2]) / avg(&minutes[0]),
+    );
+    write_result("table3", &rows);
+}

@@ -1,0 +1,92 @@
+//! **Table 4** — PSA penalty ablation: Best-1 of the target space at sizes
+//! 50/128/256/512 with each penalty term removed.
+//!
+//! Paper shape to reproduce: removing the kernel-level penalty hurts most,
+//! removing `α` hurts least (its information is largely recoverable from
+//! the remaining terms); every ablation loses to the full PSA at small
+//! target sizes.
+
+use pruner::cost::metrics::{best_k, SpaceEval};
+use pruner::gpu::{GpuSpec, Simulator};
+use pruner::psa::{Psa, PsaConfig};
+use pruner::sketch::evolve;
+use pruner_bench::{full_scale, top_tasks, write_result, TextTable};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table4Row {
+    method: String,
+    best1_by_size: Vec<(usize, f64)>,
+}
+
+fn main() {
+    let spec = GpuSpec::t4();
+    let sim = Simulator::new(spec.clone());
+    let limits = spec.limits();
+    let (pool_size, tasks_per_net) = if full_scale() { (8000, usize::MAX) } else { (4000, 8) };
+    let sizes = [50usize, 128, 256, 512];
+
+    // Penalty configurations, mirroring the paper's rows.
+    let full = PsaConfig::default();
+    let configs: Vec<(&str, PsaConfig)> = vec![
+        ("w/o com", PsaConfig::without_compute()),
+        ("w/o alpha", PsaConfig { enable_alpha: false, ..full }),
+        ("w/o P_reg", PsaConfig { enable_reg: false, ..full }),
+        ("w/o P_warp", PsaConfig { enable_warp: false, ..full }),
+        ("w/o P_kernel", PsaConfig { enable_kernel: false, ..full }),
+        ("w/o P_mem", PsaConfig { enable_mem: false, ..full }),
+        ("PSA", full),
+    ];
+
+    // Task pools shared by all configurations.
+    println!("building candidate pools...");
+    let mut pools = Vec::new();
+    for net in pruner::dataset::table1_networks() {
+        let net = top_tasks(&net, tasks_per_net.min(net.num_tasks()));
+        for sg in net.subgraphs() {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                sg.workload.key().bytes().map(u64::from).sum::<u64>(),
+            );
+            let pool = evolve::init_population(&sg.workload, pool_size, &limits, &mut rng);
+            if pool.len() < *sizes.last().unwrap() {
+                continue;
+            }
+            let lats: Vec<f64> = pool.iter().map(|p| sim.latency(p)).collect();
+            pools.push((sg.weight, pool, lats));
+        }
+    }
+    println!("  {} task pools of {} candidates\n", pools.len(), pool_size);
+
+    let mut table = TextTable::new(&["Method", "50", "128", "256", "512"]);
+    let mut rows = Vec::new();
+    for (label, cfg) in &configs {
+        let psa = Psa::with_config(spec.clone(), *cfg);
+        let mut row = vec![label.to_string()];
+        let mut series = Vec::new();
+        for &size in &sizes {
+            let spaces: Vec<SpaceEval> = pools
+                .iter()
+                .map(|(w, pool, lats)| {
+                    let full_optimum = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let pruned = psa.prune(pool.clone(), size);
+                    SpaceEval {
+                        weight: *w,
+                        full_optimum,
+                        space_latencies: pruned.iter().map(|p| sim.latency(p)).collect(),
+                    }
+                })
+                .collect();
+            let b1 = best_k(&spaces, 1);
+            row.push(format!("{b1:.3}"));
+            series.push((size, b1));
+        }
+        table.row(row);
+        rows.push(Table4Row { method: label.to_string(), best1_by_size: series });
+    }
+
+    println!("Table 4: Best-1 of the target space under penalty ablations (T4)\n");
+    table.print();
+    write_result("table4", &rows);
+}

@@ -1,0 +1,116 @@
+//! **Table 5 + Figure 11** — Module ablation on TITAN V: full Pruner vs
+//! removing the statement features, the data-flow features, MTL, or PSA.
+//!
+//! Paper shape to reproduce: every ablation loses to the full system;
+//! removing PSA hurts the most, and removing the data-flow features hurts
+//! more than removing the statement features.
+
+use pruner::cost::ModelKind;
+use pruner::gpu::GpuSpec;
+use pruner::ir::zoo;
+use pruner::tuner::{ModelSetup, Tuner};
+use pruner_bench::{
+    campaign_config, full_scale, k80_pretrained_pacm, sample_curve, top_tasks, write_result,
+    TextTable,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table5Cell {
+    config: String,
+    network: String,
+    latency_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Fig11Curve {
+    config: String,
+    curve: Vec<(u64, f64, f64)>,
+}
+
+fn main() {
+    let spec = GpuSpec::titan_v();
+    let nets = if full_scale() {
+        vec![
+            zoo::resnet50(1),
+            zoo::inception_v3(1),
+            zoo::vit(1),
+            zoo::deeplabv3_r50(1),
+            zoo::bert_tiny(1, 128),
+            zoo::bert_base(1, 128),
+        ]
+    } else {
+        vec![zoo::resnet50(1), zoo::vit(1), zoo::bert_tiny(1, 128)]
+    };
+
+    println!("pre-training the K80 Siamese model...");
+    let pretrained = k80_pretrained_pacm(0);
+
+    // (label, model, use_psa, use_mtl)
+    let configs: Vec<(&str, ModelKind, bool, bool)> = vec![
+        ("w/o S.F.", ModelKind::PacmNoStmt, true, true),
+        ("w/o D.F.", ModelKind::PacmNoFlow, true, true),
+        ("w/o MTL", ModelKind::Pacm, true, false),
+        ("w/o PSA", ModelKind::Pacm, false, true),
+        ("Pruner", ModelKind::Pacm, true, true),
+    ];
+
+    let mut cells = Vec::new();
+    let mut curves = Vec::new();
+    let mut table_rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|(label, ..)| vec![label.to_string()])
+        .collect();
+    for net in &nets {
+        let net = top_tasks(net, 8);
+        println!("  {} ...", net.name());
+        // Per-module latency gaps are a few percent — smaller than
+        // single-campaign noise — so every configuration is averaged over
+        // seeds (the paper averages over far more trials instead).
+        let seeds: &[u64] = &[47, 48, 49];
+        for (ci, (label, kind, use_psa, use_mtl)) in configs.iter().enumerate() {
+            let mut mean_ms = 0.0;
+            for (si, &seed) in seeds.iter().enumerate() {
+                let mut cfg = campaign_config(seed);
+                cfg.use_psa = *use_psa;
+                // The MTL ablations only make sense for PaCM-family models:
+                // use MTL when requested and the model is full PaCM,
+                // otherwise train online.
+                let setup = if *use_mtl && *kind == ModelKind::Pacm {
+                    ModelSetup::Mtl { pretrained: pretrained.clone(), momentum: 0.99 }
+                } else {
+                    ModelSetup::Fresh(*kind)
+                };
+                let mut tuner = Tuner::new(spec.clone(), cfg, setup);
+                tuner.add_network(&net);
+                let result = tuner.run();
+                mean_ms += result.best_latency_s * 1e3 / seeds.len() as f64;
+                // Figure 11 is the ResNet-50 curve per configuration.
+                if si == 0 && net.name().starts_with("resnet50") {
+                    curves.push(Fig11Curve {
+                        config: label.to_string(),
+                        curve: sample_curve(&result, 40),
+                    });
+                }
+            }
+            table_rows[ci].push(format!("{mean_ms:.3}"));
+            cells.push(Table5Cell {
+                config: label.to_string(),
+                network: net.name().to_string(),
+                latency_ms: mean_ms,
+            });
+        }
+    }
+
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(nets.iter().map(|n| n.name().to_string()));
+    let mut table = TextTable::new(&headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for row in table_rows {
+        table.row(row);
+    }
+    println!("\nTable 5: tuned end-to-end latency (ms) under module ablations (TITAN V)\n");
+    table.print();
+
+    write_result("table5", &cells);
+    write_result("fig11", &curves);
+}

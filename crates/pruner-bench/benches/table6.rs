@@ -1,0 +1,152 @@
+//! **Table 6 + Figure 12** — Best-1 of the PSA target space versus its
+//! size, for the four operator classes (TITAN V) and for whole DNNs
+//! (K80 + T4).
+//!
+//! Paper shape to reproduce: Best-1 grows with the target-space size and
+//! reaches ≥0.96 at size 512 for most classes, with depthwise and
+//! irregular convolutions trailing matmul/element-wise; size 512 is "good
+//! enough", justifying the default.
+
+use pruner::cost::metrics::{best_k, SpaceEval};
+use pruner::gpu::{GpuSpec, Simulator};
+use pruner::ir::{suites, OperatorClass, Workload};
+use pruner::psa::Psa;
+use pruner::sketch::evolve;
+use pruner_bench::{full_scale, top_tasks, write_result, TextTable};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table6Row {
+    group: String,
+    best1_by_size: Vec<(usize, f64)>,
+}
+
+fn pools_for(
+    sim: &Simulator,
+    workloads: &[(Workload, u64)],
+    pool_size: usize,
+) -> Vec<(u64, Vec<f64>, Vec<pruner::sketch::Program>)> {
+    let limits = sim.spec().limits();
+    workloads
+        .iter()
+        .filter_map(|(wl, w)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                wl.key().bytes().map(u64::from).sum::<u64>() ^ 0x7A61,
+            );
+            let pool = evolve::init_population(wl, pool_size, &limits, &mut rng);
+            if pool.len() < 64 {
+                // Tiny schedule spaces (element-wise) are exhausted by any
+                // target space; they carry no pruning signal.
+                return None;
+            }
+            let lats = pool.iter().map(|p| sim.latency(p)).collect();
+            Some((*w, lats, pool))
+        })
+        .collect()
+}
+
+fn best1_series(
+    psa: &Psa,
+    sim: &Simulator,
+    pools: &[(u64, Vec<f64>, Vec<pruner::sketch::Program>)],
+    sizes: &[usize],
+) -> Vec<(usize, f64)> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let spaces: Vec<SpaceEval> = pools
+                .iter()
+                .map(|(w, lats, pool)| SpaceEval {
+                    weight: *w,
+                    full_optimum: lats.iter().cloned().fold(f64::INFINITY, f64::min),
+                    space_latencies: psa
+                        .prune(pool.clone(), size)
+                        .iter()
+                        .map(|p| sim.latency(p))
+                        .collect(),
+                })
+                .collect();
+            (size, best_k(&spaces, 1))
+        })
+        .collect()
+}
+
+fn main() {
+    let sizes = [50usize, 128, 256, 512];
+    let pool_size = if full_scale() { 8000 } else { 4000 };
+    let mut rows = Vec::new();
+
+    // --- Operator classes on TITAN V (Table 6) -------------------------
+    let titan = GpuSpec::titan_v();
+    let sim = Simulator::new(titan.clone());
+    let psa = Psa::new(titan);
+    let mut table = TextTable::new(&["SpaceSize", "MatMul", "Conv", "DWConv", "EW&Red", "Avg"]);
+    let classes = [
+        (OperatorClass::MatMul, suites::matmul_suite()),
+        (OperatorClass::Conv, suites::conv_suite()),
+        (OperatorClass::DwConv, suites::dwconv_suite()),
+        (OperatorClass::EwRed, suites::ewred_suite()),
+    ];
+    let per_class: Vec<Vec<(usize, f64)>> = classes
+        .iter()
+        .map(|(class, ops)| {
+            println!("pricing {class} operators...");
+            let take = if full_scale() { ops.len() } else { ops.len().min(10) };
+            let wls: Vec<(Workload, u64)> =
+                ops.iter().take(take).map(|w| (w.clone(), 1)).collect();
+            let pools = pools_for(&sim, &wls, pool_size);
+            best1_series(&psa, &sim, &pools, &sizes)
+        })
+        .collect();
+    for (si, &size) in sizes.iter().enumerate() {
+        let vals: Vec<f64> = per_class.iter().map(|s| s[si].1).collect();
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        table.row(vec![
+            size.to_string(),
+            format!("{:.3}", vals[0]),
+            format!("{:.3}", vals[1]),
+            format!("{:.3}", vals[2]),
+            format!("{:.3}", vals[3]),
+            format!("{avg:.3}"),
+        ]);
+    }
+    for ((class, _), series) in classes.iter().zip(&per_class) {
+        rows.push(Table6Row { group: class.to_string(), best1_by_size: series.clone() });
+    }
+    println!("\nTable 6: Best-1 of the target space per operator class (TITAN V)\n");
+    table.print();
+
+    // --- DNNs on K80 + T4 (Figure 12) -----------------------------------
+    println!("\nFigure 12: Best-1 of the target space per DNN (K80 & T4)\n");
+    let mut fig_table = TextTable::new(&["Network", "Platform", "50", "128", "256", "512"]);
+    for spec in [GpuSpec::k80(), GpuSpec::t4()] {
+        let sim = Simulator::new(spec.clone());
+        let psa = Psa::new(spec.clone());
+        for net in pruner::dataset::table1_networks() {
+            let net = top_tasks(&net, 6);
+            let wls: Vec<(Workload, u64)> = net
+                .subgraphs()
+                .iter()
+                .map(|sg| (sg.workload.clone(), sg.weight))
+                .collect();
+            let pools = pools_for(&sim, &wls, pool_size);
+            let series = best1_series(&psa, &sim, &pools, &sizes);
+            fig_table.row(vec![
+                net.name().to_string(),
+                spec.name.clone(),
+                format!("{:.3}", series[0].1),
+                format!("{:.3}", series[1].1),
+                format!("{:.3}", series[2].1),
+                format!("{:.3}", series[3].1),
+            ]);
+            rows.push(Table6Row {
+                group: format!("{}@{}", net.name(), spec.name),
+                best1_by_size: series,
+            });
+        }
+    }
+    fig_table.print();
+    write_result("table6_fig12", &rows);
+}

@@ -1,0 +1,282 @@
+//! Evaluation metrics from the paper's Appendix A.
+//!
+//! * [`top_k`] (Eq. 5) — quality of a *cost model*: the true optimum's
+//!   latency over the best latency among the model's top-k picks, weighted
+//!   by subgraph occurrence counts. 1.0 means the model's top-k always
+//!   contains the optimum.
+//! * [`best_k`] (Eq. 6) — quality of a *search space*: the full-space
+//!   optimum over the k-th best latency inside the sampled space.
+//!
+//! Both are "higher is better" ratios in `(0, 1]`.
+
+/// One task's ground truth for the [`top_k`] metric: every candidate's
+/// measured latency and the model's scores over the same candidates.
+#[derive(Debug, Clone)]
+pub struct TaskEval {
+    /// Subgraph occurrence weight `w_i`.
+    pub weight: u64,
+    /// Ground-truth latency of every candidate (seconds).
+    pub latencies: Vec<f64>,
+    /// Model scores (higher = predicted better), parallel to `latencies`.
+    pub scores: Vec<f32>,
+}
+
+/// One task's ground truth for the [`best_k`] metric: the optimum over the
+/// *entire* space and the latencies inside the sampled sub-space.
+#[derive(Debug, Clone)]
+pub struct SpaceEval {
+    /// Subgraph occurrence weight `w_i`.
+    pub weight: u64,
+    /// True optimal latency over the whole space (`L*_i`).
+    pub full_optimum: f64,
+    /// Latencies of the programs inside the sampled space.
+    pub space_latencies: Vec<f64>,
+}
+
+/// Top-k (Eq. 5): `Σ_i w_i·L*_i / Σ_i w_i·min_{j≤k} L_{i,j}` where `j`
+/// ranges over the model's k highest-scored candidates.
+///
+/// # Panics
+/// Panics if `k` is zero, any task is empty, or score/latency lengths
+/// disagree.
+pub fn top_k(tasks: &[TaskEval], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for t in tasks {
+        assert!(!t.latencies.is_empty(), "task with no candidates");
+        assert_eq!(t.latencies.len(), t.scores.len(), "score/latency mismatch");
+        let optimum = t.latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Indices of the k highest scores.
+        let mut idx: Vec<usize> = (0..t.scores.len()).collect();
+        idx.sort_by(|&a, &b| t.scores[b].partial_cmp(&t.scores[a]).expect("finite scores"));
+        let picked_best = idx
+            .iter()
+            .take(k)
+            .map(|&i| t.latencies[i])
+            .fold(f64::INFINITY, f64::min);
+        num += t.weight as f64 * optimum;
+        den += t.weight as f64 * picked_best;
+    }
+    num / den
+}
+
+/// Best-k (Eq. 6): `Σ_i w_i·L*_i / Σ_i w_i·L̂_{i,k}` where `L̂_{i,k}` is the
+/// k-th smallest latency inside task `i`'s sampled space.
+///
+/// If a space holds fewer than `k` programs its worst latency is used.
+///
+/// # Panics
+/// Panics if `k` is zero or any space is empty.
+pub fn best_k(spaces: &[SpaceEval], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for s in spaces {
+        assert!(!s.space_latencies.is_empty(), "empty sampled space");
+        let mut lats = s.space_latencies.clone();
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let kth = lats[(k - 1).min(lats.len() - 1)];
+        num += s.weight as f64 * s.full_optimum;
+        den += s.weight as f64 * kth;
+    }
+    num / den
+}
+
+/// Monte-Carlo estimator of the paper's round expectation `E(S, M)`
+/// (§2.1, Eq. 2): the expected latency of the best program measured in one
+/// search round, when a sample space `S` of size `s` is drawn from the
+/// candidate pool and the cost model's top `m` candidates are measured.
+///
+/// `pool` holds `(true_latency, model_score)` pairs for the whole space Ω;
+/// each draw samples `s` candidates without replacement, keeps the `m`
+/// highest-scored, and records the best true latency among them. The
+/// returned value is the mean over `draws` — exactly the quantity the
+/// paper's optimization objective (Eq. 2) minimizes, which both a better
+/// sample space (PSA) and a better model (PaCM) push toward `L_1`.
+///
+/// # Panics
+/// Panics if the pool is empty or `s`, `m` or `draws` is zero.
+pub fn round_expectation(
+    pool: &[(f64, f32)],
+    s: usize,
+    m: usize,
+    draws: usize,
+    seed: u64,
+) -> f64 {
+    assert!(!pool.is_empty(), "empty candidate pool");
+    assert!(s > 0 && m > 0 && draws > 0, "s, m and draws must be positive");
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut total = 0.0;
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    for _ in 0..draws {
+        indices.shuffle(&mut rng);
+        let sample = &indices[..s.min(pool.len())];
+        // When s <= m the round devolves to exhaustive measurement (the
+        // second case of Eq. 2).
+        let picked: Vec<usize> = if sample.len() <= m {
+            sample.to_vec()
+        } else {
+            let mut by_score = sample.to_vec();
+            by_score.sort_by(|&a, &b| {
+                pool[b].1.partial_cmp(&pool[a].1).expect("finite scores")
+            });
+            by_score.truncate(m);
+            by_score
+        };
+        total += picked.iter().map(|&i| pool[i].0).fold(f64::INFINITY, f64::min);
+    }
+    total / draws as f64
+}
+
+/// Spearman rank correlation between two slices (shared by tests and the
+/// feasibility benches).
+///
+/// # Panics
+/// Panics if the slices have different or zero lengths.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty input");
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite values"));
+        let mut r = vec![0.0; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            r[i] = rank as f64;
+        }
+        r
+    }
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = a.len() as f64;
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = ra.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = rb.iter().map(|y| (y - mb).powi(2)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_1_perfect_model() {
+        let t = TaskEval {
+            weight: 1,
+            latencies: vec![3.0, 1.0, 2.0],
+            scores: vec![0.1, 0.9, 0.5], // highest score on the fastest
+        };
+        assert_eq!(top_k(&[t], 1), 1.0);
+    }
+
+    #[test]
+    fn top_1_worst_model() {
+        let t = TaskEval {
+            weight: 1,
+            latencies: vec![3.0, 1.0],
+            scores: vec![0.9, 0.1], // picks the slow one
+        };
+        assert!((top_k(std::slice::from_ref(&t), 1) - 1.0 / 3.0).abs() < 1e-12);
+        // Top-2 recovers the optimum.
+        assert_eq!(top_k(&[t], 2), 1.0);
+    }
+
+    #[test]
+    fn top_k_weights_tasks() {
+        let good = TaskEval { weight: 3, latencies: vec![1.0, 2.0], scores: vec![1.0, 0.0] };
+        let bad = TaskEval { weight: 1, latencies: vec![1.0, 2.0], scores: vec![0.0, 1.0] };
+        // Weighted: (3*1 + 1*1) / (3*1 + 1*2) = 4/5.
+        assert!((top_k(&[good, bad], 1) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_k_full_space_is_one() {
+        let s = SpaceEval {
+            weight: 1,
+            full_optimum: 1.0,
+            space_latencies: vec![4.0, 1.0, 2.0],
+        };
+        assert_eq!(best_k(std::slice::from_ref(&s), 1), 1.0);
+        assert_eq!(best_k(std::slice::from_ref(&s), 2), 0.5);
+        // k beyond space size falls back to the worst entry.
+        assert_eq!(best_k(&[s], 10), 0.25);
+    }
+
+    #[test]
+    fn best_k_detects_missing_optimum() {
+        let s = SpaceEval {
+            weight: 1,
+            full_optimum: 1.0,
+            space_latencies: vec![2.0, 3.0], // optimum pruned away
+        };
+        assert_eq!(best_k(&[s], 1), 0.5);
+    }
+
+    #[test]
+    fn spearman_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        top_k(&[], 0);
+    }
+
+    /// A pool with latencies 1..=100 and configurable score quality.
+    fn expectation_pool(perfect: bool) -> Vec<(f64, f32)> {
+        (1..=100)
+            .map(|i| {
+                let lat = i as f64;
+                // Perfect model scores fast programs highest; the broken
+                // model scores them by a value-irrelevant hash.
+                let score = if perfect {
+                    -(i as f32)
+                } else {
+                    ((i * 2654435761u64) % 97) as f32
+                };
+                (lat, score)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_expectation_better_model_is_lower() {
+        let good = round_expectation(&expectation_pool(true), 50, 5, 200, 1);
+        let bad = round_expectation(&expectation_pool(false), 50, 5, 200, 1);
+        assert!(good < bad, "perfect model {good} must beat random scores {bad}");
+    }
+
+    #[test]
+    fn round_expectation_grows_toward_optimum_with_s() {
+        let pool = expectation_pool(true);
+        let small = round_expectation(&pool, 10, 5, 300, 2);
+        let large = round_expectation(&pool, 80, 5, 300, 2);
+        assert!(large <= small, "bigger sample spaces cannot hurt a perfect model");
+        assert!(large < 2.0, "a perfect model over most of Ω should find ~L_1");
+    }
+
+    #[test]
+    fn round_expectation_devolves_to_enumeration_when_s_le_m() {
+        // With s <= m every sampled program is measured — score-independent.
+        let a = round_expectation(&expectation_pool(true), 5, 10, 300, 3);
+        let b = round_expectation(&expectation_pool(false), 5, 10, 300, 3);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_expectation_is_deterministic() {
+        let pool = expectation_pool(false);
+        assert_eq!(
+            round_expectation(&pool, 30, 5, 50, 7),
+            round_expectation(&pool, 30, 5, 50, 7)
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! GPU platform specifications.
+
+use pruner_sketch::HardwareLimits;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Architectural parameters of one GPU platform.
+///
+/// The presets cover the five platforms of the paper's evaluation. Values
+/// are the published fp32 specifications (per CUDA device; the K80 entry is
+/// one GK210 die).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"NVIDIA T4"`.
+    pub name: String,
+    /// Streaming multiprocessor count (`n_sm`).
+    pub num_sms: u64,
+    /// Maximum resident warps per SM (`n_w`).
+    pub max_warps_per_sm: u64,
+    /// Maximum resident blocks per SM (`n_b`).
+    pub max_blocks_per_sm: u64,
+    /// Warp width (`n_w*`), 32 on all NVIDIA GPUs.
+    pub warp_size: u64,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u64,
+    /// Architectural per-thread register cap (`n_r*`).
+    pub reg_limit_per_thread: u64,
+    /// Shared memory per SM, bytes.
+    pub shared_per_sm: u64,
+    /// Maximum shared memory per block, bytes.
+    pub shared_per_block: u64,
+    /// Peak fp32 throughput (`T_p`), GFLOP/s.
+    pub peak_gflops: f64,
+    /// DRAM bandwidth (`T_m`), GB/s.
+    pub dram_gbps: f64,
+    /// DRAM transaction length in fp32 elements (`n_l*`, 128 B / 4).
+    pub mem_transaction_elems: u64,
+    /// L2 cache size, bytes.
+    pub l2_bytes: u64,
+    /// Kernel launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl GpuSpec {
+    /// Tesla K80 (one GK210 die) — Kepler.
+    pub fn k80() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA K80".into(),
+            num_sms: 13,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            warp_size: 32,
+            registers_per_sm: 131_072,
+            reg_limit_per_thread: 255,
+            shared_per_sm: 112 * 1024,
+            shared_per_block: 48 * 1024,
+            peak_gflops: 4_100.0,
+            dram_gbps: 240.0,
+            mem_transaction_elems: 32,
+            l2_bytes: 1_572_864,
+            launch_overhead_us: 8.0,
+        }
+    }
+
+    /// Tesla T4 — Turing.
+    pub fn t4() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA T4".into(),
+            num_sms: 40,
+            max_warps_per_sm: 32,
+            max_blocks_per_sm: 16,
+            warp_size: 32,
+            registers_per_sm: 65_536,
+            reg_limit_per_thread: 255,
+            shared_per_sm: 64 * 1024,
+            shared_per_block: 48 * 1024,
+            peak_gflops: 8_100.0,
+            dram_gbps: 320.0,
+            mem_transaction_elems: 32,
+            l2_bytes: 4 * 1024 * 1024,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// TITAN V — Volta.
+    pub fn titan_v() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA TITAN V".into(),
+            num_sms: 80,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            warp_size: 32,
+            registers_per_sm: 65_536,
+            reg_limit_per_thread: 255,
+            shared_per_sm: 96 * 1024,
+            shared_per_block: 48 * 1024,
+            peak_gflops: 14_900.0,
+            dram_gbps: 653.0,
+            mem_transaction_elems: 32,
+            l2_bytes: 4_718_592,
+            launch_overhead_us: 4.0,
+        }
+    }
+
+    /// A100 (SXM4 40 GB) — Ampere.
+    pub fn a100() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA A100".into(),
+            num_sms: 108,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            warp_size: 32,
+            registers_per_sm: 65_536,
+            reg_limit_per_thread: 255,
+            shared_per_sm: 164 * 1024,
+            shared_per_block: 48 * 1024,
+            peak_gflops: 19_500.0,
+            dram_gbps: 1_555.0,
+            mem_transaction_elems: 32,
+            l2_bytes: 40 * 1024 * 1024,
+            launch_overhead_us: 4.0,
+        }
+    }
+
+    /// Jetson Orin (Ampere iGPU, 30 W mode).
+    pub fn orin() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA Jetson Orin".into(),
+            num_sms: 16,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 16,
+            warp_size: 32,
+            registers_per_sm: 65_536,
+            reg_limit_per_thread: 255,
+            shared_per_sm: 164 * 1024,
+            shared_per_block: 48 * 1024,
+            peak_gflops: 5_300.0,
+            dram_gbps: 204.0,
+            mem_transaction_elems: 32,
+            l2_bytes: 4 * 1024 * 1024,
+            launch_overhead_us: 10.0,
+        }
+    }
+
+    /// All five evaluation platforms, in the paper's order.
+    pub fn all() -> Vec<GpuSpec> {
+        vec![Self::k80(), Self::t4(), Self::titan_v(), Self::a100(), Self::orin()]
+    }
+
+    /// Looks a platform up by a short name (`"k80"`, `"t4"`, `"titanv"`,
+    /// `"a100"`, `"orin"`). Returns `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<GpuSpec> {
+        match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+            "k80" => Some(Self::k80()),
+            "t4" => Some(Self::t4()),
+            "titanv" | "titan" => Some(Self::titan_v()),
+            "a100" => Some(Self::a100()),
+            "orin" | "jetsonorin" => Some(Self::orin()),
+            _ => None,
+        }
+    }
+
+    /// Total blocks the whole device can have resident at once (`B*`).
+    pub fn max_resident_blocks(&self) -> u64 {
+        self.num_sms * self.max_blocks_per_sm
+    }
+
+    /// Total warps the whole device can have resident at once (`W*`).
+    pub fn max_resident_warps(&self) -> u64 {
+        self.num_sms * self.max_warps_per_sm
+    }
+
+    /// The sampling validity limits this platform implies.
+    pub fn limits(&self) -> HardwareLimits {
+        HardwareLimits {
+            max_threads_per_block: 1024,
+            warp_size: self.warp_size,
+            max_shared_bytes_per_block: self.shared_per_block,
+            max_registers_per_thread: self.reg_limit_per_thread,
+            register_slack: 4,
+            max_vthreads: 16,
+        }
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} SMs, {:.1} TFLOP/s, {:.0} GB/s)",
+            self.name,
+            self.num_sms,
+            self.peak_gflops / 1000.0,
+            self.dram_gbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_compute() {
+        assert!(GpuSpec::a100().peak_gflops > GpuSpec::titan_v().peak_gflops);
+        assert!(GpuSpec::titan_v().peak_gflops > GpuSpec::t4().peak_gflops);
+        assert!(GpuSpec::t4().peak_gflops > GpuSpec::orin().peak_gflops);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for (name, sms) in [("k80", 13), ("t4", 40), ("titan-v", 80), ("A100", 108), ("orin", 16)]
+        {
+            assert_eq!(GpuSpec::by_name(name).unwrap().num_sms, sms, "{name}");
+        }
+        assert!(GpuSpec::by_name("h100").is_none());
+    }
+
+    #[test]
+    fn resident_capacity() {
+        let t4 = GpuSpec::t4();
+        assert_eq!(t4.max_resident_blocks(), 640);
+        assert_eq!(t4.max_resident_warps(), 1280);
+    }
+
+    #[test]
+    fn limits_reflect_spec() {
+        let l = GpuSpec::a100().limits();
+        assert_eq!(l.max_shared_bytes_per_block, 48 * 1024);
+        assert_eq!(l.warp_size, 32);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = GpuSpec::t4().to_string();
+        assert!(s.contains("T4") && s.contains("40 SMs"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Operator evaluation suites used by Figure 7, Table 6 and Figure 13.
+//!
+//! The paper evaluates ~90 single-operator instances of three typical kinds
+//! plus an element-wise/reduction class (109 operators of 4 classes in
+//! Appendix B). These builders produce the equivalent suites from the shapes
+//! the networks in [`crate::zoo`] actually contain, plus the irregular
+//! shapes the paper calls out (where vendor libraries win via Winograd).
+
+use crate::workload::{EwKind, Workload};
+
+/// Dense matrix multiplication suite (BERT-family GEMMs plus square sweeps).
+pub fn matmul_suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+    // BERT-base / BERT-large projection and FFN GEMMs at several sequence
+    // lengths.
+    for &seq in &[64u64, 128, 256, 512, 1024] {
+        for &(n, k) in &[(768u64, 768u64), (3072, 768), (768, 3072), (1024, 1024), (4096, 1024)] {
+            v.push(Workload::matmul(1, seq, n, k));
+        }
+    }
+    // Batched attention GEMMs.
+    for &(b, m, n, k) in &[(12u64, 128u64, 128u64, 64u64), (12, 512, 512, 64), (16, 128, 64, 128)]
+    {
+        v.push(Workload::matmul(b, m, n, k));
+    }
+    // Square sweep (1024 is already covered by the seq-1024 GEMMs above).
+    for &s in &[256u64, 384, 512, 2048] {
+        v.push(Workload::matmul(1, s, s, s));
+    }
+    v
+}
+
+/// 2-D convolution suite (ResNet/Inception shapes plus irregular ones).
+pub fn conv_suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+    // ResNet-50 representative shapes.
+    for &(c, hw, co, k, s, p) in &[
+        (3u64, 224u64, 64u64, 7u64, 2u64, 3u64),
+        (64, 56, 64, 1, 1, 0),
+        (64, 56, 64, 3, 1, 1),
+        (64, 56, 256, 1, 1, 0),
+        (256, 56, 128, 1, 2, 0),
+        (128, 28, 128, 3, 1, 1),
+        (128, 28, 512, 1, 1, 0),
+        (512, 28, 256, 1, 2, 0),
+        (256, 14, 256, 3, 1, 1),
+        (256, 14, 1024, 1, 1, 0),
+        (1024, 14, 512, 1, 2, 0),
+        (512, 7, 512, 3, 1, 1),
+        (512, 7, 2048, 1, 1, 0),
+    ] {
+        v.push(Workload::conv2d(1, c, hw, hw, co, k, s, p));
+    }
+    // Inception-style 5x5 and asymmetric shapes.
+    v.push(Workload::conv2d(1, 48, 35, 35, 64, 5, 1, 2));
+    v.push(Workload::conv2d(1, 96, 35, 35, 96, 3, 1, 1));
+    // Irregular shapes: odd channels, odd resolutions, big kernels — the
+    // cases Figure 7 shows vendor Winograd kernels winning on.
+    v.push(Workload::conv2d(1, 3, 227, 227, 96, 11, 4, 0)); // AlexNet stem
+    v.push(Workload::conv2d(1, 96, 27, 27, 256, 5, 1, 2));
+    v.push(Workload::conv2d(1, 17, 31, 31, 51, 3, 1, 1)); // prime-ish dims
+    v.push(Workload::conv2d(1, 33, 13, 13, 77, 3, 1, 1)); // prime-ish dims
+    // Batch-4 variants of the Winograd-friendly 3x3 shapes.
+    v.push(Workload::conv2d(4, 64, 56, 56, 64, 3, 1, 1));
+    v.push(Workload::conv2d(4, 128, 28, 28, 128, 3, 1, 1));
+    v.push(Workload::conv2d(4, 256, 14, 14, 256, 3, 1, 1));
+    v.push(Workload::conv2d(4, 512, 7, 7, 512, 3, 1, 1));
+    // Dilated (DeepLab) shapes.
+    for &rate in &[6u64, 12, 18] {
+        v.push(Workload::conv2d_dilated(1, 2048, 14, 14, 256, 3, 1, rate, rate));
+    }
+    v
+}
+
+/// Depthwise convolution suite (MobileNet-V2 shapes).
+pub fn dwconv_suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+    for &(c, hw, s) in &[
+        (32u64, 112u64, 1u64),
+        (96, 112, 2),
+        (144, 56, 1),
+        (144, 56, 2),
+        (192, 28, 1),
+        (192, 28, 2),
+        (384, 14, 1),
+        (576, 14, 1),
+        (576, 14, 2),
+        (960, 7, 1),
+    ] {
+        v.push(Workload::dwconv2d(1, c, hw, hw, 3, s, 1));
+    }
+    // 5x5 depthwise (EfficientNet-style) and an irregular one.
+    v.push(Workload::dwconv2d(1, 240, 28, 28, 5, 1, 2));
+    v.push(Workload::dwconv2d(1, 672, 14, 14, 5, 1, 2));
+    v.push(Workload::dwconv2d(1, 67, 23, 23, 3, 1, 1));
+    // Batch-4 variants.
+    v.push(Workload::dwconv2d(4, 144, 56, 56, 3, 1, 1));
+    v.push(Workload::dwconv2d(4, 576, 14, 14, 3, 1, 1));
+    v
+}
+
+/// Element-wise and reduction suite.
+pub fn ewred_suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+    for &len in &[1u64 << 16, 1 << 18, 1 << 20, 1 << 22] {
+        v.push(Workload::elementwise(EwKind::Relu, len));
+        v.push(Workload::elementwise(EwKind::Add, len));
+        v.push(Workload::elementwise(EwKind::Gelu, len));
+    }
+    for &(o, r) in &[(1024u64, 768u64), (4096, 1024), (512, 4096), (2048, 49), (128, 16384)] {
+        v.push(Workload::reduction(o, r));
+    }
+    v
+}
+
+/// The full operator evaluation set across all four classes.
+pub fn full_suite() -> Vec<Workload> {
+    let mut v = matmul_suite();
+    v.extend(conv_suite());
+    v.extend(dwconv_suite());
+    v.extend(ewred_suite());
+    v
+}
+
+/// MatMul shape sweep for the Figure 13 scalability study
+/// (BERT-large GEMM `[seq × 4096 × 1024]` at growing sequence lengths).
+pub fn matmul_scalability_sweep() -> Vec<Workload> {
+    [64u64, 128, 256, 512, 1024, 2048]
+        .iter()
+        .map(|&seq| Workload::matmul(1, seq, 4096, 1024))
+        .collect()
+}
+
+/// Conv2d shape sweep for the Figure 13 scalability study
+/// (ResNet-50 3×3 conv at growing channel counts).
+pub fn conv_scalability_sweep() -> Vec<Workload> {
+    [32u64, 64, 128, 256, 512]
+        .iter()
+        .map(|&c| Workload::conv2d(1, c, 56, 56, c, 3, 1, 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::OperatorClass;
+    use std::collections::HashSet;
+
+    #[test]
+    fn full_suite_size_matches_paper_scale() {
+        let n = full_suite().len();
+        assert!((90..=130).contains(&n), "suite has {n} operators, expected ~90-130");
+    }
+
+    #[test]
+    fn suites_have_homogeneous_classes() {
+        assert!(matmul_suite().iter().all(|w| w.class() == OperatorClass::MatMul));
+        assert!(conv_suite().iter().all(|w| w.class() == OperatorClass::Conv));
+        assert!(dwconv_suite().iter().all(|w| w.class() == OperatorClass::DwConv));
+        assert!(ewred_suite().iter().all(|w| w.class() == OperatorClass::EwRed));
+    }
+
+    #[test]
+    fn no_duplicate_operators() {
+        let keys: HashSet<String> = full_suite().iter().map(|w| w.key()).collect();
+        assert_eq!(keys.len(), full_suite().len());
+    }
+
+    #[test]
+    fn scalability_sweeps_are_monotone_in_flops() {
+        for sweep in [matmul_scalability_sweep(), conv_scalability_sweep()] {
+            for pair in sweep.windows(2) {
+                assert!(pair[1].flops() > pair[0].flops());
+            }
+        }
+    }
+}

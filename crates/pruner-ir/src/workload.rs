@@ -1,0 +1,717 @@
+//! Workload definitions: the tensor computations a compiler must schedule.
+
+use crate::axis::Axis;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a (possibly batched) dense matrix multiplication
+/// `C[b, m, n] += A[b, m, k] * B[b, k, n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatMulShape {
+    /// Batch dimension (1 for a plain GEMM).
+    pub batch: u64,
+    /// Rows of `A` / `C`.
+    pub m: u64,
+    /// Columns of `B` / `C`.
+    pub n: u64,
+    /// Contraction dimension.
+    pub k: u64,
+}
+
+/// Shape of a 2-D convolution in NCHW layout.
+///
+/// Also reused for depthwise convolution, where `co` is ignored and each of
+/// the `c` channels convolves with its own `kh × kw` filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dShape {
+    /// Batch size.
+    pub n: u64,
+    /// Input channels.
+    pub c: u64,
+    /// Input height.
+    pub h: u64,
+    /// Input width.
+    pub w: u64,
+    /// Output channels.
+    pub co: u64,
+    /// Kernel height.
+    pub kh: u64,
+    /// Kernel width.
+    pub kw: u64,
+    /// Stride (same in both dimensions).
+    pub stride: u64,
+    /// Zero padding (same on all sides).
+    pub pad: u64,
+    /// Dilation (same in both dimensions).
+    pub dilation: u64,
+}
+
+impl Conv2dShape {
+    /// Output height after padding/stride/dilation.
+    pub fn out_h(&self) -> u64 {
+        conv_out(self.h, self.kh, self.stride, self.pad, self.dilation)
+    }
+
+    /// Output width after padding/stride/dilation.
+    pub fn out_w(&self) -> u64 {
+        conv_out(self.w, self.kw, self.stride, self.pad, self.dilation)
+    }
+}
+
+/// Shape of a 3-D convolution in NCDHW layout (used by R3D-18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv3dShape {
+    /// Batch size.
+    pub n: u64,
+    /// Input channels.
+    pub c: u64,
+    /// Input depth (frames).
+    pub d: u64,
+    /// Input height.
+    pub h: u64,
+    /// Input width.
+    pub w: u64,
+    /// Output channels.
+    pub co: u64,
+    /// Kernel depth.
+    pub kd: u64,
+    /// Kernel height.
+    pub kh: u64,
+    /// Kernel width.
+    pub kw: u64,
+    /// Stride (all dimensions).
+    pub stride: u64,
+    /// Zero padding (all dimensions).
+    pub pad: u64,
+}
+
+impl Conv3dShape {
+    /// Output depth.
+    pub fn out_d(&self) -> u64 {
+        conv_out(self.d, self.kd, self.stride, self.pad, 1)
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> u64 {
+        conv_out(self.h, self.kh, self.stride, self.pad, 1)
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> u64 {
+        conv_out(self.w, self.kw, self.stride, self.pad, 1)
+    }
+}
+
+fn conv_out(len: u64, kernel: u64, stride: u64, pad: u64, dilation: u64) -> u64 {
+    let eff_k = dilation * (kernel - 1) + 1;
+    (len + 2 * pad - eff_k) / stride + 1
+}
+
+/// Kind of element-wise (or light fused) operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EwKind {
+    /// Binary addition of two tensors (residual connections).
+    Add,
+    /// Binary multiplication (gating).
+    Mul,
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (approximated with tanh in practice).
+    Gelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Add a broadcast bias vector.
+    BiasAdd,
+    /// Inference-time batch norm folded to scale + shift.
+    BnInfer,
+}
+
+impl EwKind {
+    /// Number of distinct input tensors the operator reads.
+    pub fn num_inputs(self) -> usize {
+        match self {
+            EwKind::Add | EwKind::Mul => 2,
+            EwKind::BiasAdd | EwKind::BnInfer => 2,
+            _ => 1,
+        }
+    }
+
+    /// Approximate floating-point operations per output element.
+    pub fn ops_per_elem(self) -> u64 {
+        match self {
+            EwKind::Add | EwKind::Mul | EwKind::Relu | EwKind::BiasAdd => 1,
+            EwKind::BnInfer => 2,
+            EwKind::Sigmoid | EwKind::Tanh => 8,
+            EwKind::Gelu => 12,
+        }
+    }
+
+    /// Short lowercase name used in workload keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            EwKind::Add => "add",
+            EwKind::Mul => "mul",
+            EwKind::Relu => "relu",
+            EwKind::Gelu => "gelu",
+            EwKind::Sigmoid => "sigmoid",
+            EwKind::Tanh => "tanh",
+            EwKind::BiasAdd => "bias_add",
+            EwKind::BnInfer => "bn_infer",
+        }
+    }
+}
+
+/// Coarse operator classes used by Table 6 and the operator suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorClass {
+    /// Dense (batched) matrix multiplication.
+    MatMul,
+    /// Standard and 3-D convolutions.
+    Conv,
+    /// Depthwise convolutions.
+    DwConv,
+    /// Element-wise maps and reductions.
+    EwRed,
+}
+
+impl fmt::Display for OperatorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OperatorClass::MatMul => "matmul",
+            OperatorClass::Conv => "conv",
+            OperatorClass::DwConv => "dwconv",
+            OperatorClass::EwRed => "ew&red",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single fused tensor computation with concrete shapes.
+///
+/// A workload is the unit the tuner optimizes: it lowers to a canonical
+/// loop nest ([`Workload::axes`]) that the schedule generator tiles, binds
+/// and annotates. All cost accounting (FLOPs, per-operand footprints,
+/// innermost contiguity) is defined here so every layer above shares one
+/// source of truth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// `C[b,m,n] += A[b,m,k] * B[b,k,n]`.
+    MatMul(MatMulShape),
+    /// NCHW 2-D convolution.
+    Conv2d(Conv2dShape),
+    /// NCHW depthwise 2-D convolution (`co` of the shape is ignored).
+    DepthwiseConv2d(Conv2dShape),
+    /// NCDHW 3-D convolution.
+    Conv3d(Conv3dShape),
+    /// Element-wise map over `len` elements.
+    Elementwise {
+        /// Operator kind.
+        kind: EwKind,
+        /// Number of output elements.
+        len: u64,
+    },
+    /// Row reduction: `out[o] = reduce(in[o, 0..r])`.
+    Reduction {
+        /// Number of independent rows.
+        outer: u64,
+        /// Reduction length per row.
+        reduce: u64,
+    },
+}
+
+impl Workload {
+    /// Creates a (batched) matrix multiplication workload.
+    pub fn matmul(batch: u64, m: u64, n: u64, k: u64) -> Self {
+        Workload::MatMul(MatMulShape { batch, m, n, k })
+    }
+
+    /// Creates a square-kernel 2-D convolution workload with dilation 1.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(n: u64, c: u64, h: u64, w: u64, co: u64, k: u64, stride: u64, pad: u64) -> Self {
+        Workload::Conv2d(Conv2dShape { n, c, h, w, co, kh: k, kw: k, stride, pad, dilation: 1 })
+    }
+
+    /// Creates a dilated square-kernel 2-D convolution workload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d_dilated(
+        n: u64,
+        c: u64,
+        h: u64,
+        w: u64,
+        co: u64,
+        k: u64,
+        stride: u64,
+        pad: u64,
+        dilation: u64,
+    ) -> Self {
+        Workload::Conv2d(Conv2dShape { n, c, h, w, co, kh: k, kw: k, stride, pad, dilation })
+    }
+
+    /// Creates a depthwise 2-D convolution workload.
+    pub fn dwconv2d(n: u64, c: u64, h: u64, w: u64, k: u64, stride: u64, pad: u64) -> Self {
+        Workload::DepthwiseConv2d(Conv2dShape {
+            n,
+            c,
+            h,
+            w,
+            co: c,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            dilation: 1,
+        })
+    }
+
+    /// Creates a cube-kernel 3-D convolution workload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv3d(
+        n: u64,
+        c: u64,
+        d: u64,
+        h: u64,
+        w: u64,
+        co: u64,
+        k: u64,
+        stride: u64,
+        pad: u64,
+    ) -> Self {
+        Workload::Conv3d(Conv3dShape { n, c, d, h, w, co, kd: k, kh: k, kw: k, stride, pad })
+    }
+
+    /// Creates an element-wise workload over `len` elements.
+    pub fn elementwise(kind: EwKind, len: u64) -> Self {
+        Workload::Elementwise { kind, len }
+    }
+
+    /// Creates a row-reduction workload.
+    pub fn reduction(outer: u64, reduce: u64) -> Self {
+        Workload::Reduction { outer, reduce }
+    }
+
+    /// The canonical loop nest: spatial axes first, then reduction axes.
+    pub fn axes(&self) -> Vec<Axis> {
+        match *self {
+            Workload::MatMul(s) => {
+                let mut v = Vec::new();
+                if s.batch > 1 {
+                    v.push(Axis::spatial("b", s.batch));
+                }
+                v.push(Axis::spatial("m", s.m));
+                v.push(Axis::spatial("n", s.n));
+                v.push(Axis::reduce("k", s.k));
+                v
+            }
+            Workload::Conv2d(s) => vec![
+                Axis::spatial("n", s.n),
+                Axis::spatial("co", s.co),
+                Axis::spatial("oh", s.out_h()),
+                Axis::spatial("ow", s.out_w()),
+                Axis::reduce("rc", s.c),
+                Axis::reduce("rh", s.kh),
+                Axis::reduce("rw", s.kw),
+            ],
+            Workload::DepthwiseConv2d(s) => vec![
+                Axis::spatial("n", s.n),
+                Axis::spatial("c", s.c),
+                Axis::spatial("oh", s.out_h()),
+                Axis::spatial("ow", s.out_w()),
+                Axis::reduce("rh", s.kh),
+                Axis::reduce("rw", s.kw),
+            ],
+            Workload::Conv3d(s) => vec![
+                Axis::spatial("n", s.n),
+                Axis::spatial("co", s.co),
+                Axis::spatial("od", s.out_d()),
+                Axis::spatial("oh", s.out_h()),
+                Axis::spatial("ow", s.out_w()),
+                Axis::reduce("rc", s.c),
+                Axis::reduce("rd", s.kd),
+                Axis::reduce("rh", s.kh),
+                Axis::reduce("rw", s.kw),
+            ],
+            Workload::Elementwise { len, .. } => vec![Axis::spatial("i", len)],
+            Workload::Reduction { outer, reduce } => {
+                vec![Axis::spatial("o", outer), Axis::reduce("r", reduce)]
+            }
+        }
+    }
+
+    /// Extents of the spatial axes, in `axes()` order.
+    pub fn spatial_extents(&self) -> Vec<u64> {
+        self.axes().iter().filter(|a| a.is_spatial()).map(|a| a.extent).collect()
+    }
+
+    /// Extents of the reduction axes, in `axes()` order.
+    pub fn reduce_extents(&self) -> Vec<u64> {
+        self.axes().iter().filter(|a| !a.is_spatial()).map(|a| a.extent).collect()
+    }
+
+    /// Total floating-point operations of the computation.
+    pub fn flops(&self) -> f64 {
+        match *self {
+            Workload::MatMul(s) => 2.0 * (s.batch * s.m * s.n * s.k) as f64,
+            Workload::Conv2d(s) => {
+                2.0 * (s.n * s.co * s.out_h() * s.out_w() * s.c * s.kh * s.kw) as f64
+            }
+            Workload::DepthwiseConv2d(s) => {
+                2.0 * (s.n * s.c * s.out_h() * s.out_w() * s.kh * s.kw) as f64
+            }
+            Workload::Conv3d(s) => {
+                2.0 * (s.n
+                    * s.co
+                    * s.out_d()
+                    * s.out_h()
+                    * s.out_w()
+                    * s.c
+                    * s.kd
+                    * s.kh
+                    * s.kw) as f64
+            }
+            Workload::Elementwise { kind, len } => (kind.ops_per_elem() * len) as f64,
+            Workload::Reduction { outer, reduce } => (outer * reduce) as f64,
+        }
+    }
+
+    /// Number of input operand tensors.
+    pub fn num_operands(&self) -> usize {
+        match self {
+            Workload::MatMul(_)
+            | Workload::Conv2d(_)
+            | Workload::DepthwiseConv2d(_)
+            | Workload::Conv3d(_) => 2,
+            Workload::Elementwise { kind, .. } => kind.num_inputs(),
+            Workload::Reduction { .. } => 1,
+        }
+    }
+
+    /// Total elements of each input operand tensor.
+    pub fn operand_elems(&self) -> Vec<u64> {
+        match *self {
+            Workload::MatMul(s) => vec![s.batch * s.m * s.k, s.batch * s.k * s.n],
+            Workload::Conv2d(s) => vec![s.n * s.c * s.h * s.w, s.co * s.c * s.kh * s.kw],
+            Workload::DepthwiseConv2d(s) => vec![s.n * s.c * s.h * s.w, s.c * s.kh * s.kw],
+            Workload::Conv3d(s) => {
+                vec![s.n * s.c * s.d * s.h * s.w, s.co * s.c * s.kd * s.kh * s.kw]
+            }
+            Workload::Elementwise { kind, len } => {
+                let mut v = vec![len];
+                if kind.num_inputs() == 2 {
+                    // Bias/BN read a broadcast vector much smaller than the
+                    // activation; approximate it as 1/64 of the tensor.
+                    let second = match kind {
+                        EwKind::BiasAdd | EwKind::BnInfer => (len / 64).max(1),
+                        _ => len,
+                    };
+                    v.push(second);
+                }
+                v
+            }
+            Workload::Reduction { outer, reduce } => vec![outer * reduce],
+        }
+    }
+
+    /// Total elements of the output tensor.
+    pub fn output_elems(&self) -> u64 {
+        self.spatial_extents().iter().product()
+    }
+
+    /// Elements of each input operand touched by a single tile.
+    ///
+    /// `spatial_tile` and `reduce_tile` hold per-axis tile lengths in
+    /// `axes()` order; they are clamped to the axis extents. This is the
+    /// footprint function the schedule generator uses to size shared-memory
+    /// buffers and registers, and the simulator uses to account DRAM
+    /// traffic.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths do not match the number of spatial and
+    /// reduction axes of this workload.
+    pub fn operand_tile_elems(&self, spatial_tile: &[u64], reduce_tile: &[u64]) -> Vec<u64> {
+        let spatial_extents = self.spatial_extents();
+        let reduce_extents = self.reduce_extents();
+        assert_eq!(spatial_tile.len(), spatial_extents.len(), "spatial tile rank mismatch");
+        assert_eq!(reduce_tile.len(), reduce_extents.len(), "reduce tile rank mismatch");
+        let st: Vec<u64> = spatial_tile
+            .iter()
+            .zip(&spatial_extents)
+            .map(|(&t, &e)| t.clamp(1, e))
+            .collect();
+        let rt: Vec<u64> =
+            reduce_tile.iter().zip(&reduce_extents).map(|(&t, &e)| t.clamp(1, e)).collect();
+        match *self {
+            Workload::MatMul(s) => {
+                // Spatial order: ([b], m, n); reduce: (k).
+                let (bt, mt, nt) = if s.batch > 1 { (st[0], st[1], st[2]) } else { (1, st[0], st[1]) };
+                let kt = rt[0];
+                vec![bt * mt * kt, bt * kt * nt]
+            }
+            Workload::Conv2d(s) => {
+                let (nt, cot, oht, owt) = (st[0], st[1], st[2], st[3]);
+                let (ct, kht, kwt) = (rt[0], rt[1], rt[2]);
+                let in_h = (oht - 1) * s.stride + s.dilation * (kht - 1) + 1;
+                let in_w = (owt - 1) * s.stride + s.dilation * (kwt - 1) + 1;
+                vec![nt * ct * in_h.min(s.h) * in_w.min(s.w), cot * ct * kht * kwt]
+            }
+            Workload::DepthwiseConv2d(s) => {
+                let (nt, ct, oht, owt) = (st[0], st[1], st[2], st[3]);
+                let (kht, kwt) = (rt[0], rt[1]);
+                let in_h = (oht - 1) * s.stride + kht;
+                let in_w = (owt - 1) * s.stride + kwt;
+                vec![nt * ct * in_h.min(s.h) * in_w.min(s.w), ct * kht * kwt]
+            }
+            Workload::Conv3d(s) => {
+                let (nt, cot, odt, oht, owt) = (st[0], st[1], st[2], st[3], st[4]);
+                let (ct, kdt, kht, kwt) = (rt[0], rt[1], rt[2], rt[3]);
+                let in_d = (odt - 1) * s.stride + kdt;
+                let in_h = (oht - 1) * s.stride + kht;
+                let in_w = (owt - 1) * s.stride + kwt;
+                vec![
+                    nt * ct * in_d.min(s.d) * in_h.min(s.h) * in_w.min(s.w),
+                    cot * ct * kdt * kht * kwt,
+                ]
+            }
+            Workload::Elementwise { kind, .. } => {
+                let tile: u64 = st.iter().product();
+                let mut v = vec![tile];
+                if kind.num_inputs() == 2 {
+                    let second = match kind {
+                        EwKind::BiasAdd | EwKind::BnInfer => (tile / 64).max(1),
+                        _ => tile,
+                    };
+                    v.push(second);
+                }
+                v
+            }
+            Workload::Reduction { .. } => vec![st[0] * rt[0]],
+        }
+    }
+
+    /// Contiguous run length (elements) along each input operand's innermost
+    /// storage dimension covered by one tile, plus the output's run as the
+    /// last entry.
+    ///
+    /// This is the `n_l` that the PSA memory penalty and the simulator's
+    /// coalescing model consume.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths do not match the axis counts.
+    pub fn innermost_contig(&self, spatial_tile: &[u64], reduce_tile: &[u64]) -> Vec<u64> {
+        let spatial_extents = self.spatial_extents();
+        let reduce_extents = self.reduce_extents();
+        assert_eq!(spatial_tile.len(), spatial_extents.len(), "spatial tile rank mismatch");
+        assert_eq!(reduce_tile.len(), reduce_extents.len(), "reduce tile rank mismatch");
+        let st: Vec<u64> = spatial_tile
+            .iter()
+            .zip(&spatial_extents)
+            .map(|(&t, &e)| t.clamp(1, e))
+            .collect();
+        let rt: Vec<u64> =
+            reduce_tile.iter().zip(&reduce_extents).map(|(&t, &e)| t.clamp(1, e)).collect();
+        match *self {
+            Workload::MatMul(s) => {
+                let nt = if s.batch > 1 { st[2] } else { st[1] };
+                let kt = rt[0];
+                // A is [b, m, k] (k innermost), B is [b, k, n] (n innermost),
+                // C is [b, m, n] (n innermost).
+                vec![kt, nt, nt]
+            }
+            Workload::Conv2d(s) => {
+                let owt = st[3];
+                let kwt = rt[2];
+                // Stride-1 tiles read a dense row span; strided tiles read
+                // every `stride`-th span, which warps still coalesce at
+                // ~1/stride efficiency — model the effective run as the
+                // touched span divided by the stride.
+                let span = (owt - 1) * s.stride + s.dilation * (kwt - 1) + 1;
+                let in_w = (span / s.stride).max(1);
+                vec![in_w.min(s.w), kwt, owt]
+            }
+            Workload::DepthwiseConv2d(s) => {
+                let owt = st[3];
+                let kwt = rt[1];
+                let span = (owt - 1) * s.stride + kwt;
+                let in_w = (span / s.stride).max(1);
+                vec![in_w.min(s.w), kwt, owt]
+            }
+            Workload::Conv3d(s) => {
+                let owt = st[4];
+                let kwt = rt[3];
+                let span = (owt - 1) * s.stride + kwt;
+                let in_w = (span / s.stride).max(1);
+                vec![in_w.min(s.w), kwt, owt]
+            }
+            Workload::Elementwise { kind, .. } => {
+                let tile: u64 = st.iter().product();
+                let mut v = vec![tile];
+                if kind.num_inputs() == 2 {
+                    v.push(tile);
+                }
+                v.push(tile);
+                v
+            }
+            Workload::Reduction { .. } => vec![rt[0], st[0]],
+        }
+    }
+
+    /// Coarse operator class (Table 6 grouping).
+    pub fn class(&self) -> OperatorClass {
+        match self {
+            Workload::MatMul(_) => OperatorClass::MatMul,
+            Workload::Conv2d(_) | Workload::Conv3d(_) => OperatorClass::Conv,
+            Workload::DepthwiseConv2d(_) => OperatorClass::DwConv,
+            Workload::Elementwise { .. } | Workload::Reduction { .. } => OperatorClass::EwRed,
+        }
+    }
+
+    /// Whether the workload has the multi-tiling (shared-memory staging)
+    /// pattern. Element-wise and reduction workloads do not; their
+    /// data-flow features are all-zero per the paper.
+    pub fn has_multi_tiling(&self) -> bool {
+        !matches!(self, Workload::Elementwise { .. } | Workload::Reduction { .. })
+    }
+
+    /// A stable human-readable key, unique per shape.
+    pub fn key(&self) -> String {
+        match *self {
+            Workload::MatMul(s) => format!("matmul_b{}m{}n{}k{}", s.batch, s.m, s.n, s.k),
+            Workload::Conv2d(s) => format!(
+                "conv2d_n{}c{}h{}w{}co{}k{}x{}s{}p{}d{}",
+                s.n, s.c, s.h, s.w, s.co, s.kh, s.kw, s.stride, s.pad, s.dilation
+            ),
+            Workload::DepthwiseConv2d(s) => format!(
+                "dwconv2d_n{}c{}h{}w{}k{}x{}s{}p{}",
+                s.n, s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad
+            ),
+            Workload::Conv3d(s) => format!(
+                "conv3d_n{}c{}d{}h{}w{}co{}k{}s{}p{}",
+                s.n, s.c, s.d, s.h, s.w, s.co, s.kd, s.stride, s.pad
+            ),
+            Workload::Elementwise { kind, len } => format!("ew_{}_{}", kind.name(), len),
+            Workload::Reduction { outer, reduce } => format!("reduce_o{outer}r{reduce}"),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_flops_and_axes() {
+        let wl = Workload::matmul(1, 64, 128, 256);
+        assert_eq!(wl.flops(), 2.0 * 64.0 * 128.0 * 256.0);
+        let axes = wl.axes();
+        assert_eq!(axes.len(), 3);
+        assert_eq!(wl.spatial_extents(), vec![64, 128]);
+        assert_eq!(wl.reduce_extents(), vec![256]);
+    }
+
+    #[test]
+    fn batched_matmul_has_batch_axis() {
+        let wl = Workload::matmul(12, 512, 512, 64);
+        assert_eq!(wl.spatial_extents(), vec![12, 512, 512]);
+    }
+
+    #[test]
+    fn conv2d_output_shape() {
+        // ResNet-50 stage-1 conv: 224x224, k7 s2 p3 -> 112x112.
+        let wl = Workload::conv2d(1, 3, 224, 224, 64, 7, 2, 3);
+        if let Workload::Conv2d(s) = wl {
+            assert_eq!(s.out_h(), 112);
+            assert_eq!(s.out_w(), 112);
+        } else {
+            panic!("not conv2d");
+        }
+    }
+
+    #[test]
+    fn conv2d_footprint_grows_with_tile() {
+        let wl = Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1);
+        let small = wl.operand_tile_elems(&[1, 8, 4, 4], &[64, 3, 3]);
+        let large = wl.operand_tile_elems(&[1, 8, 8, 8], &[64, 3, 3]);
+        assert!(large[0] > small[0], "bigger tile must touch more input");
+        assert_eq!(small[1], large[1], "weight footprint depends on co/c tiles only");
+    }
+
+    #[test]
+    fn matmul_tile_footprints() {
+        let wl = Workload::matmul(1, 64, 64, 64);
+        let fp = wl.operand_tile_elems(&[16, 32], &[8]);
+        assert_eq!(fp, vec![16 * 8, 8 * 32]);
+    }
+
+    #[test]
+    fn tile_clamped_to_extent() {
+        let wl = Workload::matmul(1, 8, 8, 8);
+        let fp = wl.operand_tile_elems(&[1000, 1000], &[1000]);
+        assert_eq!(fp, vec![64, 64]);
+    }
+
+    #[test]
+    fn innermost_contig_matmul() {
+        let wl = Workload::matmul(1, 64, 64, 64);
+        let c = wl.innermost_contig(&[16, 32], &[8]);
+        assert_eq!(c, vec![8, 32, 32]); // A: k-tile, B: n-tile, out: n-tile
+    }
+
+    #[test]
+    fn strided_conv_has_short_contig_runs() {
+        let s1 = Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1);
+        let s2 = Workload::conv2d(1, 64, 56, 56, 64, 3, 2, 1);
+        let c1 = s1.innermost_contig(&[1, 8, 4, 8], &[16, 3, 3]);
+        let c2 = s2.innermost_contig(&[1, 8, 4, 8], &[16, 3, 3]);
+        assert!(c1[0] > c2[0], "stride-2 input rows are less contiguous");
+    }
+
+    #[test]
+    fn elementwise_has_no_multitiling() {
+        assert!(!Workload::elementwise(EwKind::Relu, 1 << 20).has_multi_tiling());
+        assert!(Workload::matmul(1, 8, 8, 8).has_multi_tiling());
+    }
+
+    #[test]
+    fn dwconv_class_and_key() {
+        let wl = Workload::dwconv2d(1, 32, 112, 112, 3, 1, 1);
+        assert_eq!(wl.class(), OperatorClass::DwConv);
+        assert!(wl.key().starts_with("dwconv2d_"));
+    }
+
+    #[test]
+    fn reduction_axes() {
+        let wl = Workload::reduction(1024, 768);
+        assert_eq!(wl.spatial_extents(), vec![1024]);
+        assert_eq!(wl.reduce_extents(), vec![768]);
+        assert_eq!(wl.output_elems(), 1024);
+    }
+
+    #[test]
+    fn operand_count_matches_footprints() {
+        for wl in [
+            Workload::matmul(4, 32, 32, 32),
+            Workload::conv2d(1, 16, 28, 28, 32, 3, 1, 1),
+            Workload::dwconv2d(1, 32, 28, 28, 3, 1, 1),
+            Workload::conv3d(1, 8, 8, 28, 28, 16, 3, 1, 1),
+            Workload::elementwise(EwKind::Add, 4096),
+            Workload::reduction(128, 512),
+        ] {
+            let st: Vec<u64> = wl.spatial_extents().iter().map(|e| e.min(&4).to_owned()).collect();
+            let rt: Vec<u64> = wl.reduce_extents().iter().map(|e| e.min(&4).to_owned()).collect();
+            assert_eq!(wl.operand_tile_elems(&st, &rt).len(), wl.num_operands());
+            assert_eq!(wl.operand_elems().len(), wl.num_operands());
+        }
+    }
+
+    #[test]
+    fn gelu_costs_more_than_relu() {
+        assert!(EwKind::Gelu.ops_per_elem() > EwKind::Relu.ops_per_elem());
+    }
+}

@@ -1,0 +1,770 @@
+//! Eager tape-based reverse-mode autodiff over 2-D tensors.
+//!
+//! Operations execute immediately and record themselves on the tape;
+//! [`Graph::backward`] (or [`Graph::backward_from`] with a custom seed
+//! gradient, as LambdaRank training needs) then fills per-node gradients in
+//! one reverse sweep.
+
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    MatMul,
+    AddRowBias,
+    Add,
+    Mul,
+    Scale(f32),
+    Relu,
+    Tanh,
+    Sigmoid,
+    SoftmaxRows,
+    SumGroups(usize),
+    MeanAll,
+    ConcatCols,
+    GroupMatMulNT(usize),
+    GroupMatMul(usize),
+    NormRows(f32),
+}
+
+struct Node {
+    op: Op,
+    inputs: Vec<NodeId>,
+    value: Tensor,
+}
+
+/// The autodiff tape.
+///
+/// A fresh graph is built per forward pass (the usual define-by-run
+/// pattern); parameters enter through [`Graph::input`] and their node ids
+/// are remembered by the layers that own them.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<NodeId>, value: Tensor) -> NodeId {
+        self.nodes.push(Node { op, inputs, value });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient of the last backward pass at `id`, if it was reached.
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Registers a leaf tensor (input or parameter).
+    pub fn input(&mut self, t: Tensor) -> NodeId {
+        self.push(Op::Input, vec![], t)
+    }
+
+    /// Matrix product `[m,k] × [k,n] → [m,n]`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(Op::MatMul, vec![a, b], v)
+    }
+
+    /// Adds a `[1,d]` bias row to every row of a `[n,d]` tensor.
+    ///
+    /// # Panics
+    /// Panics if the bias is not a single row of matching width.
+    pub fn add_row_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let (xv, bv) = (&self.nodes[x.0].value, &self.nodes[bias.0].value);
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(bv.cols(), xv.cols(), "bias width mismatch");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                *out.at_mut(r, c) += bv.at(0, c);
+            }
+        }
+        self.push(Op::AddRowBias, vec![x, bias], out)
+    }
+
+    /// Element-wise sum of same-shape tensors.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(av.shape(), bv.shape(), "add shape mismatch");
+        let mut out = av.clone();
+        out.axpy(1.0, bv);
+        self.push(Op::Add, vec![a, b], out)
+    }
+
+    /// Element-wise product of same-shape tensors.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(av.shape(), bv.shape(), "mul shape mismatch");
+        let mut out = av.clone();
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(bv.as_slice()) {
+            *o *= x;
+        }
+        self.push(Op::Mul, vec![a, b], out)
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
+        let mut out = self.nodes[x.0].value.clone();
+        out.as_mut_slice().iter_mut().for_each(|v| *v *= c);
+        self.push(Op::Scale(c), vec![x], out)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let mut out = self.nodes[x.0].value.clone();
+        out.as_mut_slice().iter_mut().for_each(|v| *v = v.max(0.0));
+        self.push(Op::Relu, vec![x], out)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: NodeId) -> NodeId {
+        let mut out = self.nodes[x.0].value.clone();
+        out.as_mut_slice().iter_mut().for_each(|v| *v = v.tanh());
+        self.push(Op::Tanh, vec![x], out)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let mut out = self.nodes[x.0].value.clone();
+        out.as_mut_slice().iter_mut().for_each(|v| *v = 1.0 / (1.0 + (-*v).exp()));
+        self.push(Op::Sigmoid, vec![x], out)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        let xv = &self.nodes[x.0].value;
+        let mut out = xv.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        self.push(Op::SoftmaxRows, vec![x], out)
+    }
+
+    /// Row-wise standardization: each row is centered and divided by its
+    /// standard deviation (`eps`-stabilized) — the normalization core of
+    /// LayerNorm (affine scale/shift composes from `mul`/`add_row_bias`).
+    pub fn norm_rows(&mut self, x: NodeId, eps: f32) -> NodeId {
+        let xv = &self.nodes[x.0].value;
+        let cols = xv.cols();
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for v in row.iter_mut() {
+                *v = (*v - mean) * inv;
+            }
+        }
+        self.push(Op::NormRows(eps), vec![x], out)
+    }
+
+    /// Sums every consecutive `group` rows: `[B·S, H] → [B, H]`.
+    ///
+    /// # Panics
+    /// Panics if the row count is not a multiple of `group`.
+    pub fn sum_groups(&mut self, x: NodeId, group: usize) -> NodeId {
+        let xv = &self.nodes[x.0].value;
+        assert!(group > 0 && xv.rows().is_multiple_of(group), "rows must divide into groups");
+        let b = xv.rows() / group;
+        let mut out = Tensor::zeros(b, xv.cols());
+        for g in 0..b {
+            for s in 0..group {
+                let src = xv.row(g * group + s).to_vec();
+                for (c, v) in src.iter().enumerate() {
+                    *out.at_mut(g, c) += v;
+                }
+            }
+        }
+        self.push(Op::SumGroups(group), vec![x], out)
+    }
+
+    /// Mean over all elements, producing a `1×1` scalar.
+    pub fn mean_all(&mut self, x: NodeId) -> NodeId {
+        let m = self.nodes[x.0].value.mean();
+        self.push(Op::MeanAll, vec![x], Tensor::scalar(m))
+    }
+
+    /// Concatenates along columns: `[n,a] ⧺ [n,b] → [n,a+b]`.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(av.rows(), bv.rows(), "concat row mismatch");
+        let mut out = Tensor::zeros(av.rows(), av.cols() + bv.cols());
+        for r in 0..av.rows() {
+            for c in 0..av.cols() {
+                *out.at_mut(r, c) = av.at(r, c);
+            }
+            for c in 0..bv.cols() {
+                *out.at_mut(r, av.cols() + c) = bv.at(r, c);
+            }
+        }
+        self.push(Op::ConcatCols, vec![a, b], out)
+    }
+
+    /// Per-group `A_g × B_gᵀ`: both inputs are `[B·S, d]`, the result is
+    /// `[B·S, S]` of stacked `S×S` score blocks (attention logits).
+    ///
+    /// # Panics
+    /// Panics if shapes disagree or rows are not a multiple of `group`.
+    pub fn group_matmul_nt(&mut self, a: NodeId, b: NodeId, group: usize) -> NodeId {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(av.shape(), bv.shape(), "group_matmul_nt shape mismatch");
+        assert!(group > 0 && av.rows().is_multiple_of(group), "rows must divide into groups");
+        let (rows, d) = av.shape();
+        let blocks = rows / group;
+        let mut out = Tensor::zeros(rows, group);
+        for g in 0..blocks {
+            for i in 0..group {
+                for j in 0..group {
+                    let mut acc = 0.0;
+                    for k in 0..d {
+                        acc += av.at(g * group + i, k) * bv.at(g * group + j, k);
+                    }
+                    *out.at_mut(g * group + i, j) = acc;
+                }
+            }
+        }
+        self.push(Op::GroupMatMulNT(group), vec![a, b], out)
+    }
+
+    /// Per-group `S_g × V_g`: scores `[B·S, S]` times values `[B·S, d]`,
+    /// producing `[B·S, d]` (attention-weighted sums).
+    ///
+    /// # Panics
+    /// Panics if shapes disagree or rows are not a multiple of `group`.
+    pub fn group_matmul(&mut self, s: NodeId, v: NodeId, group: usize) -> NodeId {
+        let (sv, vv) = (&self.nodes[s.0].value, &self.nodes[v.0].value);
+        assert_eq!(sv.rows(), vv.rows(), "group_matmul row mismatch");
+        assert_eq!(sv.cols(), group, "score width must equal group size");
+        assert!(group > 0 && sv.rows().is_multiple_of(group), "rows must divide into groups");
+        let blocks = sv.rows() / group;
+        let d = vv.cols();
+        let mut out = Tensor::zeros(sv.rows(), d);
+        for g in 0..blocks {
+            for i in 0..group {
+                for j in 0..group {
+                    let w = sv.at(g * group + i, j);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for k in 0..d {
+                        *out.at_mut(g * group + i, k) += w * vv.at(g * group + j, k);
+                    }
+                }
+            }
+        }
+        self.push(Op::GroupMatMul(group), vec![s, v], out)
+    }
+
+    /// Backpropagates from a scalar node with seed gradient 1.
+    ///
+    /// # Panics
+    /// Panics if `root` is not `1×1`.
+    pub fn backward(&mut self, root: NodeId) {
+        assert_eq!(self.nodes[root.0].value.shape(), (1, 1), "backward needs a scalar root");
+        self.backward_from(root, Tensor::scalar(1.0));
+    }
+
+    /// Backpropagates from `root` with an explicit seed gradient — the hook
+    /// LambdaRank uses to inject λ's at the score node.
+    ///
+    /// # Panics
+    /// Panics if the seed's shape does not match the root value.
+    pub fn backward_from(&mut self, root: NodeId, seed: Tensor) {
+        assert_eq!(
+            self.nodes[root.0].value.shape(),
+            seed.shape(),
+            "seed gradient shape mismatch"
+        );
+        self.grads = self.nodes.iter().map(|_| None).collect();
+        self.grads[root.0] = Some(seed);
+        for idx in (0..=root.0).rev() {
+            let Some(gout) = self.grads[idx].take() else { continue };
+            self.accumulate_inputs(idx, &gout);
+            self.grads[idx] = Some(gout);
+        }
+    }
+
+    fn add_grad(&mut self, id: NodeId, g: Tensor) {
+        match &mut self.grads[id.0] {
+            Some(existing) => existing.axpy(1.0, &g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    fn accumulate_inputs(&mut self, idx: usize, gout: &Tensor) {
+        let op = self.nodes[idx].op.clone();
+        let inputs = self.nodes[idx].inputs.clone();
+        match op {
+            Op::Input => {}
+            Op::MatMul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let ga = gout.matmul_nt(&self.nodes[b.0].value);
+                let gb = self.nodes[a.0].value.matmul_tn(gout);
+                self.add_grad(a, ga);
+                self.add_grad(b, gb);
+            }
+            Op::AddRowBias => {
+                let (x, bias) = (inputs[0], inputs[1]);
+                let mut gb = Tensor::zeros(1, gout.cols());
+                for r in 0..gout.rows() {
+                    for c in 0..gout.cols() {
+                        *gb.at_mut(0, c) += gout.at(r, c);
+                    }
+                }
+                self.add_grad(x, gout.clone());
+                self.add_grad(bias, gb);
+            }
+            Op::Add => {
+                self.add_grad(inputs[0], gout.clone());
+                self.add_grad(inputs[1], gout.clone());
+            }
+            Op::Mul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let mut ga = gout.clone();
+                for (g, &v) in ga.as_mut_slice().iter_mut().zip(self.nodes[b.0].value.as_slice())
+                {
+                    *g *= v;
+                }
+                let mut gb = gout.clone();
+                for (g, &v) in gb.as_mut_slice().iter_mut().zip(self.nodes[a.0].value.as_slice())
+                {
+                    *g *= v;
+                }
+                self.add_grad(a, ga);
+                self.add_grad(b, gb);
+            }
+            Op::Scale(c) => {
+                let mut g = gout.clone();
+                g.as_mut_slice().iter_mut().for_each(|v| *v *= c);
+                self.add_grad(inputs[0], g);
+            }
+            Op::Relu => {
+                let mut g = gout.clone();
+                for (gv, &y) in
+                    g.as_mut_slice().iter_mut().zip(self.nodes[idx].value.as_slice())
+                {
+                    if y <= 0.0 {
+                        *gv = 0.0;
+                    }
+                }
+                self.add_grad(inputs[0], g);
+            }
+            Op::Tanh => {
+                let mut g = gout.clone();
+                for (gv, &y) in
+                    g.as_mut_slice().iter_mut().zip(self.nodes[idx].value.as_slice())
+                {
+                    *gv *= 1.0 - y * y;
+                }
+                self.add_grad(inputs[0], g);
+            }
+            Op::Sigmoid => {
+                let mut g = gout.clone();
+                for (gv, &y) in
+                    g.as_mut_slice().iter_mut().zip(self.nodes[idx].value.as_slice())
+                {
+                    *gv *= y * (1.0 - y);
+                }
+                self.add_grad(inputs[0], g);
+            }
+            Op::SoftmaxRows => {
+                let y = self.nodes[idx].value.clone();
+                let mut g = gout.clone();
+                let cols = y.cols();
+                for r in 0..y.rows() {
+                    let dot: f32 =
+                        (0..cols).map(|c| gout.at(r, c) * y.at(r, c)).sum();
+                    for c in 0..cols {
+                        *g.at_mut(r, c) = y.at(r, c) * (gout.at(r, c) - dot);
+                    }
+                }
+                self.add_grad(inputs[0], g);
+            }
+            Op::NormRows(eps) => {
+                // y = (x - μ) / σ; dx = (dy - mean(dy) - y·mean(dy∘y)) / σ.
+                let xv = self.nodes[inputs[0].0].value.clone();
+                let yv = self.nodes[idx].value.clone();
+                let cols = xv.cols();
+                let mut g = Tensor::zeros(xv.rows(), cols);
+                for r in 0..xv.rows() {
+                    let xrow = xv.row(r);
+                    let mean = xrow.iter().sum::<f32>() / cols as f32;
+                    let var =
+                        xrow.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / cols as f32;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    let dy: Vec<f32> = (0..cols).map(|c| gout.at(r, c)).collect();
+                    let mean_dy = dy.iter().sum::<f32>() / cols as f32;
+                    let mean_dyy = dy
+                        .iter()
+                        .enumerate()
+                        .map(|(c, &d)| d * yv.at(r, c))
+                        .sum::<f32>()
+                        / cols as f32;
+                    for (c, &d) in dy.iter().enumerate() {
+                        *g.at_mut(r, c) = (d - mean_dy - yv.at(r, c) * mean_dyy) * inv;
+                    }
+                }
+                self.add_grad(inputs[0], g);
+            }
+            Op::SumGroups(group) => {
+                let x_rows = self.nodes[inputs[0].0].value.rows();
+                let mut g = Tensor::zeros(x_rows, gout.cols());
+                for r in 0..x_rows {
+                    let src = r / group;
+                    for c in 0..gout.cols() {
+                        *g.at_mut(r, c) = gout.at(src, c);
+                    }
+                }
+                self.add_grad(inputs[0], g);
+            }
+            Op::MeanAll => {
+                let xv = &self.nodes[inputs[0].0].value;
+                let scale = gout.at(0, 0) / xv.len() as f32;
+                self.add_grad(inputs[0], Tensor::full(xv.rows(), xv.cols(), scale));
+            }
+            Op::ConcatCols => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let ac = self.nodes[a.0].value.cols();
+                let bc = self.nodes[b.0].value.cols();
+                let rows = gout.rows();
+                let mut ga = Tensor::zeros(rows, ac);
+                let mut gb = Tensor::zeros(rows, bc);
+                for r in 0..rows {
+                    for c in 0..ac {
+                        *ga.at_mut(r, c) = gout.at(r, c);
+                    }
+                    for c in 0..bc {
+                        *gb.at_mut(r, c) = gout.at(r, ac + c);
+                    }
+                }
+                self.add_grad(a, ga);
+                self.add_grad(b, gb);
+            }
+            Op::GroupMatMulNT(group) => {
+                // C_g = A_g B_gᵀ ⇒ dA_g = dC_g B_g ; dB_g = dC_gᵀ A_g.
+                let (a, b) = (inputs[0], inputs[1]);
+                let av = self.nodes[a.0].value.clone();
+                let bv = self.nodes[b.0].value.clone();
+                let (rows, d) = av.shape();
+                let blocks = rows / group;
+                let mut ga = Tensor::zeros(rows, d);
+                let mut gb = Tensor::zeros(rows, d);
+                for g in 0..blocks {
+                    for i in 0..group {
+                        for j in 0..group {
+                            let gc = gout.at(g * group + i, j);
+                            if gc == 0.0 {
+                                continue;
+                            }
+                            for k in 0..d {
+                                *ga.at_mut(g * group + i, k) += gc * bv.at(g * group + j, k);
+                                *gb.at_mut(g * group + j, k) += gc * av.at(g * group + i, k);
+                            }
+                        }
+                    }
+                }
+                self.add_grad(a, ga);
+                self.add_grad(b, gb);
+            }
+            Op::GroupMatMul(group) => {
+                // C_g = S_g V_g ⇒ dS_g = dC_g V_gᵀ ; dV_g = S_gᵀ dC_g.
+                let (s, v) = (inputs[0], inputs[1]);
+                let sv = self.nodes[s.0].value.clone();
+                let vv = self.nodes[v.0].value.clone();
+                let rows = sv.rows();
+                let blocks = rows / group;
+                let d = vv.cols();
+                let mut gs = Tensor::zeros(rows, group);
+                let mut gv = Tensor::zeros(rows, d);
+                for g in 0..blocks {
+                    for i in 0..group {
+                        for j in 0..group {
+                            let mut acc = 0.0;
+                            for k in 0..d {
+                                acc += gout.at(g * group + i, k) * vv.at(g * group + j, k);
+                            }
+                            *gs.at_mut(g * group + i, j) = acc;
+                            let w = sv.at(g * group + i, j);
+                            if w != 0.0 {
+                                for k in 0..d {
+                                    *gv.at_mut(g * group + j, k) +=
+                                        w * gout.at(g * group + i, k);
+                                }
+                            }
+                        }
+                    }
+                }
+                self.add_grad(s, gs);
+                self.add_grad(v, gv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient of `f` at `x` via central differences.
+    fn numeric_grad(mut f: impl FnMut(&Tensor) -> f32, x: &Tensor) -> Tensor {
+        let eps = 1e-3;
+        let mut g = Tensor::zeros(x.rows(), x.cols());
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            g.as_mut_slice()[i] = (f(&xp) - f(&xm)) / (2.0 * eps);
+        }
+        g
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "grad mismatch: {x} vs {y}"
+            );
+        }
+    }
+
+    fn seeded(rows: usize, cols: usize, seed: u64) -> Tensor {
+        // Simple deterministic fill in (-1, 1).
+        let data = (0..rows * cols)
+            .map(|i| {
+                let v = ((i as u64 + 1).wrapping_mul(seed.wrapping_mul(2654435761) | 1)) % 1000;
+                v as f32 / 500.0 - 1.0
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn gradcheck_matmul_chain() {
+        let x0 = seeded(3, 4, 7);
+        let w0 = seeded(4, 2, 11);
+        let f = |x: &Tensor| {
+            let mut g = Graph::new();
+            let xi = g.input(x.clone());
+            let wi = g.input(w0.clone());
+            let y = g.matmul(xi, wi);
+            let y = g.relu(y);
+            let l = g.mean_all(y);
+            g.value(l).at(0, 0)
+        };
+        let mut g = Graph::new();
+        let xi = g.input(x0.clone());
+        let wi = g.input(w0.clone());
+        let y = g.matmul(xi, wi);
+        let y = g.relu(y);
+        let l = g.mean_all(y);
+        g.backward(l);
+        assert_close(g.grad(xi).unwrap(), &numeric_grad(f, &x0), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_softmax_rows() {
+        let x0 = seeded(2, 5, 13);
+        let f = |x: &Tensor| {
+            let mut g = Graph::new();
+            let xi = g.input(x.clone());
+            let s = g.softmax_rows(xi);
+            let sq = g.mul(s, s);
+            let l = g.mean_all(sq);
+            g.value(l).at(0, 0)
+        };
+        let mut g = Graph::new();
+        let xi = g.input(x0.clone());
+        let s = g.softmax_rows(xi);
+        let sq = g.mul(s, s);
+        let l = g.mean_all(sq);
+        g.backward(l);
+        assert_close(g.grad(xi).unwrap(), &numeric_grad(f, &x0), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_group_attention() {
+        // Two groups of 3 rows, head dim 4: full attention block.
+        let x0 = seeded(6, 4, 17);
+        let run = |x: &Tensor, g: &mut Graph| {
+            let xi = g.input(x.clone());
+            let scores = g.group_matmul_nt(xi, xi, 3);
+            let scaled = g.scale(scores, 0.5);
+            let attn = g.softmax_rows(scaled);
+            let out = g.group_matmul(attn, xi, 3);
+            let l = g.mean_all(out);
+            (xi, l)
+        };
+        let f = |x: &Tensor| {
+            let mut g = Graph::new();
+            let (_, l) = run(x, &mut g);
+            g.value(l).at(0, 0)
+        };
+        let mut g = Graph::new();
+        let (xi, l) = run(&x0, &mut g);
+        g.backward(l);
+        assert_close(g.grad(xi).unwrap(), &numeric_grad(f, &x0), 3e-2);
+    }
+
+    #[test]
+    fn gradcheck_bias_concat_sigmoid_tanh() {
+        let x0 = seeded(4, 3, 23);
+        let b0 = seeded(1, 3, 29);
+        let run = |x: &Tensor, g: &mut Graph| {
+            let xi = g.input(x.clone());
+            let bi = g.input(b0.clone());
+            let y = g.add_row_bias(xi, bi);
+            let s = g.sigmoid(y);
+            let t = g.tanh(y);
+            let c = g.concat_cols(s, t);
+            let l = g.mean_all(c);
+            (xi, bi, l)
+        };
+        let f = |x: &Tensor| {
+            let mut g = Graph::new();
+            let (_, _, l) = run(x, &mut g);
+            g.value(l).at(0, 0)
+        };
+        let mut g = Graph::new();
+        let (xi, bi, l) = run(&x0, &mut g);
+        g.backward(l);
+        assert_close(g.grad(xi).unwrap(), &numeric_grad(f, &x0), 2e-2);
+        // Bias gradient: column sums of the x gradient path.
+        assert!(g.grad(bi).is_some());
+    }
+
+    #[test]
+    fn gradcheck_sum_groups() {
+        let x0 = seeded(6, 2, 31);
+        let f = |x: &Tensor| {
+            let mut g = Graph::new();
+            let xi = g.input(x.clone());
+            let s = g.sum_groups(xi, 3);
+            let sq = g.mul(s, s);
+            let l = g.mean_all(sq);
+            g.value(l).at(0, 0)
+        };
+        let mut g = Graph::new();
+        let xi = g.input(x0.clone());
+        let s = g.sum_groups(xi, 3);
+        let sq = g.mul(s, s);
+        let l = g.mean_all(sq);
+        g.backward(l);
+        assert_close(g.grad(xi).unwrap(), &numeric_grad(f, &x0), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_norm_rows() {
+        let x0 = seeded(3, 6, 41);
+        let f = |x: &Tensor| {
+            let mut g = Graph::new();
+            let xi = g.input(x.clone());
+            let n = g.norm_rows(xi, 1e-5);
+            let sq = g.mul(n, n);
+            let w = g.input(Tensor::from_vec(
+                3,
+                6,
+                (0..18).map(|i| (i as f32 * 0.37).cos()).collect(),
+            ));
+            let weighted = g.mul(sq, w);
+            let l = g.mean_all(weighted);
+            g.value(l).at(0, 0)
+        };
+        let mut g = Graph::new();
+        let xi = g.input(x0.clone());
+        let n = g.norm_rows(xi, 1e-5);
+        let sq = g.mul(n, n);
+        let w = g.input(Tensor::from_vec(
+            3,
+            6,
+            (0..18).map(|i| (i as f32 * 0.37).cos()).collect(),
+        ));
+        let weighted = g.mul(sq, w);
+        let l = g.mean_all(weighted);
+        g.backward(l);
+        assert_close(g.grad(xi).unwrap(), &numeric_grad(f, &x0), 3e-2);
+    }
+
+    #[test]
+    fn norm_rows_standardizes() {
+        let mut g = Graph::new();
+        let xi = g.input(Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let n = g.norm_rows(xi, 1e-6);
+        let out = g.value(n);
+        let mean: f32 = out.as_slice().iter().sum::<f32>() / 4.0;
+        let var: f32 = out.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_from_custom_seed() {
+        // d(2x)/dx with seed λ gives 2λ.
+        let x0 = seeded(3, 1, 37);
+        let mut g = Graph::new();
+        let xi = g.input(x0);
+        let y = g.scale(xi, 2.0);
+        let seed = Tensor::from_vec(3, 1, vec![1.0, -2.0, 0.5]);
+        g.backward_from(y, seed);
+        assert_eq!(g.grad(xi).unwrap().as_slice(), &[2.0, -4.0, 1.0]);
+    }
+
+    #[test]
+    fn diamond_reuse_accumulates() {
+        // y = x + x ⇒ dy/dx = 2.
+        let mut g = Graph::new();
+        let xi = g.input(Tensor::scalar(3.0));
+        let y = g.add(xi, xi);
+        g.backward(y);
+        assert_eq!(g.grad(xi).unwrap().at(0, 0), 2.0);
+    }
+
+    #[test]
+    fn values_are_eager() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = g.input(Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).at(0, 0), 11.0);
+    }
+}

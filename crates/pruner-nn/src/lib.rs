@@ -1,0 +1,57 @@
+//! A minimal, deterministic deep-learning framework for the Pruner
+//! reproduction.
+//!
+//! The paper trains its cost models (PaCM, TensetMLP, TLP) in PyTorch; this
+//! crate supplies the equivalent machinery in pure Rust:
+//!
+//! * [`Tensor`] — row-major 2-D `f32` matrices (batches × features).
+//! * [`Graph`] — an eager tape with reverse-mode autodiff, including the
+//!   per-group sequence operations attention needs
+//!   ([`Graph::group_matmul_nt`], [`Graph::group_matmul`],
+//!   [`Graph::sum_groups`]).
+//! * [`Linear`], [`Mlp`], [`SelfAttention`] — the layers the cost models are
+//!   assembled from; [`Module`] provides weight copying and the momentum
+//!   blend Momentum Transfer Learning uses.
+//! * [`Adam`], [`Sgd`] — optimizers.
+//! * [`mse_loss`], [`lambdarank_grad`] — the training objectives; LambdaRank
+//!   is injected as a custom seed gradient via [`Graph::backward_from`].
+//!
+//! Everything is seeded and single-threaded, so training runs are exactly
+//! reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use pruner_nn::{Adam, Graph, Mlp, Module, Tensor, mse_loss};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut model = Mlp::new(&[2, 16, 1], &mut rng);
+//! let mut adam = Adam::new(0.01);
+//! let x = Tensor::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+//! for _ in 0..10 {
+//!     model.zero_grad();
+//!     let mut g = Graph::new();
+//!     let xi = g.input(x.clone());
+//!     let pred = model.forward(&mut g, xi);
+//!     let loss = mse_loss(&mut g, pred, &[0.0, 1.0, 1.0, 2.0]);
+//!     g.backward(loss);
+//!     model.absorb_grads(&g);
+//!     adam.step(model.params_mut());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod layers;
+mod loss;
+mod optim;
+mod tensor;
+
+pub use graph::{Graph, NodeId};
+pub use layers::{Linear, Mlp, Module, MultiHeadAttention, Param, SelfAttention};
+pub use loss::{lambdarank_grad, latencies_to_relevance, mse_loss};
+pub use optim::{Adam, Sgd};
+pub use tensor::Tensor;

@@ -1,0 +1,188 @@
+//! Training objectives: MSE on the tape, LambdaRank as an injected seed
+//! gradient.
+
+use crate::graph::{Graph, NodeId};
+use crate::tensor::Tensor;
+
+/// Builds the mean-squared-error loss node between `pred` (`[n,1]`) and the
+/// target vector.
+///
+/// # Panics
+/// Panics if the prediction shape and the target length disagree.
+pub fn mse_loss(g: &mut Graph, pred: NodeId, targets: &[f32]) -> NodeId {
+    let shape = g.value(pred).shape();
+    assert_eq!(shape, (targets.len(), 1), "mse target length mismatch");
+    let t = g.input(Tensor::from_vec(targets.len(), 1, targets.to_vec()));
+    let neg = g.scale(t, -1.0);
+    let diff = g.add(pred, neg);
+    let sq = g.mul(diff, diff);
+    g.mean_all(sq)
+}
+
+/// Computes the LambdaRank seed gradient ∂L/∂sᵢ for one ranking list.
+///
+/// `scores` are the model outputs, `relevance` the ground-truth relevance
+/// (higher = better program; use normalized throughput, *not* latency).
+/// The result is injected at the score node with
+/// [`Graph::backward_from`].
+///
+/// The implementation follows Burges' LambdaRank: for every pair with
+/// `relᵢ > relⱼ`, `λ = -σ / (1 + exp(σ (sᵢ - sⱼ)))`, weighted by the
+/// |ΔNDCG| of swapping the pair under the current predicted order.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn lambdarank_grad(scores: &[f32], relevance: &[f32]) -> Vec<f32> {
+    assert_eq!(scores.len(), relevance.len(), "score/relevance length mismatch");
+    let n = scores.len();
+    let mut lambdas = vec![0.0f32; n];
+    if n < 2 {
+        return lambdas;
+    }
+    let sigma = 1.0f32;
+
+    // Rank positions under the current scores (descending).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut rank = vec![0usize; n];
+    for (pos, &i) in order.iter().enumerate() {
+        rank[i] = pos;
+    }
+
+    // Ideal DCG for normalization.
+    let gain = |r: f32| 2.0f32.powf(4.0 * r) - 1.0;
+    let discount = |pos: usize| 1.0 / ((pos as f32 + 2.0).log2());
+    let mut ideal: Vec<f32> = relevance.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).expect("finite relevance"));
+    let idcg: f32 = ideal.iter().enumerate().map(|(p, &r)| gain(r) * discount(p)).sum();
+    let idcg = idcg.max(1e-6);
+
+    for i in 0..n {
+        for j in 0..n {
+            if relevance[i] <= relevance[j] {
+                continue;
+            }
+            // i should be ranked above j.
+            let s_diff = sigma * (scores[i] - scores[j]);
+            let rho = 1.0 / (1.0 + s_diff.exp());
+            let delta_ndcg = ((gain(relevance[i]) - gain(relevance[j]))
+                * (discount(rank[i]) - discount(rank[j])))
+            .abs()
+                / idcg;
+            let lambda = sigma * rho * delta_ndcg;
+            // Loss decreases when s_i grows: gradient is negative for i.
+            lambdas[i] -= lambda;
+            lambdas[j] += lambda;
+        }
+    }
+    lambdas
+}
+
+/// Converts measured latencies into relevance labels in `[0, 1]`
+/// (fastest program → 1).
+///
+/// # Panics
+/// Panics if any latency is non-positive.
+pub fn latencies_to_relevance(latencies: &[f64]) -> Vec<f32> {
+    let best = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(best > 0.0, "latencies must be positive");
+    latencies.iter().map(|&l| (best / l) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_perfect_fit() {
+        let mut g = Graph::new();
+        let pred = g.input(Tensor::from_vec(3, 1, vec![1.0, 2.0, 3.0]));
+        let loss = mse_loss(&mut g, pred, &[1.0, 2.0, 3.0]);
+        assert_eq!(g.value(loss).at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_points_toward_target() {
+        let mut g = Graph::new();
+        let pred = g.input(Tensor::from_vec(2, 1, vec![0.0, 4.0]));
+        let loss = mse_loss(&mut g, pred, &[1.0, 2.0]);
+        g.backward(loss);
+        let grad = g.grad(pred).unwrap();
+        assert!(grad.at(0, 0) < 0.0, "should push the low prediction up");
+        assert!(grad.at(1, 0) > 0.0, "should push the high prediction down");
+    }
+
+    #[test]
+    fn lambdarank_pushes_relevant_up() {
+        // Item 0 is most relevant but scored lowest.
+        let scores = [0.0f32, 1.0, 2.0];
+        let rel = [1.0f32, 0.5, 0.1];
+        let l = lambdarank_grad(&scores, &rel);
+        assert!(l[0] < 0.0, "most relevant gets a negative (upward) gradient");
+        assert!(l[2] > 0.0, "least relevant gets a positive (downward) gradient");
+        // Lambdas sum to zero: pure reordering force.
+        let sum: f32 = l.iter().sum();
+        assert!(sum.abs() < 1e-5);
+    }
+
+    #[test]
+    fn lambdarank_small_for_correct_order() {
+        let scores = [3.0f32, 2.0, 1.0];
+        let rel = [1.0f32, 0.5, 0.1];
+        let correct = lambdarank_grad(&scores, &rel);
+        let wrong = lambdarank_grad(&[1.0, 2.0, 3.0], &rel);
+        let n_c: f32 = correct.iter().map(|v| v.abs()).sum();
+        let n_w: f32 = wrong.iter().map(|v| v.abs()).sum();
+        assert!(n_c < n_w, "mis-ordered lists must receive larger forces");
+    }
+
+    #[test]
+    fn lambdarank_trivial_lists() {
+        assert_eq!(lambdarank_grad(&[], &[]), Vec::<f32>::new());
+        assert_eq!(lambdarank_grad(&[1.0], &[1.0]), vec![0.0]);
+        // Equal relevance → no pairs → zero lambdas.
+        assert_eq!(lambdarank_grad(&[1.0, 2.0], &[0.5, 0.5]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn relevance_normalization() {
+        let rel = latencies_to_relevance(&[2e-3, 1e-3, 4e-3]);
+        assert_eq!(rel[1], 1.0);
+        assert!((rel[0] - 0.5).abs() < 1e-6);
+        assert!((rel[2] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_with_lambdarank_orders_items() {
+        use crate::layers::{Mlp, Module};
+        use crate::optim::Adam;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+
+        // Features: single dimension x; true relevance grows with x.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut mlp = Mlp::new(&[1, 16, 1], &mut rng);
+        let xs = Tensor::from_vec(6, 1, vec![0.1, 0.9, 0.3, 0.7, 0.5, 0.2]);
+        let rel: Vec<f32> = xs.as_slice().to_vec();
+        let mut adam = Adam::new(0.02);
+        for _ in 0..200 {
+            mlp.zero_grad();
+            let mut g = Graph::new();
+            let x = g.input(xs.clone());
+            let scores = mlp.forward(&mut g, x);
+            let sv: Vec<f32> = g.value(scores).as_slice().to_vec();
+            let lambdas = lambdarank_grad(&sv, &rel);
+            let seed = Tensor::from_vec(6, 1, lambdas);
+            g.backward_from(scores, seed);
+            mlp.absorb_grads(&g);
+            adam.step(mlp.params_mut());
+        }
+        // Final scores must rank x=0.9 above x=0.1.
+        let mut g = Graph::new();
+        let x = g.input(xs.clone());
+        let scores = mlp.forward(&mut g, x);
+        let sv = g.value(scores);
+        assert!(sv.at(1, 0) > sv.at(0, 0), "ranking failed: {:?}", sv.as_slice());
+        assert!(sv.at(3, 0) > sv.at(5, 0));
+    }
+}

@@ -1,0 +1,283 @@
+//! Dense 2-D tensors.
+//!
+//! Everything in the framework is a row-major `rows × cols` matrix: batches
+//! are rows, features are columns, scalars are `1×1` and biases are `1×d`.
+//! Restricting to 2-D keeps the autodiff core small without limiting the
+//! models this reproduction needs (per-group sequence ops handle the
+//! attention batching).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A row-major `rows × cols` matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Tensor {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        Tensor { rows, cols, data }
+    }
+
+    /// A `1×1` scalar tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor::from_vec(1, 1, vec![value])
+    }
+
+    /// Kaiming-uniform initialization for a `fan_in → fan_out` weight.
+    pub fn kaiming(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+        let bound = (6.0 / rows as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Sets every element to zero in place.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// `self + alpha * other`, in place.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Dense matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (cv, &ov) in crow.iter_mut().zip(orow) {
+                    *cv += a * ov;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ`.
+    ///
+    /// # Panics
+    /// Panics if the column counts disagree.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_nt column mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[j * other.cols + k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other`.
+    ///
+    /// # Panics
+    /// Panics if the row counts disagree.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_tn row mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.data[k * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (cv, &ov) in crow.iter_mut().zip(orow) {
+                    *cv += a * ov;
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Mean of all elements (0 for the empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(2, 3, vec![1., 0., 1., 0., 1., 0.]);
+        let c = a.matmul_nt(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[4., 2., 10., 5.]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        // aᵀ b = [[1,3],[2,4]]ᵀ... aᵀ = [[1,3],[2,4]] gives [[26,30],[38,44]].
+        let c = a.matmul_tn(&b);
+        assert_eq!(c.as_slice(), &[26., 30., 38., 44.]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::zeros(1, 3);
+        let b = Tensor::from_vec(1, 3, vec![1., 2., 3.]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn kaiming_is_bounded_and_seeded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = Tensor::kaiming(64, 32, &mut rng);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= bound));
+        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(t, Tensor::kaiming(64, 32, &mut rng2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 2);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = Tensor::zeros(2, 2);
+        *t.at_mut(1, 0) = 5.0;
+        assert_eq!(t.at(1, 0), 5.0);
+        assert_eq!(t.row(1), &[5.0, 0.0]);
+        assert_eq!(t.mean(), 1.25);
+    }
+}

@@ -1,0 +1,275 @@
+//! Genetic operators over programs: mutation and crossover.
+//!
+//! These are the exploration moves of Ansor's evolutionary search. A
+//! mutation re-samples one gene (one axis split or one annotation); a
+//! crossover mixes per-axis genes of two parents of the same workload.
+//! Both preserve validity by rejection, falling back to returning a parent
+//! clone when no valid offspring is found within the retry budget.
+
+use crate::config::{Schedule, UNROLL_CANDIDATES, VECTORIZE_CANDIDATES};
+use crate::limits::HardwareLimits;
+use crate::program::{sample_reduce_split, sample_spatial_split, Program};
+use rand::Rng;
+
+const MAX_TRIES: usize = 16;
+
+/// Returns a mutated copy of `prog`, valid under `limits`.
+///
+/// One randomly chosen gene is re-sampled: a spatial-axis split, a
+/// reduction-axis split, the unroll depth or the vector width (for the
+/// simple sketches: threads, serial length, or vector width). If every
+/// attempt produces an invalid program the input is returned unchanged.
+pub fn mutate(prog: &Program, limits: &HardwareLimits, rng: &mut impl Rng) -> Program {
+    for _ in 0..MAX_TRIES {
+        let mut child = prog.clone();
+        match &mut child.schedule {
+            Schedule::MultiTile(t) => {
+                let n_s = t.spatial.len();
+                let n_r = t.reduce.len();
+                // Gene indices: spatial axes, reduce axes, unroll, vectorize.
+                let gene = rng.gen_range(0..n_s + n_r + 2);
+                let extents_s = child.workload.spatial_extents();
+                let extents_r = child.workload.reduce_extents();
+                if gene < n_s {
+                    t.spatial[gene] = sample_spatial_split(extents_s[gene], rng);
+                } else if gene < n_s + n_r {
+                    t.reduce[gene - n_s] = sample_reduce_split(extents_r[gene - n_s], rng);
+                } else if gene == n_s + n_r {
+                    t.unroll = UNROLL_CANDIDATES[rng.gen_range(0..UNROLL_CANDIDATES.len())];
+                } else {
+                    t.vectorize =
+                        VECTORIZE_CANDIDATES[rng.gen_range(0..VECTORIZE_CANDIDATES.len())];
+                }
+            }
+            Schedule::Simple(c) => match rng.gen_range(0..3) {
+                0 => c.threads = [32u64, 64, 128, 256, 512, 1024][rng.gen_range(0..6)],
+                1 => c.serial = [1u64, 2, 4, 8, 16][rng.gen_range(0..5)],
+                _ => {
+                    c.vectorize =
+                        VECTORIZE_CANDIDATES[rng.gen_range(0..VECTORIZE_CANDIDATES.len())]
+                }
+            },
+            Schedule::RowReduce(c) => match rng.gen_range(0..3) {
+                0 => c.rows_per_block = [1u64, 2, 4, 8][rng.gen_range(0..4)],
+                1 => c.reduce_threads = [32u64, 64, 128, 256, 512][rng.gen_range(0..5)],
+                _ => c.serial = [1u64, 2, 4, 8][rng.gen_range(0..4)],
+            },
+        }
+        if child.is_valid(limits) {
+            return child;
+        }
+    }
+    prog.clone()
+}
+
+/// Returns a crossover child of two parents scheduling the same workload.
+///
+/// Multi-tile parents exchange whole per-axis splits and annotations gene by
+/// gene; simple sketches pick each field from a random parent. Falls back
+/// to cloning parent `a` if no valid child is found.
+///
+/// # Panics
+/// Panics if the parents schedule different workloads.
+pub fn crossover(
+    a: &Program,
+    b: &Program,
+    limits: &HardwareLimits,
+    rng: &mut impl Rng,
+) -> Program {
+    assert_eq!(a.workload, b.workload, "crossover requires a shared workload");
+    for _ in 0..MAX_TRIES {
+        let mut child = a.clone();
+        match (&mut child.schedule, &b.schedule) {
+            (Schedule::MultiTile(ta), Schedule::MultiTile(tb)) => {
+                for (sa, sb) in ta.spatial.iter_mut().zip(&tb.spatial) {
+                    if rng.gen_bool(0.5) {
+                        *sa = *sb;
+                    }
+                }
+                for (ra, rb) in ta.reduce.iter_mut().zip(&tb.reduce) {
+                    if rng.gen_bool(0.5) {
+                        *ra = *rb;
+                    }
+                }
+                if rng.gen_bool(0.5) {
+                    ta.unroll = tb.unroll;
+                }
+                if rng.gen_bool(0.5) {
+                    ta.vectorize = tb.vectorize;
+                }
+            }
+            (Schedule::Simple(ca), Schedule::Simple(cb)) => {
+                if rng.gen_bool(0.5) {
+                    ca.threads = cb.threads;
+                }
+                if rng.gen_bool(0.5) {
+                    ca.serial = cb.serial;
+                }
+                if rng.gen_bool(0.5) {
+                    ca.vectorize = cb.vectorize;
+                }
+            }
+            (Schedule::RowReduce(ca), Schedule::RowReduce(cb)) => {
+                if rng.gen_bool(0.5) {
+                    ca.rows_per_block = cb.rows_per_block;
+                }
+                if rng.gen_bool(0.5) {
+                    ca.reduce_threads = cb.reduce_threads;
+                }
+                if rng.gen_bool(0.5) {
+                    ca.serial = cb.serial;
+                }
+            }
+            // Mismatched sketch kinds cannot recombine; keep parent a.
+            _ => return a.clone(),
+        }
+        if child.is_valid(limits) {
+            return child;
+        }
+    }
+    a.clone()
+}
+
+/// Samples an initial population of `size` *distinct* valid programs.
+///
+/// Distinctness is by [`Program::dedup_key`]; the sampler stops early if the
+/// space appears exhausted (tiny workloads), so the result may be shorter
+/// than requested.
+pub fn init_population(
+    workload: &pruner_ir::Workload,
+    size: usize,
+    limits: &HardwareLimits,
+    rng: &mut impl Rng,
+) -> Vec<Program> {
+    let mut out: Vec<Program> = Vec::with_capacity(size);
+    let mut seen = std::collections::HashSet::new();
+    let mut stale = 0usize;
+    while out.len() < size && stale < 200 {
+        let p = Program::sample(workload, limits, rng);
+        if seen.insert(p.dedup_key()) {
+            out.push(p);
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+    }
+    out
+}
+
+/// Regenerates a fresh copy of the full sample space Ansor would draw for
+/// one round: mostly mutations of elite parents plus fresh random samples.
+pub fn next_generation(
+    elites: &[Program],
+    size: usize,
+    limits: &HardwareLimits,
+    rng: &mut impl Rng,
+) -> Vec<Program> {
+    assert!(!elites.is_empty(), "need at least one elite");
+    let mut out = Vec::with_capacity(size);
+    let workload = elites[0].workload.clone();
+    while out.len() < size {
+        let roll: f64 = rng.gen();
+        let child = if roll < 0.45 {
+            let p = &elites[rng.gen_range(0..elites.len())];
+            mutate(p, limits, rng)
+        } else if roll < 0.75 && elites.len() >= 2 {
+            let i = rng.gen_range(0..elites.len());
+            let j = rng.gen_range(0..elites.len());
+            crossover(&elites[i], &elites[j], limits, rng)
+        } else {
+            Program::sample(&workload, limits, rng)
+        };
+        out.push(child);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruner_ir::{EwKind, Workload};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn mutation_preserves_workload_and_validity() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let wl = Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1);
+        let p = Program::sample(&wl, &limits, &mut r);
+        for _ in 0..50 {
+            let m = mutate(&p, &limits, &mut r);
+            assert_eq!(m.workload, wl);
+            assert!(m.is_valid(&limits));
+        }
+    }
+
+    #[test]
+    fn mutation_changes_something_often() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let p = Program::sample(&wl, &limits, &mut r);
+        let changed = (0..50).filter(|_| mutate(&p, &limits, &mut r) != p).count();
+        assert!(changed > 30, "only {changed}/50 mutations changed the program");
+    }
+
+    #[test]
+    fn crossover_yields_valid_mixture() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let a = Program::sample(&wl, &limits, &mut r);
+        let b = Program::sample(&wl, &limits, &mut r);
+        for _ in 0..20 {
+            let c = crossover(&a, &b, &limits, &mut r);
+            assert!(c.is_valid(&limits));
+            assert_eq!(c.workload, wl);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared workload")]
+    fn crossover_rejects_different_workloads() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let a = Program::sample(&Workload::matmul(1, 64, 64, 64), &limits, &mut r);
+        let b = Program::sample(&Workload::matmul(1, 128, 128, 128), &limits, &mut r);
+        crossover(&a, &b, &limits, &mut r);
+    }
+
+    #[test]
+    fn population_is_distinct() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let pop = init_population(&Workload::matmul(1, 512, 512, 512), 128, &limits, &mut r);
+        let keys: std::collections::HashSet<_> = pop.iter().map(|p| p.dedup_key()).collect();
+        assert_eq!(keys.len(), pop.len());
+        assert_eq!(pop.len(), 128);
+    }
+
+    #[test]
+    fn tiny_space_population_stops_early() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let pop = init_population(&Workload::elementwise(EwKind::Relu, 64), 500, &limits, &mut r);
+        assert!(pop.len() < 500, "the elementwise space is small");
+        assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn next_generation_fills_requested_size() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let elites: Vec<Program> =
+            (0..4).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+        let generation = next_generation(&elites, 64, &limits, &mut r);
+        assert_eq!(generation.len(), 64);
+        assert!(generation.iter().all(|p| p.is_valid(&limits)));
+    }
+}

@@ -1,0 +1,53 @@
+//! Ansor-style schedule search space for the Pruner reproduction.
+//!
+//! A tensor [`Program`] pairs a workload from `pruner-ir`
+//! with a concrete [`Schedule`]: the multi-level tiling structure Ansor
+//! generates for GPUs (the "SSSRRSRS" sketch — block / virtual-thread /
+//! thread / serial×2 splits of every spatial axis and a three-level split of
+//! every reduction axis, with shared-memory staging), or the simpler
+//! block/thread schedules used for element-wise and reduction workloads.
+//!
+//! From a schedule the crate derives [`ProgramStats`]: threads per block,
+//! block count, register and shared-memory footprints, global-memory
+//! traffic, the list of innermost *buffer statements* the Parameterized
+//! Static Analyzer prices, and the temporal *data-flow steps*
+//! (global→shared→register→compute→writeback) that feed PaCM's data-flow
+//! features. Everything downstream — the GPU simulator, PSA and both
+//! feature extractors — consumes only `ProgramStats`, so this crate is the
+//! single source of truth for what a candidate schedule *does*.
+//!
+//! Random sampling ([`Program::sample`]), mutation and crossover
+//! ([`evolve`]) implement the exploration primitives of Ansor's
+//! evolutionary search.
+//!
+//! # Example
+//!
+//! ```
+//! use pruner_ir::Workload;
+//! use pruner_sketch::{HardwareLimits, Program};
+//! use rand::SeedableRng;
+//!
+//! let wl = Workload::matmul(1, 512, 512, 512);
+//! let limits = HardwareLimits::default();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let prog = Program::sample(&wl, &limits, &mut rng);
+//! let stats = prog.stats();
+//! assert!(stats.threads_per_block <= limits.max_threads_per_block);
+//! assert!(stats.flops_total >= wl.flops());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod evolve;
+mod limits;
+mod program;
+pub mod render;
+pub mod split;
+mod stats;
+
+pub use config::{ReduceConfig, Schedule, SimpleConfig, TileConfig};
+pub use limits::HardwareLimits;
+pub use program::Program;
+pub use stats::{BufferStmt, DataFlowStep, MemLevel, ProgramStats, StmtKind};

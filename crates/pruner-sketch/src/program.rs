@@ -1,0 +1,376 @@
+//! Scheduled tensor programs: sampling and validity.
+
+use crate::config::{
+    ReduceConfig, Schedule, SimpleConfig, TileConfig, UNROLL_CANDIDATES, VECTORIZE_CANDIDATES,
+};
+use crate::limits::HardwareLimits;
+use crate::split::{divisors, pad_to_quantum, sample_split};
+use crate::stats::ProgramStats;
+use pruner_ir::Workload;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Maximum rejection-sampling attempts before falling back to the
+/// deterministic canonical schedule.
+const MAX_SAMPLE_TRIES: usize = 64;
+
+/// A workload bound to one concrete schedule — a point in the search space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// The computation being scheduled.
+    pub workload: Workload,
+    /// The schedule instantiation.
+    pub schedule: Schedule,
+}
+
+impl Program {
+    /// Creates a program from explicit parts.
+    pub fn new(workload: Workload, schedule: Schedule) -> Self {
+        Program { workload, schedule }
+    }
+
+    /// Samples a random valid program for `workload`.
+    ///
+    /// Rejection-samples up to a fixed budget and falls back to the
+    /// canonical schedule of [`Program::fallback`], so this always returns
+    /// a launchable program.
+    pub fn sample(workload: &Workload, limits: &HardwareLimits, rng: &mut impl Rng) -> Program {
+        for _ in 0..MAX_SAMPLE_TRIES {
+            let schedule = sample_schedule(workload, rng);
+            let prog = Program::new(workload.clone(), schedule);
+            if prog.is_valid(limits) {
+                return prog;
+            }
+        }
+        Program::fallback(workload)
+    }
+
+    /// The deterministic canonical schedule: modest tiles, warp-aligned
+    /// threads. Used as a sampling fallback and as the seed individual of
+    /// evolutionary search.
+    pub fn fallback(workload: &Workload) -> Program {
+        let schedule = match workload {
+            Workload::Elementwise { .. } => {
+                Schedule::Simple(SimpleConfig { threads: 256, serial: 4, vectorize: 1 })
+            }
+            Workload::Reduction { reduce, .. } => {
+                let rt = (*reduce).next_power_of_two().clamp(32, 256);
+                Schedule::RowReduce(ReduceConfig {
+                    rows_per_block: 2,
+                    reduce_threads: rt,
+                    serial: 2,
+                })
+            }
+            _ => {
+                // Distribute a 256-thread budget across axes, innermost
+                // first, so the canonical schedule is launchable for any
+                // axis count.
+                let extents = workload.spatial_extents();
+                let mut budget = 256u64;
+                let mut spatial: Vec<[u64; 5]> = extents
+                    .iter()
+                    .rev()
+                    .map(|&e| {
+                        let split = canonical_spatial_split(e, budget);
+                        budget /= split[2];
+                        split
+                    })
+                    .collect();
+                spatial.reverse();
+                let reduce = workload
+                    .reduce_extents()
+                    .iter()
+                    .map(|&e| canonical_reduce_split(e))
+                    .collect();
+                Schedule::MultiTile(TileConfig { spatial, reduce, unroll: 16, vectorize: 1 })
+            }
+        };
+        Program::new(workload.clone(), schedule)
+    }
+
+    /// Derives the program's statistics (footprints, traffic, statements).
+    pub fn stats(&self) -> ProgramStats {
+        ProgramStats::compute(&self.workload, &self.schedule)
+    }
+
+    /// Whether the schedule satisfies the hard hardware limits.
+    pub fn is_valid(&self, limits: &HardwareLimits) -> bool {
+        let stats = self.stats();
+        if stats.threads_per_block == 0 || stats.threads_per_block > limits.max_threads_per_block
+        {
+            return false;
+        }
+        if stats.shared_bytes_per_block > limits.max_shared_bytes_per_block {
+            return false;
+        }
+        if stats.regs_per_thread > limits.register_reject_bound() {
+            return false;
+        }
+        if stats.vthreads > limits.max_vthreads {
+            return false;
+        }
+        if stats.num_blocks == 0 || stats.num_blocks > u32::MAX as u64 {
+            return false;
+        }
+        // Pathological serial tails make a program unmeasurable in practice.
+        if let Schedule::MultiTile(t) = &self.schedule {
+            if t.elems_per_thread() > 1024 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Stable dedup key: workload key plus the schedule encoding.
+    pub fn dedup_key(&self) -> String {
+        format!("{}|{:?}", self.workload.key(), self.schedule)
+    }
+
+    /// Order-of-magnitude size of the workload's schedule space (ignoring
+    /// padding variants and validity filtering) — the "vast search space"
+    /// the paper's introduction motivates pruning.
+    ///
+    /// Multi-tile spaces multiply the ordered factorizations of every axis
+    /// by the annotation choices; the simple sketches enumerate their few
+    /// knobs. Saturates at `u128::MAX` for gigantic spaces.
+    pub fn space_size(workload: &Workload) -> u128 {
+        match workload {
+            Workload::Elementwise { .. } => (6 * 5 * 3) as u128,
+            Workload::Reduction { reduce, .. } => {
+                let rt_options =
+                    (64 - (*reduce).next_power_of_two().clamp(32, 1024).leading_zeros()) as u128;
+                4 * rt_options * 4
+            }
+            _ => {
+                let mut total: u128 = 4 * 3; // unroll × vectorize
+                for e in workload.spatial_extents() {
+                    total = total.saturating_mul(crate::split::count_splits(e, 5));
+                }
+                for e in workload.reduce_extents() {
+                    total = total.saturating_mul(crate::split::count_splits(e, 3));
+                }
+                total
+            }
+        }
+    }
+}
+
+/// Samples a schedule appropriate to the workload's sketch family.
+fn sample_schedule(workload: &Workload, rng: &mut impl Rng) -> Schedule {
+    match workload {
+        Workload::Elementwise { .. } => Schedule::Simple(sample_simple(rng)),
+        Workload::Reduction { reduce, .. } => Schedule::RowReduce(sample_rowreduce(*reduce, rng)),
+        _ => Schedule::MultiTile(sample_multitile(workload, rng)),
+    }
+}
+
+/// Samples one multi-level tiling configuration.
+pub(crate) fn sample_multitile(workload: &Workload, rng: &mut impl Rng) -> TileConfig {
+    let spatial = workload
+        .spatial_extents()
+        .iter()
+        .map(|&e| sample_spatial_split(e, rng))
+        .collect();
+    let reduce = workload
+        .reduce_extents()
+        .iter()
+        .map(|&e| sample_reduce_split(e, rng))
+        .collect();
+    TileConfig {
+        spatial,
+        reduce,
+        unroll: UNROLL_CANDIDATES[rng.gen_range(0..UNROLL_CANDIDATES.len())],
+        vectorize: VECTORIZE_CANDIDATES[rng.gen_range(0..VECTORIZE_CANDIDATES.len())],
+    }
+}
+
+/// Samples the `[block, vthread, thread, serial0, serial1]` split of one
+/// spatial axis, optionally padding awkward extents.
+pub(crate) fn sample_spatial_split(extent: u64, rng: &mut impl Rng) -> [u64; 5] {
+    let padded = sample_padding(extent, rng);
+    let f = sample_split(rng, padded, 5);
+    [f[0], f[1], f[2], f[3], f[4]]
+}
+
+/// Samples the `[outer, mid, inner]` split of one reduction axis.
+pub(crate) fn sample_reduce_split(extent: u64, rng: &mut impl Rng) -> [u64; 3] {
+    let padded = sample_padding(extent, rng);
+    let f = sample_split(rng, padded, 3);
+    [f[0], f[1], f[2]]
+}
+
+/// Chooses the axis padding: usually none, sometimes the next multiple of a
+/// small power of two (the way TVM pads prime-ish extents to unlock tiling).
+fn sample_padding(extent: u64, rng: &mut impl Rng) -> u64 {
+    // Extents with rich divisor structure rarely need padding.
+    if divisors(extent).len() >= 6 || rng.gen_bool(0.5) {
+        return extent;
+    }
+    let quantum = [2u64, 4, 8, 16][rng.gen_range(0..4)];
+    pad_to_quantum(extent, quantum)
+}
+
+fn sample_simple(rng: &mut impl Rng) -> SimpleConfig {
+    let threads = [32u64, 64, 128, 256, 512, 1024][rng.gen_range(0..6)];
+    let serial = [1u64, 2, 4, 8, 16][rng.gen_range(0..5)];
+    let vectorize = VECTORIZE_CANDIDATES[rng.gen_range(0..VECTORIZE_CANDIDATES.len())];
+    SimpleConfig { threads, serial, vectorize }
+}
+
+fn sample_rowreduce(reduce_extent: u64, rng: &mut impl Rng) -> ReduceConfig {
+    let max_rt = reduce_extent.next_power_of_two().clamp(32, 1024);
+    let mut rt = 32u64;
+    let mut options = Vec::new();
+    while rt <= max_rt {
+        options.push(rt);
+        rt *= 2;
+    }
+    let reduce_threads = options[rng.gen_range(0..options.len())];
+    let rows_per_block = [1u64, 2, 4, 8][rng.gen_range(0..4)];
+    let serial = [1u64, 2, 4, 8][rng.gen_range(0..4)];
+    ReduceConfig { rows_per_block, reduce_threads, serial }
+}
+
+/// Canonical warp-friendly split of a spatial extent under a thread budget.
+fn canonical_spatial_split(extent: u64, thread_budget: u64) -> [u64; 5] {
+    let padded = if extent <= 2 || divisors(extent).len() >= 4 {
+        extent
+    } else {
+        pad_to_quantum(extent, 4)
+    };
+    let thread = largest_divisor_at_most(padded, thread_budget.min(16));
+    let rest = padded / thread;
+    let serial0 = largest_divisor_at_most(rest, 2);
+    let block = rest / serial0;
+    [block, 1, thread, serial0, 1]
+}
+
+/// Canonical reduction split: stage chunks of ≤ 16.
+fn canonical_reduce_split(extent: u64) -> [u64; 3] {
+    let padded = if divisors(extent).len() >= 3 { extent } else { pad_to_quantum(extent, 2) };
+    let inner = largest_divisor_at_most(padded, 4);
+    let rest = padded / inner;
+    let mid = largest_divisor_at_most(rest, 4);
+    [rest / mid, mid, inner]
+}
+
+fn largest_divisor_at_most(n: u64, bound: u64) -> u64 {
+    divisors(n).into_iter().rfind(|&d| d <= bound).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruner_ir::EwKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn sampled_programs_are_valid() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        for wl in [
+            Workload::matmul(1, 512, 512, 512),
+            Workload::matmul(12, 128, 128, 64),
+            Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1),
+            Workload::dwconv2d(1, 96, 112, 112, 3, 2, 1),
+            Workload::conv3d(1, 16, 8, 28, 28, 32, 3, 1, 1),
+            Workload::elementwise(EwKind::Gelu, 1 << 18),
+            Workload::reduction(2048, 768),
+        ] {
+            for _ in 0..20 {
+                let p = Program::sample(&wl, &limits, &mut r);
+                assert!(p.is_valid(&limits), "invalid sample for {wl}");
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_is_always_valid() {
+        let limits = HardwareLimits::default();
+        for wl in [
+            Workload::matmul(1, 197, 768, 768), // prime-ish extent
+            Workload::conv2d(1, 17, 31, 31, 51, 3, 1, 1),
+            Workload::elementwise(EwKind::Relu, 1000),
+            Workload::reduction(1000, 997),
+        ] {
+            let p = Program::fallback(&wl);
+            assert!(p.is_valid(&limits), "fallback invalid for {wl}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let a = Program::sample(&wl, &limits, &mut rng());
+        let b = Program::sample(&wl, &limits, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_explores_distinct_schedules() {
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let mut r = rng();
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..64 {
+            keys.insert(Program::sample(&wl, &limits, &mut r).dedup_key());
+        }
+        assert!(keys.len() > 40, "only {} distinct schedules in 64 samples", keys.len());
+    }
+
+    #[test]
+    fn prime_extent_padding_keeps_product_at_least_extent() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_spatial_split(197, &mut r);
+            let product: u64 = s.iter().product();
+            assert!(product >= 197);
+            assert!(product <= 224, "padding should stay modest, got {product}");
+        }
+    }
+
+    #[test]
+    fn dedup_key_distinguishes_schedules() {
+        let wl = Workload::elementwise(EwKind::Relu, 4096);
+        let a = Program::new(
+            wl.clone(),
+            Schedule::Simple(SimpleConfig { threads: 64, serial: 1, vectorize: 1 }),
+        );
+        let b = Program::new(
+            wl,
+            Schedule::Simple(SimpleConfig { threads: 128, serial: 1, vectorize: 1 }),
+        );
+        assert_ne!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn space_size_is_vast_for_real_workloads() {
+        // A 512^3 matmul: two 5-way splits of 512 and one 3-way split —
+        // hundreds of millions of schedules even before validity filtering.
+        let s = Program::space_size(&Workload::matmul(1, 512, 512, 512));
+        assert!(s > 100_000_000, "space unexpectedly small: {s}");
+        // Element-wise spaces are tiny by comparison.
+        let e = Program::space_size(&Workload::elementwise(EwKind::Relu, 1 << 20));
+        assert!(e < 1000);
+        assert!(s > e * 1_000_000);
+    }
+
+    #[test]
+    fn invalid_when_too_many_threads() {
+        let wl = Workload::matmul(1, 4096, 4096, 64);
+        let t = TileConfig {
+            spatial: vec![[1, 1, 2048, 2, 1], [4096, 1, 1, 1, 1]],
+            reduce: vec![[64, 1, 1]],
+            unroll: 0,
+            vectorize: 1,
+        };
+        let p = Program::new(wl, Schedule::MultiTile(t));
+        assert!(!p.is_valid(&HardwareLimits::default()));
+    }
+}

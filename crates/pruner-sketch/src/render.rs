@@ -1,0 +1,174 @@
+//! Pseudo-TIR rendering of scheduled programs.
+//!
+//! Renders a [`crate::Program`] as the loop nest TVM would emit
+//! for it — thread bindings, shared-memory staging, the compute statement
+//! and annotations — so tuned schedules can be inspected, logged and
+//! diffed by humans. The output is stable and deterministic.
+
+use crate::config::Schedule;
+use crate::program::Program;
+use pruner_ir::AxisKind;
+use std::fmt::Write as _;
+
+/// Renders the program as indented pseudo-TIR.
+///
+/// The exact text is stable across runs (it feeds snapshot-style tests),
+/// but is *not* a parsable IR — it is documentation for humans.
+pub fn render(prog: &Program) -> String {
+    let mut out = String::new();
+    let stats = prog.stats();
+    let _ = writeln!(out, "// workload: {}", prog.workload.key());
+    let _ = writeln!(
+        out,
+        "// launch: grid({}) x block({} threads, {} regs, {} B smem)",
+        stats.num_blocks, stats.threads_per_block, stats.regs_per_thread,
+        stats.shared_bytes_per_block
+    );
+    match &prog.schedule {
+        Schedule::MultiTile(t) => render_multitile(&mut out, prog, t),
+        Schedule::Simple(c) => {
+            let _ = writeln!(out, "parallel blockIdx.x in 0..{}:", c.num_blocks(prog.workload.output_elems()));
+            let _ = writeln!(out, "  parallel threadIdx.x in 0..{}:", c.threads);
+            let _ = writeln!(out, "    for i.serial in 0..{}:", c.serial);
+            let _ = writeln!(out, "      vectorized v in 0..{}:", c.vectorize);
+            let _ = writeln!(out, "        out[...] = f(in[...])  // element-wise map");
+        }
+        Schedule::RowReduce(c) => {
+            let rows = prog.workload.output_elems();
+            let _ = writeln!(out, "parallel blockIdx.x in 0..{}:", c.num_blocks(rows));
+            let _ = writeln!(out, "  parallel row in 0..{}:", c.rows_per_block);
+            let _ = writeln!(out, "    parallel threadIdx.x in 0..{}:", c.reduce_threads);
+            let _ = writeln!(out, "      for i.serial in 0..{}:", c.serial);
+            let _ = writeln!(out, "        acc += in[row, ...]");
+            let _ = writeln!(out, "      acc = cross_thread_reduce(acc)  // tree reduction");
+            let _ = writeln!(out, "    out[row] = acc");
+        }
+    }
+    out
+}
+
+fn render_multitile(out: &mut String, prog: &Program, t: &crate::config::TileConfig) {
+    let axes = prog.workload.axes();
+    let spatial_names: Vec<&str> =
+        axes.iter().filter(|a| a.kind == AxisKind::Spatial).map(|a| a.name).collect();
+    let reduce_names: Vec<&str> =
+        axes.iter().filter(|a| a.kind == AxisKind::Reduce).map(|a| a.name).collect();
+
+    let fused = |level: usize| -> String {
+        spatial_names
+            .iter()
+            .zip(&t.spatial)
+            .filter(|(_, s)| s[level] > 1)
+            .map(|(n, s)| format!("{n}.{}", s[level]))
+            .collect::<Vec<_>>()
+            .join("*")
+    };
+    let or1 = |s: String| if s.is_empty() { "1".to_string() } else { s };
+
+    let _ = writeln!(out, "parallel blockIdx.x in 0..{}:  // fused {}", t.num_blocks(), or1(fused(0)));
+    if t.vthreads() > 1 {
+        let _ = writeln!(out, "  vthread vx in 0..{}:  // fused {}", t.vthreads(), or1(fused(1)));
+    }
+    let _ = writeln!(
+        out,
+        "  parallel threadIdx.x in 0..{}:  // fused {}",
+        t.threads_per_block(),
+        or1(fused(2))
+    );
+    // Reduction staging.
+    let _ = writeln!(out, "    for {} in 0..{}:  // staged reduction",
+        reduce_names
+            .iter()
+            .zip(&t.reduce)
+            .map(|(n, r)| format!("{n}.o{}", r[0]))
+            .collect::<Vec<_>>()
+            .join(", "),
+        t.reduce_outer_steps()
+    );
+    for (i, _) in prog.workload.operand_elems().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "      shared[{i}] <- global[{i}]  // cooperative fetch, vec {}",
+            t.vectorize
+        );
+    }
+    let _ = writeln!(out, "      barrier()");
+    let mid = reduce_names
+        .iter()
+        .zip(&t.reduce)
+        .map(|(n, r)| format!("{n}.m{}", r[1]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "      for {mid}:");
+    for (i, _) in prog.workload.operand_elems().iter().enumerate() {
+        let _ = writeln!(out, "        reg[{i}] <- shared[{i}]");
+    }
+    let inner: Vec<String> = reduce_names
+        .iter()
+        .zip(&t.reduce)
+        .map(|(n, r)| format!("{n}.i{}", r[2]))
+        .chain(
+            spatial_names
+                .iter()
+                .zip(&t.spatial)
+                .filter(|(_, s)| s[3] * s[4] > 1)
+                .map(|(n, s)| format!("{n}.s{}", s[3] * s[4])),
+        )
+        .collect();
+    let _ = writeln!(
+        out,
+        "        for {} {}:",
+        inner.join(", "),
+        if t.unroll > 0 { format!("#unroll({})", t.unroll) } else { String::new() }
+    );
+    let _ = writeln!(out, "          acc[...] += a_reg[...] * b_reg[...]");
+    let _ = writeln!(out, "    global[out] <- acc  // writeback");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HardwareLimits, Program};
+    use pruner_ir::{EwKind, Workload};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn renders_multitile_structure() {
+        let p = Program::fallback(&Workload::matmul(1, 256, 256, 256));
+        let text = render(&p);
+        assert!(text.contains("blockIdx.x"), "{text}");
+        assert!(text.contains("threadIdx.x"));
+        assert!(text.contains("shared[0] <- global[0]"));
+        assert!(text.contains("barrier()"));
+        assert!(text.contains("acc[...] +="));
+    }
+
+    #[test]
+    fn renders_simple_and_reduce() {
+        let ew = Program::fallback(&Workload::elementwise(EwKind::Relu, 1 << 16));
+        assert!(render(&ew).contains("element-wise map"));
+        let rr = Program::fallback(&Workload::reduction(1024, 512));
+        assert!(render(&rr).contains("cross_thread_reduce"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = Program::sample(
+            &Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1),
+            &HardwareLimits::default(),
+            &mut rng,
+        );
+        assert_eq!(render(&p), render(&p));
+    }
+
+    #[test]
+    fn launch_line_matches_stats() {
+        let p = Program::fallback(&Workload::matmul(1, 128, 128, 128));
+        let stats = p.stats();
+        let text = render(&p);
+        assert!(text.contains(&format!("grid({})", stats.num_blocks)));
+        assert!(text.contains(&format!("{} threads", stats.threads_per_block)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Momentum Transfer Learning (paper §2.5, Figure 5).
+
+use pruner_cost::{CostModel, PacmModel, Sample};
+use pruner_nn::Module;
+
+/// The MTL state: a pre-trained Siamese copy of PaCM plus the momentum
+/// coefficient (`m = 0.99` in the paper).
+///
+/// Every online round clones the Siamese model into a fresh *target*,
+/// fine-tunes the target on the measurements collected so far, and folds
+/// the target's progress back into the Siamese weights with
+/// `P_s ← m·P_s + (1−m)·P_t` — the bidirectional feedback that keeps
+/// fine-tuning from collapsing while still letting the pre-trained
+/// knowledge drift toward the new platform.
+#[derive(Debug, Clone)]
+pub struct Mtl {
+    siamese: PacmModel,
+    momentum: f32,
+    rounds: usize,
+}
+
+impl Mtl {
+    /// Wraps a (typically cross-platform pre-trained) PaCM as the Siamese
+    /// network.
+    ///
+    /// # Panics
+    /// Panics if `momentum` is outside `[0, 1]`.
+    pub fn new(pretrained: PacmModel, momentum: f32) -> Mtl {
+        assert!((0.0..=1.0).contains(&momentum), "momentum must be in [0,1]");
+        Mtl { siamese: pretrained, momentum, rounds: 0 }
+    }
+
+    /// The paper's default momentum.
+    pub fn with_paper_momentum(pretrained: PacmModel) -> Mtl {
+        Mtl::new(pretrained, 0.99)
+    }
+
+    /// Momentum coefficient in use.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Completed MTL rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Read access to the Siamese model.
+    pub fn siamese(&self) -> &PacmModel {
+        &self.siamese
+    }
+
+    /// One MTL round: clone → fine-tune on `samples` → momentum-fold back.
+    ///
+    /// Returns the fine-tuned target model, which serves as the round's
+    /// predictor.
+    pub fn round(&mut self, samples: &[Sample], epochs: usize) -> PacmModel {
+        let mut target = self.siamese.clone();
+        target.fit(samples, epochs);
+        self.siamese.momentum_update_from(&mut target, self.momentum);
+        self.rounds += 1;
+        target
+    }
+}
+
+/// Pre-trains a fresh PaCM on an offline dataset — the stand-in for the
+/// paper's "pre-trained on the NVIDIA K80-6M dataset of TensetGPUs".
+pub fn pretrain_pacm(samples: &[Sample], epochs: usize, seed: u64) -> PacmModel {
+    let mut model = PacmModel::new(seed);
+    model.fit(samples, epochs);
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruner_gpu::{GpuSpec, Simulator};
+    use pruner_ir::Workload;
+    use pruner_sketch::Program;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn samples_on(spec: GpuSpec, n: usize, seed: u64) -> Vec<Sample> {
+        let sim = Simulator::new(spec.clone());
+        let limits = spec.limits();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let wl = Workload::matmul(1, 512, 512, 512);
+        (0..n)
+            .map(|_| {
+                let p = Program::sample(&wl, &limits, &mut rng);
+                let lat = sim.latency(&p);
+                Sample::labeled(&p, lat, 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_returns_trained_target_and_moves_siamese() {
+        let pre = pretrain_pacm(&samples_on(GpuSpec::k80(), 24, 1), 5, 7);
+        let mut mtl = Mtl::with_paper_momentum(pre.clone());
+        let before = format!("{:?}", mtl.siamese().clone().predict(&samples_on(GpuSpec::t4(), 4, 9)));
+        let _target = mtl.round(&samples_on(GpuSpec::t4(), 24, 2), 5);
+        assert_eq!(mtl.rounds(), 1);
+        let after = format!("{:?}", mtl.siamese().clone().predict(&samples_on(GpuSpec::t4(), 4, 9)));
+        assert_ne!(before, after, "siamese weights must drift");
+    }
+
+    #[test]
+    fn momentum_one_freezes_siamese() {
+        let pre = pretrain_pacm(&samples_on(GpuSpec::k80(), 16, 3), 3, 7);
+        let mut mtl = Mtl::new(pre.clone(), 1.0);
+        mtl.round(&samples_on(GpuSpec::t4(), 16, 4), 5);
+        let probe = samples_on(GpuSpec::t4(), 4, 10);
+        assert_eq!(
+            mtl.siamese().clone().predict(&probe),
+            pre.clone().predict(&probe),
+            "momentum 1.0 must leave the siamese untouched"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_rejected() {
+        Mtl::new(PacmModel::new(1), 1.5);
+    }
+}

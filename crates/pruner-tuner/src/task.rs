@@ -1,0 +1,295 @@
+//! Per-task tuning state: candidate proposal and measurement bookkeeping.
+
+use crate::measure::Measurer;
+use pruner_cost::{CostModel, Sample};
+use pruner_ir::Workload;
+use pruner_psa::Psa;
+use pruner_sketch::{evolve, HardwareLimits, Program};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Number of elite (best measured) programs evolution breeds from.
+const ELITE_POOL: usize = 16;
+
+/// Tuning state of one subgraph.
+pub struct TaskTuner {
+    /// The workload being tuned.
+    pub workload: Workload,
+    /// Stable task identifier (grouping key for the cost model).
+    pub task_id: usize,
+    /// Occurrence weight in the parent network.
+    pub weight: u64,
+    measured: Vec<(Program, f64)>,
+    measured_keys: HashSet<String>,
+    best: Option<(Program, f64)>,
+    rounds_since_improvement: usize,
+}
+
+impl TaskTuner {
+    /// Creates the tuning state for one workload.
+    pub fn new(workload: Workload, task_id: usize, weight: u64) -> TaskTuner {
+        TaskTuner {
+            workload,
+            task_id,
+            weight,
+            measured: Vec::new(),
+            measured_keys: HashSet::new(),
+            best: None,
+            rounds_since_improvement: 0,
+        }
+    }
+
+    /// Best measured latency so far (∞ before the first round).
+    pub fn best_latency(&self) -> f64 {
+        self.best.as_ref().map(|(_, l)| *l).unwrap_or(f64::INFINITY)
+    }
+
+    /// Best measured program so far.
+    pub fn best_program(&self) -> Option<&Program> {
+        self.best.as_ref().map(|(p, _)| p)
+    }
+
+    /// Number of measurements taken on this task.
+    pub fn num_measured(&self) -> usize {
+        self.measured.len()
+    }
+
+    /// Rounds elapsed since the task last improved (scheduler signal).
+    pub fn rounds_since_improvement(&self) -> usize {
+        self.rounds_since_improvement
+    }
+
+    /// All labeled samples of this task (for cost-model training).
+    pub fn labeled_samples(&self) -> Vec<Sample> {
+        self.measured
+            .iter()
+            .map(|(p, l)| Sample::labeled(p, *l, self.task_id))
+            .collect()
+    }
+
+    /// Proposes the next batch of programs to measure (one round of
+    /// Algorithm 1).
+    ///
+    /// A fresh sample pool of `pool_size` candidates is generated each
+    /// round — evolved from the measured elites plus fresh random samples
+    /// (pure random on the first round). With `psa` given, the pool is
+    /// **drafted**: PSA keeps the `space_size·(1−ε)` lowest-estimate
+    /// candidates and an `ε` share is retained from the unpruned pool so
+    /// solutions beyond the constrained space stay reachable; only the
+    /// shortlist is scored by the (expensive) cost model. Without `psa`
+    /// (the Ansor baseline) the model scores the entire pool, as Ansor's
+    /// model-guided evolutionary search does. Returns the top `n`
+    /// unmeasured programs; charges generation, PSA and inference time on
+    /// `measurer`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn propose(
+        &mut self,
+        model: &mut dyn CostModel,
+        psa: Option<&Psa>,
+        measurer: &mut Measurer,
+        limits: &HardwareLimits,
+        space_size: usize,
+        pool_size: usize,
+        epsilon: f64,
+        n: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Program> {
+        // --- Sample pool: GA offspring + fresh random blood --------------
+        let elites = self.elites();
+        let pool_size = pool_size.max(space_size);
+        let mut pool: Vec<Program> = if elites.is_empty() {
+            evolve::init_population(&self.workload, pool_size, limits, rng)
+        } else {
+            let evolved = evolve::next_generation(&elites, pool_size * 3 / 4, limits, rng);
+            let mut p = evolved;
+            while p.len() < pool_size {
+                p.push(Program::sample(&self.workload, limits, rng));
+            }
+            p
+        };
+        measurer.charge_evolution(pool.len());
+
+        // Drop duplicates and already-measured programs up front.
+        let mut seen = HashSet::new();
+        pool.retain(|p| {
+            let key = p.dedup_key();
+            !self.measured_keys.contains(&key) && seen.insert(key)
+        });
+        if pool.is_empty() {
+            return Vec::new();
+        }
+
+        // --- Draft: PSA shortlist (or the whole pool for the baseline) ---
+        let candidates: Vec<Program> = if let Some(psa) = psa {
+            measurer.charge_psa_evals(pool.len());
+            let n_random = ((space_size as f64) * epsilon).round() as usize;
+            let n_target = space_size.saturating_sub(n_random).min(pool.len());
+            let shortlist = psa.prune(pool.clone(), n_target);
+            let kept: HashSet<String> = shortlist.iter().map(|p| p.dedup_key()).collect();
+            let mut c = shortlist;
+            // ε-retention: random members of the original (unpruned) pool.
+            let leftovers: Vec<&Program> =
+                pool.iter().filter(|p| !kept.contains(&p.dedup_key())).collect();
+            for _ in 0..n_random.min(leftovers.len()) {
+                let pick = rand::Rng::gen_range(rng, 0..leftovers.len());
+                c.push(leftovers[pick].clone());
+            }
+            c
+        } else {
+            pool
+        };
+
+        // --- Verify: cost-model ranking ----------------------------------
+        let samples: Vec<Sample> =
+            candidates.iter().map(|p| Sample::unlabeled(p, self.task_id)).collect();
+        let scores = model.predict(&samples);
+        measurer.charge_model_evals(candidates.len());
+        // NaN scores (a diverged model) rank last rather than poisoning the
+        // sort: the round degrades gracefully instead of crashing.
+        let key = |i: usize| if scores[i].is_finite() { scores[i] } else { f32::NEG_INFINITY };
+        let mut idx: Vec<usize> = (0..candidates.len()).collect();
+        idx.sort_by(|&a, &b| key(b).total_cmp(&key(a)));
+        idx.truncate(n);
+        let mut picked: Vec<Program> = idx.into_iter().map(|i| candidates[i].clone()).collect();
+        // Dedup across the shortlist/ε overlap.
+        let mut out_seen = HashSet::new();
+        picked.retain(|p| out_seen.insert(p.dedup_key()));
+        picked
+    }
+
+    /// Records one measurement and updates the incumbent.
+    pub fn record(&mut self, prog: Program, latency: f64) {
+        let improved = latency < self.best_latency();
+        if improved {
+            self.best = Some((prog.clone(), latency));
+        }
+        self.measured_keys.insert(prog.dedup_key());
+        self.measured.push((prog, latency));
+    }
+
+    /// Marks the end of one tuning round for scheduler bookkeeping.
+    pub fn finish_round(&mut self, improved: bool) {
+        if improved {
+            self.rounds_since_improvement = 0;
+        } else {
+            self.rounds_since_improvement += 1;
+        }
+    }
+
+    fn elites(&self) -> Vec<Program> {
+        let mut by_latency: Vec<&(Program, f64)> = self.measured.iter().collect();
+        by_latency.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite latencies"));
+        by_latency.into_iter().take(ELITE_POOL).map(|(p, _)| p.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruner_cost::{ModelKind, RandomModel};
+    use pruner_gpu::{GpuSpec, Simulator};
+    use rand::SeedableRng;
+
+    fn setup() -> (TaskTuner, Measurer, HardwareLimits, ChaCha8Rng) {
+        let task = TaskTuner::new(Workload::matmul(1, 256, 256, 256), 0, 1);
+        let measurer = Measurer::new(Simulator::new(GpuSpec::t4()));
+        (task, measurer, GpuSpec::t4().limits(), ChaCha8Rng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn propose_returns_requested_count() {
+        let (mut task, mut m, limits, mut rng) = setup();
+        let mut model = RandomModel::new(1);
+        let progs = task.propose(&mut model, None, &mut m, &limits, 128, 128, 0.0, 10, &mut rng);
+        assert_eq!(progs.len(), 10);
+        assert!(m.stats().model_time_s > 0.0);
+    }
+
+    #[test]
+    fn propose_with_psa_drafts_each_round() {
+        let (mut task, mut m, limits, mut rng) = setup();
+        let psa = Psa::new(GpuSpec::t4());
+        let mut model = RandomModel::new(1);
+        task.propose(&mut model, Some(&psa), &mut m, &limits, 64, 256, 0.2, 5, &mut rng);
+        let psa_time = m.stats().psa_time_s;
+        assert!(psa_time > 0.0);
+        task.propose(&mut model, Some(&psa), &mut m, &limits, 64, 256, 0.2, 5, &mut rng);
+        assert!(m.stats().psa_time_s > psa_time, "PSA must draft every round");
+        // The model only ever scores the shortlist, not the full pool.
+        let model_evals = m.stats().model_time_s / m.time_model().model_eval_s;
+        assert!(model_evals <= 2.0 * 64.0 + 1.0, "model scored too much: {model_evals}");
+    }
+
+    #[test]
+    fn record_tracks_incumbent() {
+        let (mut task, _, limits, mut rng) = setup();
+        let a = Program::sample(&task.workload, &limits, &mut rng);
+        let b = Program::sample(&task.workload, &limits, &mut rng);
+        task.record(a, 2e-3);
+        task.record(b, 1e-3);
+        assert_eq!(task.best_latency(), 1e-3);
+        assert_eq!(task.num_measured(), 2);
+        assert_eq!(task.labeled_samples().len(), 2);
+    }
+
+    #[test]
+    fn proposals_avoid_measured_programs() {
+        let (mut task, mut m, limits, mut rng) = setup();
+        let mut model = RandomModel::new(2);
+        let first = task.propose(&mut model, None, &mut m, &limits, 64, 64, 0.0, 8, &mut rng);
+        for p in &first {
+            task.record(p.clone(), 1e-3);
+        }
+        let second = task.propose(&mut model, None, &mut m, &limits, 64, 64, 0.0, 8, &mut rng);
+        let first_keys: HashSet<String> = first.iter().map(|p| p.dedup_key()).collect();
+        assert!(second.iter().all(|p| !first_keys.contains(&p.dedup_key())));
+    }
+
+    #[test]
+    fn nan_scores_degrade_gracefully() {
+        // Failure injection: a model that returns NaN for every other
+        // candidate must not crash the round, and real scores still rank.
+        struct HalfNan;
+        impl pruner_cost::CostModel for HalfNan {
+            fn name(&self) -> &'static str {
+                "half-nan"
+            }
+            fn predict(&mut self, samples: &[Sample]) -> Vec<f32> {
+                (0..samples.len())
+                    .map(|i| if i % 2 == 0 { f32::NAN } else { i as f32 })
+                    .collect()
+            }
+            fn fit(&mut self, _: &[Sample], _: usize) -> f64 {
+                0.0
+            }
+            fn clone_box(&self) -> Box<dyn pruner_cost::CostModel> {
+                Box::new(HalfNan)
+            }
+        }
+        let (mut task, mut m, limits, mut rng) = setup();
+        let mut model = HalfNan;
+        let progs = task.propose(&mut model, None, &mut m, &limits, 64, 64, 0.0, 8, &mut rng);
+        assert_eq!(progs.len(), 8, "NaN scores must not shrink the proposal");
+    }
+
+    #[test]
+    fn scheduler_counters() {
+        let (mut task, _, _, _) = setup();
+        task.finish_round(false);
+        task.finish_round(false);
+        assert_eq!(task.rounds_since_improvement(), 2);
+        task.finish_round(true);
+        assert_eq!(task.rounds_since_improvement(), 0);
+    }
+
+    #[test]
+    fn model_kinds_can_propose() {
+        let (mut task, mut m, limits, mut rng) = setup();
+        for kind in [ModelKind::Pacm, ModelKind::Ansor] {
+            let mut model = kind.build(3);
+            let progs =
+                task.propose(model.as_mut(), None, &mut m, &limits, 32, 32, 0.0, 4, &mut rng);
+            assert!(!progs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The tuning orchestrator: rounds, task scheduling, model updates.
+
+use crate::curve::{CurvePoint, TuningCurve};
+use crate::measure::{Measurer, SearchStats, TimeModel};
+use crate::mtl::Mtl;
+use crate::task::TaskTuner;
+use pruner_cost::{CostModel, ModelKind, PacmModel, Sample};
+use pruner_gpu::{GpuSpec, Simulator};
+use pruner_ir::{Network, Workload};
+use pruner_psa::{Psa, PsaConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the tuner obtains and updates its cost model.
+#[allow(clippy::large_enum_variant)] // configuration object, built once per campaign
+pub enum ModelSetup {
+    /// Train a fresh model online from this campaign's measurements only
+    /// (Ansor, Pruner w/o MTL).
+    Fresh(ModelKind),
+    /// Start from a pre-trained model and fine-tune it online without any
+    /// stabilization (TensetMLP / TLP / Pruner offline mode).
+    Offline(Box<dyn CostModel>),
+    /// Momentum Transfer Learning around a pre-trained PaCM (full Pruner).
+    Mtl {
+        /// The cross-platform pre-trained Siamese model.
+        pretrained: PacmModel,
+        /// Momentum coefficient (paper: 0.99).
+        momentum: f32,
+    },
+}
+
+/// Campaign parameters. Defaults follow the paper's setup: 200 rounds × 10
+/// measurements = 2,000 trials, target space 512, with a small ε share of
+/// the original space retained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// Tuning rounds.
+    pub rounds: usize,
+    /// Programs measured per round.
+    pub measure_per_round: usize,
+    /// Candidate sample-space size per round (`s` in §2.1).
+    pub space_size: usize,
+    /// Per-round sample-pool size the GA generates and PSA drafts from.
+    pub target_pool: usize,
+    /// Whether PSA pruning is enabled.
+    pub use_psa: bool,
+    /// Fraction of each round's sample space drawn from the *original*
+    /// space to keep solutions beyond the pruned space reachable.
+    pub epsilon: f64,
+    /// Fine-tuning epochs per round for fresh/offline models.
+    pub train_epochs: usize,
+    /// Fine-tuning epochs per MTL round (the target restarts from the
+    /// Siamese weights each round, so it needs enough steps to adapt).
+    pub mtl_epochs: usize,
+    /// Upper bound on the training window (most recent labeled samples).
+    pub train_window: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            rounds: 200,
+            measure_per_round: 10,
+            space_size: 512,
+            target_pool: 2048,
+            use_psa: true,
+            epsilon: 0.2,
+            train_epochs: 2,
+            mtl_epochs: 3,
+            train_window: 1536,
+            seed: 42,
+        }
+    }
+}
+
+impl TunerConfig {
+    /// A scaled-down config for tests and quick demos.
+    pub fn quick() -> TunerConfig {
+        TunerConfig {
+            rounds: 10,
+            measure_per_round: 4,
+            space_size: 64,
+            target_pool: 256,
+            ..TunerConfig::default()
+        }
+    }
+}
+
+/// Outcome of a tuning campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// Best-so-far trajectory (weighted end-to-end latency for networks).
+    pub curve: TuningCurve,
+    /// The simulated-time ledger.
+    pub stats: SearchStats,
+    /// Final best weighted latency, seconds.
+    pub best_latency_s: f64,
+    /// Final best latency per task, in task order.
+    pub per_task_best: Vec<(Workload, f64)>,
+    /// The winning schedule per task, in task order (present whenever the
+    /// task was measured at least once).
+    pub best_programs: Vec<Option<pruner_sketch::Program>>,
+}
+
+/// The tuning campaign driver.
+///
+/// Add tasks (or a whole network), then [`Tuner::run`]. Each round the
+/// scheduler picks the most promising task, the task proposes candidates
+/// from its (optionally PSA-pruned) space, the best-scored candidates are
+/// measured, and the cost model is updated — by plain fitting, or by an MTL
+/// round when configured.
+pub struct Tuner {
+    cfg: TunerConfig,
+    measurer: Measurer,
+    psa: Option<Psa>,
+    limits: pruner_sketch::HardwareLimits,
+    tasks: Vec<TaskTuner>,
+    model: Box<dyn CostModel>,
+    mtl: Option<Mtl>,
+    rng: ChaCha8Rng,
+}
+
+impl Tuner {
+    /// Creates a tuner for one platform.
+    pub fn new(spec: GpuSpec, cfg: TunerConfig, setup: ModelSetup) -> Tuner {
+        Self::with_psa_config(spec, cfg, setup, PsaConfig::default())
+    }
+
+    /// Creates a tuner with explicit PSA penalty toggles (ablations).
+    pub fn with_psa_config(
+        spec: GpuSpec,
+        cfg: TunerConfig,
+        setup: ModelSetup,
+        psa_cfg: PsaConfig,
+    ) -> Tuner {
+        let sim = Simulator::new(spec.clone());
+        let limits = spec.limits();
+        let psa = cfg.use_psa.then(|| Psa::with_config(spec, psa_cfg));
+        let (model, mtl): (Box<dyn CostModel>, Option<Mtl>) = match setup {
+            ModelSetup::Fresh(kind) => (kind.build(cfg.seed), None),
+            ModelSetup::Offline(model) => (model, None),
+            ModelSetup::Mtl { pretrained, momentum } => {
+                let mtl = Mtl::new(pretrained.clone(), momentum);
+                (Box::new(pretrained), Some(mtl))
+            }
+        };
+        Tuner {
+            cfg,
+            measurer: Measurer::new(sim),
+            psa,
+            limits,
+            tasks: Vec::new(),
+            model,
+            mtl,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    /// Overrides the time-cost constants (calibration experiments).
+    pub fn set_time_model(&mut self, time: TimeModel) {
+        let sim = self.measurer.simulator().clone();
+        self.measurer = Measurer::with_time_model(sim, time);
+    }
+
+    /// Adds one tuning task.
+    pub fn add_task(&mut self, workload: Workload, weight: u64) -> &mut Self {
+        let id = self.tasks.len();
+        self.tasks.push(TaskTuner::new(workload, id, weight));
+        self
+    }
+
+    /// Adds every subgraph of a network as a weighted task.
+    pub fn add_network(&mut self, net: &Network) -> &mut Self {
+        for sg in net.subgraphs() {
+            self.add_task(sg.workload.clone(), sg.weight);
+        }
+        self
+    }
+
+    /// Number of registered tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Runs the campaign and returns the result.
+    ///
+    /// # Panics
+    /// Panics if no tasks were added.
+    pub fn run(&mut self) -> TuningResult {
+        assert!(!self.tasks.is_empty(), "add at least one task before running");
+        let mut curve = TuningCurve::new();
+
+        // Warm-up: measure every task's canonical fallback so the weighted
+        // end-to-end latency is finite from the first point (TVM measures
+        // a default schedule for the same reason).
+        for task in &mut self.tasks {
+            let fallback = pruner_sketch::Program::fallback(&task.workload);
+            let lat = self.measurer.measure(&fallback);
+            task.record(fallback, lat);
+        }
+        curve.push(self.curve_point());
+
+        for _round in 0..self.cfg.rounds {
+            let ti = self.pick_task();
+            // Propose and measure.
+            let progs = {
+                let cfg = self.cfg;
+                let task = &mut self.tasks[ti];
+                task.propose(
+                    self.model.as_mut(),
+                    self.psa.as_ref(),
+                    &mut self.measurer,
+                    &self.limits,
+                    cfg.space_size,
+                    cfg.target_pool,
+                    cfg.epsilon,
+                    cfg.measure_per_round,
+                    &mut self.rng,
+                )
+            };
+            let mut improved = false;
+            for p in progs {
+                let before = self.tasks[ti].best_latency();
+                let lat = self.measurer.measure(&p);
+                self.tasks[ti].record(p, lat);
+                improved |= lat < before;
+            }
+            self.tasks[ti].finish_round(improved);
+
+            // Update the model on the training window.
+            let samples = self.training_window();
+            if samples.len() >= 2 {
+                match &mut self.mtl {
+                    Some(mtl) => {
+                        let target = mtl.round(&samples, self.cfg.mtl_epochs);
+                        self.measurer.charge_training(samples.len(), self.cfg.mtl_epochs);
+                        self.model = Box::new(target);
+                    }
+                    None => {
+                        self.model.fit(&samples, self.cfg.train_epochs);
+                        self.measurer.charge_training(samples.len(), self.cfg.train_epochs);
+                    }
+                }
+            }
+
+            curve.push(self.curve_point());
+        }
+
+        TuningResult {
+            best_latency_s: self.weighted_best(),
+            per_task_best: self
+                .tasks
+                .iter()
+                .map(|t| (t.workload.clone(), t.best_latency()))
+                .collect(),
+            best_programs: self.tasks.iter().map(|t| t.best_program().cloned()).collect(),
+            stats: self.measurer.stats(),
+            curve,
+        }
+    }
+
+    /// Weighted end-to-end latency of the incumbents.
+    pub fn weighted_best(&self) -> f64 {
+        self.tasks.iter().map(|t| t.weight as f64 * t.best_latency()).sum()
+    }
+
+    fn curve_point(&self) -> CurvePoint {
+        CurvePoint {
+            trials: self.measurer.stats().trials,
+            search_time_s: self.measurer.stats().total_s(),
+            best_latency_s: self.weighted_best(),
+        }
+    }
+
+    /// Gradient-style task selection: prefer heavy tasks that are still
+    /// improving; never let a task starve forever.
+    fn pick_task(&self) -> usize {
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, t) in self.tasks.iter().enumerate() {
+            let staleness = t.rounds_since_improvement() as f64;
+            let score = t.weight as f64 * t.best_latency() * (0.5 + 1.0 / (1.0 + staleness));
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn training_window(&self) -> Vec<Sample> {
+        let mut samples: Vec<Sample> =
+            self.tasks.iter().flat_map(|t| t.labeled_samples()).collect();
+        if samples.len() > self.cfg.train_window {
+            let skip = samples.len() - self.cfg.train_window;
+            samples.drain(..skip);
+        }
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_tuner(use_psa: bool, kind: ModelKind) -> Tuner {
+        let cfg = TunerConfig { use_psa, ..TunerConfig::quick() };
+        let mut t = Tuner::new(GpuSpec::t4(), cfg, ModelSetup::Fresh(kind));
+        t.add_task(Workload::matmul(1, 512, 512, 512), 1);
+        t
+    }
+
+    #[test]
+    fn tuning_improves_over_fallback() {
+        let mut t = quick_tuner(true, ModelKind::Pacm);
+        let result = t.run();
+        let first = result.curve.points().first().unwrap().best_latency_s;
+        let last = result.best_latency_s;
+        assert!(last < first, "tuning must improve: {first} -> {last}");
+        assert!(result.stats.trials >= 40);
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let mut t = quick_tuner(true, ModelKind::Ansor);
+        let result = t.run();
+        let lats: Vec<f64> =
+            result.curve.points().iter().map(|p| p.best_latency_s).collect();
+        assert!(lats.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick_tuner(true, ModelKind::Pacm).run();
+        let b = quick_tuner(true, ModelKind::Pacm).run();
+        assert_eq!(a.best_latency_s, b.best_latency_s);
+        assert_eq!(a.curve, b.curve);
+    }
+
+    #[test]
+    fn network_tuning_covers_all_tasks() {
+        let mut net = Network::new("mini");
+        net.add(Workload::matmul(1, 256, 256, 256), 2);
+        net.add(Workload::elementwise(pruner_ir::EwKind::Relu, 1 << 18), 1);
+        net.add(Workload::reduction(1024, 256), 1);
+        let cfg = TunerConfig { rounds: 6, ..TunerConfig::quick() };
+        let mut t = Tuner::new(GpuSpec::t4(), cfg, ModelSetup::Fresh(ModelKind::Pacm));
+        t.add_network(&net);
+        assert_eq!(t.num_tasks(), 3);
+        let result = t.run();
+        assert_eq!(result.per_task_best.len(), 3);
+        assert!(result.per_task_best.iter().all(|(_, l)| l.is_finite()));
+    }
+
+    #[test]
+    fn mtl_setup_runs() {
+        let pre = PacmModel::new(1);
+        let cfg = TunerConfig::quick();
+        let mut t = Tuner::new(
+            GpuSpec::t4(),
+            cfg,
+            ModelSetup::Mtl { pretrained: pre, momentum: 0.99 },
+        );
+        t.add_task(Workload::matmul(1, 256, 256, 256), 1);
+        let result = t.run();
+        assert!(result.best_latency_s.is_finite());
+        assert!(result.stats.train_time_s > 0.0);
+    }
+
+    #[test]
+    fn psa_reduces_model_eval_cost_shape() {
+        // With PSA the target pool is charged at the cheap PSA rate; the
+        // expensive model only scores the pruned space.
+        let with = quick_tuner(true, ModelKind::Pacm).run();
+        let without = quick_tuner(false, ModelKind::Pacm).run();
+        assert!(with.stats.psa_time_s > 0.0);
+        assert_eq!(without.stats.psa_time_s, 0.0);
+    }
+
+    #[test]
+    fn scheduler_prioritizes_heavy_slow_tasks() {
+        // A heavy matmul and a trivial element-wise op: the scheduler must
+        // spend most rounds on the matmul.
+        let cfg = TunerConfig { rounds: 8, ..TunerConfig::quick() };
+        let mut t = Tuner::new(GpuSpec::t4(), cfg, ModelSetup::Fresh(ModelKind::Random));
+        t.add_task(Workload::matmul(1, 1024, 1024, 1024), 1);
+        t.add_task(Workload::elementwise(pruner_ir::EwKind::Relu, 1 << 10), 1);
+        let result = t.run();
+        // Big task must have improved beyond its fallback; the tiny task's
+        // space is nearly exhausted after the warmup anyway.
+        let (_, matmul_best) = &result.per_task_best[0];
+        let fallback = pruner_gpu::Simulator::new(GpuSpec::t4())
+            .latency(&pruner_sketch::Program::fallback(&Workload::matmul(1, 1024, 1024, 1024)));
+        assert!(*matmul_best < fallback, "the heavy task was starved");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn run_without_tasks_panics() {
+        Tuner::new(GpuSpec::t4(), TunerConfig::quick(), ModelSetup::Fresh(ModelKind::Random))
+            .run();
+    }
+}

@@ -1,0 +1,223 @@
+//! `pruner-tune` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! pruner-tune --platform t4 --network R-50 --trials 800
+//! pruner-tune --platform a100 --matmul 1,512,3072,768 --model ansor --no-psa
+//! pruner-tune --platform titanv --network B-base --trials 500 \
+//!             --show-schedules 3 --output run.json
+//! ```
+
+use pruner::cost::ModelKind;
+use pruner::gpu::GpuSpec;
+use pruner::ir::{zoo, Network, Workload};
+use pruner::sketch::render;
+use pruner::tuner::TunerConfig;
+use pruner::Pruner;
+use std::process::ExitCode;
+
+struct Args {
+    platform: GpuSpec,
+    network: Option<Network>,
+    workloads: Vec<Workload>,
+    trials: usize,
+    seed: u64,
+    model: ModelKind,
+    use_psa: bool,
+    show_schedules: usize,
+    output: Option<String>,
+}
+
+const USAGE: &str = "\
+pruner-tune: tune tensor programs on a simulated GPU
+
+USAGE:
+    pruner-tune --platform <p> (--network <name> | --matmul B,M,N,K | --conv2d N,C,H,W,CO,K,S,P)...
+                [--trials N] [--seed N] [--model <m>] [--no-psa]
+                [--show-schedules N] [--output file.json]
+
+OPTIONS:
+    --platform <p>        k80 | t4 | titanv | a100 | orin
+    --network <name>      R-50 WR-50 I-V3 D-121 MB-V2 ViT DL-V3 DeTR B-base B-tiny R3D-18
+    --matmul B,M,N,K      add a matmul task (repeatable)
+    --conv2d N,C,H,W,CO,K,S,P  add a conv2d task (repeatable)
+    --trials N            measurement budget [default: 800]
+    --seed N              RNG seed [default: 42]
+    --model <m>           pacm | ansor | xgb | tensetmlp | tlp | random [default: pacm]
+    --no-psa              disable PSA search-space pruning
+    --show-schedules N    print the N best tuned schedules as pseudo-TIR [default: 1]
+    --output <file>       write the tuning result as JSON
+";
+
+fn parse_u64_list(s: &str, n: usize, flag: &str) -> Result<Vec<u64>, String> {
+    let parts: Result<Vec<u64>, _> = s.split(',').map(|p| p.trim().parse()).collect();
+    match parts {
+        Ok(v) if v.len() == n => Ok(v),
+        _ => Err(format!("{flag} expects {n} comma-separated integers, got `{s}`")),
+    }
+}
+
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        platform: GpuSpec::t4(),
+        network: None,
+        workloads: Vec::new(),
+        trials: 800,
+        seed: 42,
+        model: ModelKind::Pacm,
+        use_psa: true,
+        show_schedules: 1,
+        output: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut saw_platform = false;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--platform" => {
+                let v = value("--platform")?;
+                args.platform =
+                    GpuSpec::by_name(&v).ok_or_else(|| format!("unknown platform `{v}`"))?;
+                saw_platform = true;
+            }
+            "--network" => {
+                let v = value("--network")?;
+                args.network = Some(
+                    zoo::by_short_name(&v, 1).ok_or_else(|| format!("unknown network `{v}`"))?,
+                );
+            }
+            "--matmul" => {
+                let v = parse_u64_list(&value("--matmul")?, 4, "--matmul")?;
+                args.workloads.push(Workload::matmul(v[0], v[1], v[2], v[3]));
+            }
+            "--conv2d" => {
+                let v = parse_u64_list(&value("--conv2d")?, 8, "--conv2d")?;
+                args.workloads
+                    .push(Workload::conv2d(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]));
+            }
+            "--trials" => {
+                args.trials =
+                    value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--model" => {
+                args.model = match value("--model")?.as_str() {
+                    "pacm" => ModelKind::Pacm,
+                    "ansor" => ModelKind::Ansor,
+                    "xgb" => ModelKind::AnsorXgb,
+                    "tensetmlp" => ModelKind::TensetMlp,
+                    "tlp" => ModelKind::Tlp,
+                    "random" => ModelKind::Random,
+                    other => return Err(format!("unknown model `{other}`")),
+                }
+            }
+            "--no-psa" => args.use_psa = false,
+            "--show-schedules" => {
+                args.show_schedules = value("--show-schedules")?
+                    .parse()
+                    .map_err(|e| format!("--show-schedules: {e}"))?
+            }
+            "--output" => args.output = Some(value("--output")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !saw_platform {
+        return Err("--platform is required".into());
+    }
+    if args.network.is_none() && args.workloads.is_empty() {
+        return Err("give --network or at least one --matmul/--conv2d".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("platform : {}", args.platform);
+    let mut builder = Pruner::builder(args.platform.clone())
+        .config(TunerConfig::default())
+        .model(args.model)
+        .seed(args.seed)
+        .trials(args.trials);
+    if !args.use_psa {
+        builder = builder.without_psa();
+    }
+    if let Some(net) = &args.network {
+        println!("network  : {net}");
+        builder = builder.network(net);
+    }
+    for wl in &args.workloads {
+        println!("workload : {wl}");
+        builder = builder.workload(wl.clone());
+    }
+
+    let result = builder.build().tune();
+    println!(
+        "\nbest latency : {:.4} ms   ({} trials, {:.0} simulated search seconds)",
+        result.best_latency_s * 1e3,
+        result.stats.trials,
+        result.stats.total_s()
+    );
+
+    // Best schedules, slowest tasks first (they dominate the end-to-end).
+    let mut order: Vec<usize> = (0..result.per_task_best.len()).collect();
+    order.sort_by(|&a, &b| {
+        result.per_task_best[b].1.partial_cmp(&result.per_task_best[a].1).unwrap()
+    });
+    for &i in order.iter().take(args.show_schedules) {
+        let (wl, lat) = &result.per_task_best[i];
+        println!("\n--- {} @ {:.4} ms ---", wl, lat * 1e3);
+        if let Some(prog) = &result.best_programs[i] {
+            print!("{}", render::render(prog));
+        }
+    }
+
+    if let Some(path) = &args.output {
+        match std::fs::File::create(path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| serde_json::to_writer_pretty(f, &result).map_err(|e| e.to_string()))
+        {
+            Ok(()) => println!("\nresult written to {path}"),
+            Err(e) => {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shape_lists() {
+        assert_eq!(parse_u64_list("1,512, 512 ,512", 4, "--matmul").unwrap(), [1, 512, 512, 512]);
+        assert!(parse_u64_list("1,2,3", 4, "--matmul").is_err());
+        assert!(parse_u64_list("1,x,3,4", 4, "--matmul").is_err());
+        assert!(parse_u64_list("", 1, "--matmul").is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        for flag in
+            ["--platform", "--network", "--matmul", "--conv2d", "--trials", "--seed", "--model",
+             "--no-psa", "--show-schedules", "--output"]
+        {
+            assert!(USAGE.contains(flag), "USAGE missing {flag}");
+        }
+    }
+}

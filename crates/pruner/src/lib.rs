@@ -1,0 +1,250 @@
+//! **Pruner** — an efficient tensor-program tuner with dual awareness,
+//! reproduced as a self-contained Rust stack.
+//!
+//! Pruner (ASPLOS'25; earlier arXiv title *"A Draft-then-Verify Exploration
+//! Mechanism to Accelerate Tensor Program Tuning"*) accelerates
+//! Ansor-style schedule search with three components, all implemented
+//! here:
+//!
+//! * **PSA** ([`psa`]) — a hardware-aware static analyzer that *drafts*:
+//!   it prices every candidate schedule with four penalty formulas and
+//!   prunes the random sample space to a small high-quality target space.
+//! * **PaCM** ([`cost`]) — a pattern-aware learned cost model that
+//!   *verifies*: statement features plus a self-attention encoding of the
+//!   multi-tiling data-flow, trained with LambdaRank.
+//! * **MTL** ([`tuner::Mtl`]) — momentum transfer learning, which ports a
+//!   cross-platform pre-trained PaCM to a new GPU without training
+//!   collapse.
+//!
+//! Because no GPU or TVM is available to a pure-Rust reproduction, the
+//! stack bottoms out in an analytical GPU simulator ([`gpu`]) that plays
+//! the role of the hardware: deterministic, platform-parameterized
+//! (K80/T4/TITAN V/A100/Orin) and rich enough that the learned models have
+//! real signal to find. See `DESIGN.md` for the substitution argument and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use pruner::{Pruner, gpu::GpuSpec, ir::Workload};
+//!
+//! // Tune one GEMM for 200 trials on a simulated T4.
+//! let result = Pruner::builder(GpuSpec::t4())
+//!     .workload(Workload::matmul(1, 512, 512, 512))
+//!     .trials(200)
+//!     .build()
+//!     .tune();
+//! println!("best latency: {:.3} ms", result.best_latency_s * 1e3);
+//! ```
+//!
+//! End-to-end networks, offline pre-training, cross-platform transfer and
+//! every paper experiment are exercised by the `examples/` directory and
+//! the `pruner-bench` harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model_io;
+
+pub use pruner_cost as cost;
+pub use pruner_dataset as dataset;
+pub use pruner_features as features;
+pub use pruner_gpu as gpu;
+pub use pruner_ir as ir;
+pub use pruner_nn as nn;
+pub use pruner_psa as psa;
+pub use pruner_sketch as sketch;
+pub use pruner_tuner as tuner;
+
+use pruner_cost::{CostModel, ModelKind, PacmModel};
+use pruner_gpu::GpuSpec;
+use pruner_ir::{Network, Workload};
+use pruner_psa::PsaConfig;
+use pruner_tuner::{ModelSetup, Tuner, TunerConfig, TuningResult};
+
+/// High-level entry point: configure a tuning campaign fluently.
+///
+/// Wraps [`tuner::Tuner`] with the paper's defaults (PSA pruning on,
+/// PaCM trained online, 2,000 trials).
+pub struct Pruner {
+    tuner: Tuner,
+}
+
+impl Pruner {
+    /// Starts a builder for the given platform.
+    pub fn builder(spec: GpuSpec) -> PrunerBuilder {
+        PrunerBuilder {
+            spec,
+            config: TunerConfig::default(),
+            psa_config: PsaConfig::default(),
+            setup: Setup::Fresh(ModelKind::Pacm),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Runs the campaign.
+    pub fn tune(mut self) -> TuningResult {
+        self.tuner.run()
+    }
+
+    /// Access to the underlying tuner (advanced instrumentation).
+    pub fn tuner_mut(&mut self) -> &mut Tuner {
+        &mut self.tuner
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // built once per campaign
+enum Setup {
+    Fresh(ModelKind),
+    Offline(Box<dyn CostModel>),
+    Mtl { pretrained: PacmModel, momentum: f32 },
+}
+
+/// Fluent configuration for [`Pruner`].
+pub struct PrunerBuilder {
+    spec: GpuSpec,
+    config: TunerConfig,
+    psa_config: PsaConfig,
+    setup: Setup,
+    tasks: Vec<(Workload, u64)>,
+}
+
+impl PrunerBuilder {
+    /// Adds a single operator task.
+    pub fn workload(mut self, wl: Workload) -> Self {
+        self.tasks.push((wl, 1));
+        self
+    }
+
+    /// Adds every subgraph of a network.
+    pub fn network(mut self, net: &Network) -> Self {
+        for sg in net.subgraphs() {
+            self.tasks.push((sg.workload.clone(), sg.weight));
+        }
+        self
+    }
+
+    /// Sets the measurement budget (trials = rounds × measurements/round).
+    ///
+    /// # Panics
+    /// Panics if `trials` is smaller than one round's measurements.
+    pub fn trials(mut self, trials: usize) -> Self {
+        assert!(
+            trials >= self.config.measure_per_round,
+            "need at least {} trials",
+            self.config.measure_per_round
+        );
+        self.config.rounds = trials / self.config.measure_per_round;
+        self
+    }
+
+    /// Overrides the full tuner configuration.
+    pub fn config(mut self, config: TunerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Disables PSA pruning (the `w/o PSA` ablation).
+    pub fn without_psa(mut self) -> Self {
+        self.config.use_psa = false;
+        self
+    }
+
+    /// Uses PSA with explicit penalty toggles (Table 4 ablations).
+    pub fn psa_config(mut self, cfg: PsaConfig) -> Self {
+        self.psa_config = cfg;
+        self
+    }
+
+    /// Uses a specific online cost model instead of PaCM.
+    pub fn model(mut self, kind: ModelKind) -> Self {
+        self.setup = Setup::Fresh(kind);
+        self
+    }
+
+    /// Starts from a pre-trained model, fine-tuned online without MTL
+    /// (offline mode, as for the TensetMLP/TLP comparisons).
+    pub fn offline_model(mut self, model: Box<dyn CostModel>) -> Self {
+        self.setup = Setup::Offline(model);
+        self
+    }
+
+    /// Enables Momentum Transfer Learning around a pre-trained PaCM with
+    /// the paper's momentum (0.99).
+    pub fn with_mtl(mut self, pretrained: PacmModel) -> Self {
+        self.setup = Setup::Mtl { pretrained, momentum: 0.99 };
+        self
+    }
+
+    /// Enables MTL with an explicit momentum (ablation).
+    pub fn with_mtl_momentum(mut self, pretrained: PacmModel, momentum: f32) -> Self {
+        self.setup = Setup::Mtl { pretrained, momentum };
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the tuner.
+    ///
+    /// # Panics
+    /// Panics if no workload or network was added.
+    pub fn build(self) -> Pruner {
+        assert!(!self.tasks.is_empty(), "add a workload or network before building");
+        let setup = match self.setup {
+            Setup::Fresh(kind) => ModelSetup::Fresh(kind),
+            Setup::Offline(model) => ModelSetup::Offline(model),
+            Setup::Mtl { pretrained, momentum } => ModelSetup::Mtl { pretrained, momentum },
+        };
+        let mut tuner = Tuner::with_psa_config(self.spec, self.config, setup, self.psa_config);
+        for (wl, weight) in self.tasks {
+            tuner.add_task(wl, weight);
+        }
+        Pruner { tuner }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_quick_campaign_improves() {
+        let result = Pruner::builder(GpuSpec::t4())
+            .workload(Workload::matmul(1, 256, 256, 256))
+            .config(TunerConfig::quick())
+            .seed(1)
+            .build()
+            .tune();
+        let first = result.curve.points().first().unwrap().best_latency_s;
+        assert!(result.best_latency_s <= first);
+    }
+
+    #[test]
+    fn builder_supports_networks() {
+        let net = ir::zoo::bert_tiny(1, 64);
+        let mut cfg = TunerConfig::quick();
+        cfg.rounds = 4;
+        let p = Pruner::builder(GpuSpec::t4()).network(&net).config(cfg).build();
+        let result = p.tune();
+        assert!(result.per_task_best.len() > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "add a workload")]
+    fn empty_builder_panics() {
+        let _ = Pruner::builder(GpuSpec::t4()).build();
+    }
+
+    #[test]
+    fn trials_sets_rounds() {
+        let p = Pruner::builder(GpuSpec::t4())
+            .workload(Workload::matmul(1, 64, 64, 64))
+            .config(TunerConfig::quick())
+            .trials(40);
+        assert_eq!(p.config.rounds, 10);
+    }
+}

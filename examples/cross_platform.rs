@@ -1,0 +1,76 @@
+//! Cross-platform transfer: pre-train PaCM on a synthetic K80 dataset,
+//! then tune BERT-base on a simulated A100 with and without Momentum
+//! Transfer Learning — the paper's headline online-mode experiment.
+//!
+//! ```text
+//! cargo run --release --example cross_platform
+//! ```
+
+use pruner::cost::ModelKind;
+use pruner::dataset::Dataset;
+use pruner::gpu::GpuSpec;
+use pruner::ir::zoo;
+use pruner::tuner::{pretrain_pacm, TunerConfig};
+use pruner::Pruner;
+
+fn main() {
+    // 1. Build the offline "TensetGPUs K80" stand-in and pre-train PaCM.
+    println!("generating K80 offline dataset...");
+    let k80_data = Dataset::generate(
+        &GpuSpec::k80(),
+        &[zoo::resnet50(1), zoo::mobilenet_v2(1), zoo::bert_tiny(1, 128)],
+        48,
+        0,
+    );
+    println!(
+        "  {} subgraphs, {} labeled programs on {}",
+        k80_data.entries.len(),
+        k80_data.num_programs(),
+        k80_data.platform
+    );
+    println!("pre-training PaCM on K80 data...");
+    let pretrained = pretrain_pacm(&k80_data.to_samples(), 16, 0);
+
+    // 2. Tune BERT-base on A100 three ways.
+    let net = zoo::bert_base(1, 128);
+    let cfg = TunerConfig {
+        rounds: 50,
+        space_size: 256,
+        target_pool: 1024,
+        ..TunerConfig::default()
+    };
+
+    println!("\ntuning {} on {}:\n", net.name(), GpuSpec::a100());
+    let mut results = Vec::new();
+    for label in ["Ansor", "Pruner w/o MTL", "Pruner (MTL)"] {
+        let builder = Pruner::builder(GpuSpec::a100()).network(&net).seed(11);
+        let builder = match label {
+            "Ansor" => {
+                let mut c = cfg;
+                c.use_psa = false;
+                builder.config(c).model(ModelKind::Ansor)
+            }
+            "Pruner w/o MTL" => builder.config(cfg).model(ModelKind::Pacm),
+            _ => builder.config(cfg).with_mtl(pretrained.clone()),
+        };
+        let result = builder.build().tune();
+        println!(
+            "  {label:<16} e2e {:>8.3} ms  search {:>6.0} s",
+            result.best_latency_s * 1e3,
+            result.stats.total_s()
+        );
+        results.push(result);
+    }
+
+    // 3. Search-time speedups at Ansor-parity (the Figure 10/14 readout).
+    let ansor = &results[0];
+    for (label, r) in ["Pruner w/o MTL", "Pruner (MTL)"].iter().zip(&results[1..]) {
+        match r.curve.time_to_reach(ansor.best_latency_s) {
+            Some(t) => println!(
+                "\n{label} reaches Ansor-final latency in {t:.0} s ({:.2}x speedup)",
+                ansor.stats.total_s() / t
+            ),
+            None => println!("\n{label} did not reach Ansor parity within its budget"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end network tuning: ResNet-50 on a simulated TITAN V, Pruner
+//! versus the Ansor baseline under the same measurement budget.
+//!
+//! ```text
+//! cargo run --release --example end_to_end
+//! ```
+
+use pruner::cost::ModelKind;
+use pruner::gpu::GpuSpec;
+use pruner::ir::zoo;
+use pruner::tuner::TunerConfig;
+use pruner::Pruner;
+
+fn main() {
+    let net = zoo::resnet50(1);
+    println!("network  : {net}");
+    println!("platform : {}", GpuSpec::titan_v());
+    println!("total    : {:.2} GFLOPs/inference\n", net.total_flops() / 1e9);
+
+    // A reduced budget so the example finishes in seconds; the bench
+    // harness runs the paper's full 2,000 trials.
+    let cfg = TunerConfig {
+        rounds: 60,
+        space_size: 256,
+        target_pool: 1024,
+        ..TunerConfig::default()
+    };
+
+    let mut report = Vec::new();
+    for (label, kind, use_psa) in [
+        ("Ansor (no PSA, MLP model)", ModelKind::Ansor, false),
+        ("Pruner w/o MTL (PSA + PaCM)", ModelKind::Pacm, true),
+    ] {
+        let mut c = cfg;
+        c.use_psa = use_psa;
+        let result = Pruner::builder(GpuSpec::titan_v())
+            .network(&net)
+            .config(c)
+            .model(kind)
+            .seed(7)
+            .build()
+            .tune();
+        println!(
+            "{label:<30} e2e latency {:>8.3} ms  search {:>6.0} s  ({} trials)",
+            result.best_latency_s * 1e3,
+            result.stats.total_s(),
+            result.stats.trials
+        );
+        report.push((label, result));
+    }
+
+    let (_, ansor) = &report[0];
+    let (_, pruner) = &report[1];
+    println!(
+        "\nPruner reaches Ansor's final latency {}",
+        match pruner.curve.time_to_reach(ansor.best_latency_s) {
+            Some(t) => format!(
+                "after {t:.0} s — a {:.2}x search-time speedup",
+                ansor.stats.total_s() / t
+            ),
+            None => "never (increase the budget)".to_string(),
+        }
+    );
+
+    println!("\nheaviest tuned subgraphs (Pruner):");
+    let mut tasks = pruner.per_task_best.clone();
+    tasks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (wl, lat) in tasks.iter().take(8) {
+        println!("  {:<52} {:>8.3} ms", wl.to_string(), lat * 1e3);
+    }
+}

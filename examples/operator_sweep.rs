@@ -1,0 +1,58 @@
+//! Operator sweep: tune a slice of the depthwise-convolution suite on a
+//! simulated TITAN V and compare against the vendor-library oracle —
+//! the per-operator view behind Figure 7.
+//!
+//! ```text
+//! cargo run --release --example operator_sweep
+//! ```
+
+use pruner::gpu::{vendor, GpuSpec, Simulator};
+use pruner::ir::suites;
+use pruner::sketch::Program;
+use pruner::tuner::TunerConfig;
+use pruner::Pruner;
+
+fn main() {
+    let spec = GpuSpec::titan_v();
+    let sim = Simulator::new(spec.clone());
+    let ops = suites::dwconv_suite();
+
+    let cfg = TunerConfig {
+        rounds: 20,
+        space_size: 192,
+        target_pool: 768,
+        ..TunerConfig::default()
+    };
+
+    println!("platform: {spec}");
+    println!(
+        "\n{:<42}{:>12}{:>12}{:>12}{:>9}",
+        "operator", "default", "vendor", "pruner", "vs vend"
+    );
+    let mut pruner_wins = 0;
+    for wl in ops.iter().take(8) {
+        let fallback = sim.latency(&Program::fallback(wl));
+        let vend = vendor::vendor_latency(&spec, wl);
+        let result = Pruner::builder(spec.clone())
+            .workload(wl.clone())
+            .config(cfg)
+            .seed(3)
+            .build()
+            .tune();
+        let tuned = result.best_latency_s;
+        if tuned < vend {
+            pruner_wins += 1;
+        }
+        println!(
+            "{:<42}{:>9.3} ms{:>9.3} ms{:>9.3} ms{:>8.2}x",
+            wl.to_string(),
+            fallback * 1e3,
+            vend * 1e3,
+            tuned * 1e3,
+            vend / tuned
+        );
+    }
+    println!("\nPruner beats the vendor library on {pruner_wins}/8 depthwise operators");
+    println!("(depthwise convs are not a vendor-library strength — the paper's Figure 7");
+    println!(" shows the same pattern, with vendor wins concentrated on regular 3x3 convs)");
+}

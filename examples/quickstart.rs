@@ -1,0 +1,51 @@
+//! Quickstart: tune one GEMM on a simulated T4 and compare the result
+//! against the untuned fallback schedule, the vendor library and the
+//! roofline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pruner::gpu::{vendor, GpuSpec, Simulator};
+use pruner::ir::Workload;
+use pruner::sketch::Program;
+use pruner::tuner::TunerConfig;
+use pruner::Pruner;
+
+fn main() {
+    let spec = GpuSpec::t4();
+    let sim = Simulator::new(spec.clone());
+
+    // A BERT-base feed-forward GEMM: [128 x 3072] x [3072 x 768].
+    let wl = Workload::matmul(1, 128, 3072, 768);
+    println!("workload : {wl}");
+    println!("platform : {spec}");
+
+    let fallback = sim.latency(&Program::fallback(&wl));
+    let roofline = sim.roofline(&wl);
+    let cudnn = vendor::vendor_latency(&spec, &wl);
+
+    // 40 rounds x 10 measurements = 400 trials with PSA + PaCM.
+    let cfg = TunerConfig { rounds: 40, ..TunerConfig::default() };
+    let result = Pruner::builder(spec).workload(wl).config(cfg).seed(0).build().tune();
+
+    println!("\n{:<28}{:>12}", "schedule", "latency");
+    println!("{:<28}{:>9.3} ms", "default (untuned)", fallback * 1e3);
+    println!("{:<28}{:>9.3} ms", "vendor library (cuDNN-like)", cudnn * 1e3);
+    println!("{:<28}{:>9.3} ms", "Pruner, 400 trials", result.best_latency_s * 1e3);
+    println!("{:<28}{:>9.3} ms", "roofline bound", roofline * 1e3);
+
+    println!("\nspeedup over default : {:.2}x", fallback / result.best_latency_s);
+    println!("roofline efficiency  : {:.0}%", 100.0 * roofline / result.best_latency_s);
+    println!(
+        "search cost          : {} trials, {:.0} simulated seconds",
+        result.stats.trials,
+        result.stats.total_s()
+    );
+
+    // The tuning curve, every five rounds.
+    println!("\ntuning curve (trials -> best ms):");
+    for p in result.curve.points().iter().step_by(5) {
+        println!("  {:>5} trials  {:>8.3} ms", p.trials, p.best_latency_s * 1e3);
+    }
+}

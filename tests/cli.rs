@@ -1,0 +1,61 @@
+//! End-to-end tests of the `pruner-tune` command-line interface.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pruner-tune")
+}
+
+#[test]
+fn tunes_a_matmul_and_writes_json() {
+    let out_path = std::env::temp_dir().join("pruner-cli-test-run.json");
+    let output = Command::new(bin())
+        .args([
+            "--platform",
+            "t4",
+            "--matmul",
+            "1,256,256,256",
+            "--trials",
+            "40",
+            "--seed",
+            "1",
+            "--show-schedules",
+            "1",
+            "--output",
+        ])
+        .arg(&out_path)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("best latency"), "{stdout}");
+    assert!(stdout.contains("blockIdx.x"), "schedule rendering missing: {stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("result file written");
+    assert!(json.contains("best_latency_s"));
+    std::fs::remove_file(out_path).ok();
+}
+
+#[test]
+fn rejects_unknown_platform() {
+    let output = Command::new(bin())
+        .args(["--platform", "h100", "--matmul", "1,8,8,8"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown platform"));
+}
+
+#[test]
+fn requires_a_task() {
+    let output =
+        Command::new(bin()).args(["--platform", "t4"]).output().expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--network or at least one"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let output = Command::new(bin()).arg("--help").output().expect("binary runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("USAGE"));
+}

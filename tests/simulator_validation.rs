@@ -1,0 +1,98 @@
+//! Integration: physical sanity of the GPU substrate across platforms.
+//!
+//! The experiments only need *relative* orderings, but those orderings are
+//! trustworthy only if the simulator responds to resources the way real
+//! GPUs do: bandwidth-bound kernels scale with DRAM bandwidth,
+//! compute-bound kernels with peak FLOPs, work scales linearly with batch,
+//! and tuned latency is bounded below by the roofline.
+
+use pruner::gpu::{GpuSpec, Simulator};
+use pruner::ir::{EwKind, Workload};
+use pruner::sketch::Program;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn best_of(sim: &Simulator, wl: &Workload, samples: usize, seed: u64) -> f64 {
+    let limits = sim.spec().limits();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| sim.latency(&Program::sample(wl, &limits, &mut rng)))
+        .fold(sim.latency(&Program::fallback(wl)), f64::min)
+}
+
+#[test]
+fn bandwidth_bound_kernels_scale_with_dram() {
+    // A big element-wise map moves bytes; compute is negligible.
+    let wl = Workload::elementwise(EwKind::Add, 1 << 24);
+    let a100 = best_of(&Simulator::new(GpuSpec::a100()), &wl, 40, 1);
+    let orin = best_of(&Simulator::new(GpuSpec::orin()), &wl, 40, 1);
+    let ratio = orin / a100;
+    let bw_ratio = 1555.0 / 204.0; // ≈ 7.6
+    assert!(
+        (bw_ratio * 0.4..bw_ratio * 2.0).contains(&ratio),
+        "bandwidth scaling off: got {ratio:.1}, bandwidth ratio {bw_ratio:.1}"
+    );
+}
+
+#[test]
+fn compute_bound_kernels_scale_with_flops() {
+    let wl = Workload::matmul(1, 2048, 2048, 2048);
+    let titan = best_of(&Simulator::new(GpuSpec::titan_v()), &wl, 40, 2);
+    let t4 = best_of(&Simulator::new(GpuSpec::t4()), &wl, 40, 2);
+    let ratio = t4 / titan;
+    let flops_ratio = 14_900.0 / 8_100.0; // ≈ 1.84
+    assert!(
+        (flops_ratio * 0.5..flops_ratio * 2.0).contains(&ratio),
+        "compute scaling off: got {ratio:.2}, flops ratio {flops_ratio:.2}"
+    );
+}
+
+#[test]
+fn batch_scales_latency_roughly_linearly() {
+    let sim = Simulator::new(GpuSpec::t4());
+    // Use a fixed schedule shape scaled by batch so the comparison is
+    // apples to apples.
+    let b1 = best_of(&sim, &Workload::conv2d(1, 128, 28, 28, 128, 3, 1, 1), 60, 3);
+    let b4 = best_of(&sim, &Workload::conv2d(4, 128, 28, 28, 128, 3, 1, 1), 60, 3);
+    let ratio = b4 / b1;
+    assert!(
+        (1.8..8.0).contains(&ratio),
+        "4x work should cost ~2-6x once overheads amortize, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn nothing_beats_the_roofline_anywhere() {
+    for spec in GpuSpec::all() {
+        let sim = Simulator::new(spec.clone());
+        let limits = spec.limits();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for wl in [
+            Workload::matmul(1, 512, 512, 512),
+            Workload::dwconv2d(1, 96, 56, 56, 3, 1, 1),
+            Workload::reduction(4096, 512),
+        ] {
+            let roof = sim.roofline(&wl);
+            for _ in 0..20 {
+                let lat = sim.latency(&Program::sample(&wl, &limits, &mut rng));
+                assert!(
+                    lat >= roof * 0.9,
+                    "{}: {} beat the roofline {roof} on {wl}",
+                    spec.name,
+                    lat
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn launch_overhead_floors_tiny_kernels() {
+    let sim = Simulator::new(GpuSpec::t4());
+    let tiny = best_of(&sim, &Workload::elementwise(EwKind::Relu, 256), 20, 5);
+    // The quirk term can shave up to ~6% off the base cost.
+    assert!(
+        tiny >= sim.spec().launch_overhead_us * 1e-6 * 0.9,
+        "a 256-element kernel cannot run faster than its launch"
+    );
+}
