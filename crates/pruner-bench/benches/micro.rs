@@ -8,6 +8,7 @@ use pruner::gpu::{GpuSpec, Simulator};
 use pruner::ir::Workload;
 use pruner::psa::Psa;
 use pruner::sketch::{evolve, HardwareLimits, Program};
+use pruner::tuner::{Measurer, ProposeParams, TaskTuner};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -50,7 +51,7 @@ fn bench_inference(c: &mut Criterion) {
     let progs = fixture_programs(256);
     let samples: Vec<Sample> = progs.iter().map(|p| Sample::unlabeled(p, 0)).collect();
     for kind in [ModelKind::Pacm, ModelKind::TensetMlp, ModelKind::Tlp, ModelKind::Ansor] {
-        let mut model = kind.build(3);
+        let model = kind.build(3);
         let name = format!("predict_256_{}", model.name().replace(' ', "_"));
         c.bench_function(&name, |b| {
             b.iter_batched(
@@ -62,9 +63,47 @@ fn bench_inference(c: &mut Criterion) {
     }
 }
 
+fn bench_propose(c: &mut Criterion) {
+    // The full draft-then-verify propose path at the paper's pool size
+    // (2,048 candidates): generation + PSA drafting + featurization +
+    // cost-model verification. The `threads` suffix is the worker count of
+    // the candidate-evaluation pipeline; the proposals are bit-identical,
+    // only the wall clock changes (≥2× is expected at 4 threads).
+    let wl = Workload::matmul(1, 512, 512, 512);
+    let limits = HardwareLimits::default();
+    let psa = Psa::new(GpuSpec::t4());
+    let model = ModelKind::Pacm.build(3);
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("propose_pool2048_threads{threads}"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        TaskTuner::new(wl.clone(), 0, 1),
+                        Measurer::new(Simulator::new(GpuSpec::t4())),
+                        ChaCha8Rng::seed_from_u64(42),
+                    )
+                },
+                |(mut task, mut measurer, mut rng)| {
+                    let params = ProposeParams {
+                        space_size: 128,
+                        pool_size: 2048,
+                        epsilon: 0.05,
+                        n: 8,
+                        seed: 42,
+                        round: 0,
+                        threads,
+                    };
+                    task.propose(model.as_ref(), Some(&psa), &mut measurer, &limits, &params, &mut rng)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_sampling, bench_stats_and_models, bench_inference
+    targets = bench_sampling, bench_stats_and_models, bench_inference, bench_propose
 }
 criterion_main!(micro);

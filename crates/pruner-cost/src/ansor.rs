@@ -40,6 +40,13 @@ impl AnsorModel {
         self.net.forward(g, x)
     }
 
+    /// Inference-only forward pass: same math as [`Self::forward`] but
+    /// gradient-free, so it works through `&self` across threads.
+    fn forward_infer(&self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
+        let x = g.input(stack_pooled(samples, picks));
+        self.net.forward_infer(g, x)
+    }
+
     /// Total scalar weight count.
     pub fn weight_count(&mut self) -> usize {
         self.num_weights()
@@ -57,11 +64,11 @@ impl CostModel for AnsorModel {
         "Ansor"
     }
 
-    fn predict(&mut self, samples: &[Sample]) -> Vec<f32> {
+    fn predict(&self, samples: &[Sample]) -> Vec<f32> {
         let mut out = Vec::with_capacity(samples.len());
         for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(512) {
             let mut g = Graph::new();
-            let scores = self.forward(&mut g, samples, chunk);
+            let scores = self.forward_infer(&mut g, samples, chunk);
             out.extend_from_slice(g.value(scores).as_slice());
         }
         out

@@ -214,7 +214,7 @@ impl CostModel for XgbModel {
         "Ansor-XGB"
     }
 
-    fn predict(&mut self, samples: &[Sample]) -> Vec<f32> {
+    fn predict(&self, samples: &[Sample]) -> Vec<f32> {
         let picks: Vec<usize> = (0..samples.len()).collect();
         let x = Self::featurize(samples, &picks);
         match &self.gbdt {
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn unfitted_model_returns_zeros() {
         let (samples, _) = ranking_samples(8, 83);
-        let mut m = XgbModel::new();
+        let m = XgbModel::new();
         assert!(m.predict(&samples).iter().all(|&v| v == 0.0));
     }
 

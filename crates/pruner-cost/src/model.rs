@@ -5,18 +5,55 @@ use pruner_nn::{lambdarank_grad, latencies_to_relevance};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed slice width `predict_batch` hands to each worker. Chunking is a
+/// scheduling detail only: scores are merged back in chunk order, so the
+/// result is identical for every thread count (including 1).
+const PREDICT_CHUNK: usize = 256;
 
 /// A learned (or degenerate) predictor of tensor-program quality.
 ///
 /// `predict` returns one score per sample, **higher = predicted faster**;
-/// scores are only comparable within a task group. `fit` trains in place on
-/// labeled samples.
-pub trait CostModel: Send {
+/// scores are only comparable within a task group. Prediction is a read-only
+/// operation (`&self`) so candidate scoring can fan out across threads;
+/// `fit` trains in place (`&mut self`) on labeled samples.
+pub trait CostModel: Send + Sync {
     /// Short display name (`"PaCM"`, `"TLP"`, …).
     fn name(&self) -> &'static str;
 
     /// Scores a batch of samples (higher = better).
-    fn predict(&mut self, samples: &[Sample]) -> Vec<f32>;
+    fn predict(&self, samples: &[Sample]) -> Vec<f32>;
+
+    /// Scores a batch of samples using up to `threads` worker threads.
+    ///
+    /// Samples are split into fixed-size chunks, workers score contiguous
+    /// bands of chunks, and the per-chunk scores are concatenated in chunk
+    /// order — so the result is **bit-identical** to `predict` at any
+    /// thread count. Models whose prediction is stateful (e.g. the random
+    /// baseline advancing a counter) override this to a single `predict`
+    /// call.
+    fn predict_batch(&self, samples: &[Sample], threads: usize) -> Vec<f32> {
+        let n_chunks = samples.len().div_ceil(PREDICT_CHUNK);
+        let workers = threads.max(1).min(n_chunks.max(1));
+        if workers <= 1 {
+            return self.predict(samples);
+        }
+        let chunks: Vec<&[Sample]> = samples.chunks(PREDICT_CHUNK).collect();
+        let mut scored: Vec<Vec<f32>> = vec![Vec::new(); chunks.len()];
+        let band = chunks.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (out_band, chunk_band) in scored.chunks_mut(band).zip(chunks.chunks(band)) {
+                scope.spawn(move |_| {
+                    for (slot, chunk) in out_band.iter_mut().zip(chunk_band) {
+                        *slot = self.predict(chunk);
+                    }
+                });
+            }
+        })
+        .expect("prediction workers must not panic");
+        scored.into_iter().flatten().collect()
+    }
 
     /// Trains on labeled samples for `epochs` passes; returns a final
     /// training-objective value (lower = better fit, model-specific scale).
@@ -70,16 +107,28 @@ impl ModelKind {
 }
 
 /// The no-model floor: deterministic pseudo-random scores.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The call counter is atomic so `predict` can stay `&self` while still
+/// producing fresh scores every round.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct RandomModel {
     seed: u64,
-    calls: u64,
+    calls: AtomicU64,
 }
 
 impl RandomModel {
     /// Creates a random scorer.
     pub fn new(seed: u64) -> RandomModel {
-        RandomModel { seed, calls: 0 }
+        RandomModel { seed, calls: AtomicU64::new(0) }
+    }
+}
+
+impl Clone for RandomModel {
+    fn clone(&self) -> Self {
+        RandomModel {
+            seed: self.seed,
+            calls: AtomicU64::new(self.calls.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -88,10 +137,17 @@ impl CostModel for RandomModel {
         "Random"
     }
 
-    fn predict(&mut self, samples: &[Sample]) -> Vec<f32> {
-        self.calls += 1;
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(self.calls));
+    fn predict(&self, samples: &[Sample]) -> Vec<f32> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(call));
         samples.iter().map(|_| rng.gen::<f32>()).collect()
+    }
+
+    /// One `predict` call, never chunked: each call advances the score
+    /// stream, so splitting a batch would make the result depend on the
+    /// chunking — the exact nondeterminism `predict_batch` must avoid.
+    fn predict_batch(&self, samples: &[Sample], _threads: usize) -> Vec<f32> {
+        self.predict(samples)
     }
 
     fn fit(&mut self, _samples: &[Sample], _epochs: usize) -> f64 {
@@ -178,13 +234,21 @@ mod tests {
     #[test]
     fn random_model_is_deterministic_per_call_index() {
         let samples = mini_samples();
-        let mut a = RandomModel::new(7);
-        let mut b = RandomModel::new(7);
+        let a = RandomModel::new(7);
+        let b = RandomModel::new(7);
         assert_eq!(a.predict(&samples), b.predict(&samples));
         // Subsequent calls differ (fresh exploration each round).
         let first = b.predict(&samples);
         let second = b.predict(&samples);
         assert_ne!(first, second);
+    }
+
+    #[test]
+    fn random_model_batch_is_one_call() {
+        let samples = mini_samples();
+        let a = RandomModel::new(7);
+        let b = RandomModel::new(7);
+        assert_eq!(a.predict_batch(&samples, 8), b.predict(&samples));
     }
 
     #[test]
@@ -225,7 +289,7 @@ mod tests {
             ModelKind::AnsorXgb,
             ModelKind::Random,
         ] {
-            let mut m = kind.build(1);
+            let m = kind.build(1);
             let scores = m.predict(&mini_samples());
             assert_eq!(scores.len(), 6, "{}", m.name());
         }
@@ -234,8 +298,56 @@ mod tests {
     #[test]
     fn boxed_clone_preserves_behavior() {
         let samples = mini_samples();
-        let mut m: Box<dyn CostModel> = Box::new(RandomModel::new(3));
-        let mut c = m.clone();
+        let m: Box<dyn CostModel> = Box::new(RandomModel::new(3));
+        let c = m.clone();
         assert_eq!(m.predict(&samples), c.predict(&samples));
+    }
+
+    /// A larger labeled pool for exercising the chunked parallel path
+    /// (several `PREDICT_CHUNK`-sized chunks).
+    fn big_samples(n: usize) -> Vec<Sample> {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 256, 256, 256);
+        (0..n)
+            .map(|i| {
+                let p = Program::sample(&wl, &limits, &mut rng);
+                Sample::labeled(&p, 1e-3 * (i % 17 + 1) as f64, 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_for_every_nn_model() {
+        // The four learned models must produce bit-identical scores whether
+        // they run sequentially or fanned out over worker threads.
+        let samples = big_samples(600);
+        for kind in
+            [ModelKind::Pacm, ModelKind::TensetMlp, ModelKind::Tlp, ModelKind::Ansor]
+        {
+            let m = kind.build(5);
+            let sequential = m.predict(&samples);
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(
+                    m.predict_batch(&samples, threads),
+                    sequential,
+                    "{} diverged at {threads} threads",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_handles_non_chunk_multiples() {
+        // Sizes straddling the chunk boundary: chunking must never change
+        // scores or drop samples.
+        for n in [1, 255, 256, 257, 511, 513] {
+            let samples = big_samples(n);
+            let m = ModelKind::Ansor.build(9);
+            let batch = m.predict_batch(&samples, 4);
+            assert_eq!(batch.len(), n);
+            assert_eq!(batch, m.predict(&samples), "size {n} diverged");
+        }
     }
 }

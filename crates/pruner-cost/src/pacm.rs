@@ -102,6 +102,38 @@ impl PacmModel {
         self.head.forward(g, h)
     }
 
+    /// Inference-only forward pass: identical math to [`Self::forward`]
+    /// but binds weights without recording gradient nodes, so it works
+    /// through `&self` and is safe to run from several threads at once.
+    fn forward_infer(&self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
+        let mut joined: Option<NodeId> = None;
+        if self.use_stmt {
+            let x = g.input(stack_stmt(samples, picks));
+            let enc = self.stmt_enc.forward_infer(g, x);
+            let pooled = g.sum_groups(enc, MAX_STMTS);
+            joined = Some(pooled);
+        }
+        if self.use_flow {
+            let stacked = stack_flow(samples, picks);
+            let (col_mask, row_mask) =
+                crate::sample::attention_masks(&stacked, MAX_FLOW, FLOW_HIDDEN);
+            let x = g.input(stacked);
+            let emb = self.flow_embed.forward_infer(g, x);
+            let emb = g.relu(emb);
+            let col = g.input(col_mask);
+            let ctx = self.flow_attn.forward_masked_infer(g, emb, Some(col));
+            let row = g.input(row_mask);
+            let ctx = g.mul(ctx, row);
+            let pooled = g.sum_groups(ctx, MAX_FLOW);
+            joined = Some(match joined {
+                Some(j) => g.concat_cols(j, pooled),
+                None => pooled,
+            });
+        }
+        let h = joined.expect("at least one branch");
+        self.head.forward_infer(g, h)
+    }
+
     /// Total scalar weight count (for the memory-footprint bench).
     pub fn weight_count(&mut self) -> usize {
         self.num_weights()
@@ -134,11 +166,11 @@ impl CostModel for PacmModel {
         }
     }
 
-    fn predict(&mut self, samples: &[Sample]) -> Vec<f32> {
+    fn predict(&self, samples: &[Sample]) -> Vec<f32> {
         let mut out = Vec::with_capacity(samples.len());
         for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(256) {
             let mut g = Graph::new();
-            let scores = self.forward(&mut g, samples, chunk);
+            let scores = self.forward_infer(&mut g, samples, chunk);
             out.extend_from_slice(g.value(scores).as_slice());
         }
         out
@@ -179,7 +211,7 @@ mod tests {
     #[test]
     fn predict_shape() {
         let (samples, _) = ranking_samples(24, 40);
-        let mut m = PacmModel::new(1);
+        let m = PacmModel::new(1);
         assert_eq!(m.predict(&samples).len(), 24);
     }
 

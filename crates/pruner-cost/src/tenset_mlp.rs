@@ -44,6 +44,15 @@ impl TensetMlpModel {
         self.head.forward(g, pooled)
     }
 
+    /// Inference-only forward pass: same math as [`Self::forward`] but
+    /// gradient-free, so it works through `&self` across threads.
+    fn forward_infer(&self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
+        let x = g.input(stack_stmt(samples, picks));
+        let enc = self.encoder.forward_infer(g, x);
+        let pooled = g.sum_groups(enc, MAX_STMTS);
+        self.head.forward_infer(g, pooled)
+    }
+
     /// Total scalar weight count.
     pub fn weight_count(&mut self) -> usize {
         self.num_weights()
@@ -63,11 +72,11 @@ impl CostModel for TensetMlpModel {
         "TensetMLP"
     }
 
-    fn predict(&mut self, samples: &[Sample]) -> Vec<f32> {
+    fn predict(&self, samples: &[Sample]) -> Vec<f32> {
         let mut out = Vec::with_capacity(samples.len());
         for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(256) {
             let mut g = Graph::new();
-            let scores = self.forward(&mut g, samples, chunk);
+            let scores = self.forward_infer(&mut g, samples, chunk);
             out.extend_from_slice(g.value(scores).as_slice());
         }
         out
@@ -116,7 +125,7 @@ mod tests {
     #[test]
     fn predict_is_pure() {
         let (samples, _) = ranking_samples(16, 52);
-        let mut m = TensetMlpModel::new(4);
+        let m = TensetMlpModel::new(4);
         assert_eq!(m.predict(&samples), m.predict(&samples));
     }
 }

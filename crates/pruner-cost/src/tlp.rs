@@ -62,6 +62,24 @@ impl TlpModel {
         self.head.forward(g, pooled)
     }
 
+    /// Inference-only forward pass: same math as [`Self::forward`] but
+    /// gradient-free, so it works through `&self` across threads.
+    fn forward_infer(&self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
+        let stacked = stack_tokens(samples, picks);
+        let (col_mask, row_mask) =
+            crate::sample::attention_masks(&stacked, MAX_TOKENS, D_MODEL);
+        let x = g.input(stacked);
+        let emb = self.embed.forward_infer(g, x);
+        let emb = g.relu(emb);
+        let col = g.input(col_mask);
+        let h = self.attn1.forward_masked_infer(g, emb, Some(col));
+        let h = self.attn2.forward_masked_infer(g, h, Some(col));
+        let row = g.input(row_mask);
+        let h = g.mul(h, row);
+        let pooled = g.sum_groups(h, MAX_TOKENS);
+        self.head.forward_infer(g, pooled)
+    }
+
     /// Total scalar weight count.
     pub fn weight_count(&mut self) -> usize {
         self.num_weights()
@@ -83,11 +101,11 @@ impl CostModel for TlpModel {
         "TLP"
     }
 
-    fn predict(&mut self, samples: &[Sample]) -> Vec<f32> {
+    fn predict(&self, samples: &[Sample]) -> Vec<f32> {
         let mut out = Vec::with_capacity(samples.len());
         for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(256) {
             let mut g = Graph::new();
-            let scores = self.forward(&mut g, samples, chunk);
+            let scores = self.forward_infer(&mut g, samples, chunk);
             out.extend_from_slice(g.value(scores).as_slice());
         }
         out

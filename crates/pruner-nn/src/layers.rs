@@ -45,6 +45,15 @@ impl Param {
         id
     }
 
+    /// Binds the parameter onto the tape for inference only.
+    ///
+    /// The node is *not* remembered, so no gradient can be absorbed from
+    /// this pass — which is exactly what allows forward passes through
+    /// `&self` and therefore concurrent prediction from multiple threads.
+    pub fn bind_infer(&self, g: &mut Graph) -> NodeId {
+        g.input(self.value.clone())
+    }
+
     /// Adds the tape gradient (if this param participated) into `grad`.
     pub fn absorb_grad(&mut self, g: &Graph) {
         if let Some(id) = self.node.take() {
@@ -152,6 +161,14 @@ impl Linear {
         g.add_row_bias(y, b)
     }
 
+    /// Inference-only forward pass (`&self`; no gradients afterwards).
+    pub fn forward_infer(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = self.w.bind_infer(g);
+        let b = self.b.bind_infer(g);
+        let y = g.matmul(x, w);
+        g.add_row_bias(y, b)
+    }
+
     /// Input width.
     pub fn in_dim(&self) -> usize {
         self.w.value.rows()
@@ -193,6 +210,19 @@ impl Mlp {
         let mut h = x;
         for (i, layer) in self.layers.iter_mut().enumerate() {
             h = layer.forward(g, h);
+            if i + 1 < n {
+                h = g.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Inference-only forward pass (`&self`; no gradients afterwards).
+    pub fn forward_infer(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let n = self.layers.len();
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_infer(g, h);
             if i + 1 < n {
                 h = g.relu(h);
             }
@@ -267,6 +297,27 @@ impl SelfAttention {
         let attn = g.softmax_rows(scaled);
         let ctx = g.group_matmul(attn, v, self.group);
         let out = self.proj.forward(g, ctx);
+        g.add(x, out)
+    }
+
+    /// Inference-only masked attention (`&self`; no gradients afterwards).
+    pub fn forward_masked_infer(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        col_mask: Option<NodeId>,
+    ) -> NodeId {
+        let q = self.wq.forward_infer(g, x);
+        let k = self.wk.forward_infer(g, x);
+        let v = self.wv.forward_infer(g, x);
+        let scores = g.group_matmul_nt(q, k, self.group);
+        let mut scaled = g.scale(scores, 1.0 / (self.head_dim as f32).sqrt());
+        if let Some(mask) = col_mask {
+            scaled = g.add(scaled, mask);
+        }
+        let attn = g.softmax_rows(scaled);
+        let ctx = g.group_matmul(attn, v, self.group);
+        let out = self.proj.forward_infer(g, ctx);
         g.add(x, out)
     }
 
@@ -361,6 +412,36 @@ impl MultiHeadAttention {
             });
         }
         let out = self.proj.forward(g, joined.expect("at least one head"));
+        g.add(x, out)
+    }
+
+    /// Inference-only masked attention (`&self`; no gradients afterwards).
+    pub fn forward_masked_infer(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        col_mask: Option<NodeId>,
+    ) -> NodeId {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let group = self.group;
+        let mut joined: Option<NodeId> = None;
+        for (wq, wk, wv) in &self.heads {
+            let q = wq.forward_infer(g, x);
+            let k = wk.forward_infer(g, x);
+            let v = wv.forward_infer(g, x);
+            let scores = g.group_matmul_nt(q, k, group);
+            let mut scaled = g.scale(scores, scale);
+            if let Some(mask) = col_mask {
+                scaled = g.add(scaled, mask);
+            }
+            let attn = g.softmax_rows(scaled);
+            let ctx = g.group_matmul(attn, v, group);
+            joined = Some(match joined {
+                Some(j) => g.concat_cols(j, ctx),
+                None => ctx,
+            });
+        }
+        let out = self.proj.forward_infer(g, joined.expect("at least one head"));
         g.add(x, out)
     }
 
@@ -533,6 +614,59 @@ mod tests {
             g.value(y).at(0, 0)
         };
         assert_eq!(run(&mut a), run(&mut b));
+    }
+
+    #[test]
+    fn infer_forward_matches_training_forward() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[3, 8, 1], &mut r);
+        let mut attn = SelfAttention::new(4, 4, 3, &mut r);
+        let x = Tensor::from_vec(6, 3, (0..18).map(|i| (i as f32 * 0.3).cos()).collect());
+        let train_out = {
+            let mut g = Graph::new();
+            let xi = g.input(x.clone());
+            let y = mlp.forward(&mut g, xi);
+            g.value(y).clone()
+        };
+        let infer_out = {
+            let mut g = Graph::new();
+            let xi = g.input(x.clone());
+            let y = mlp.forward_infer(&mut g, xi);
+            g.value(y).clone()
+        };
+        assert_eq!(train_out.as_slice(), infer_out.as_slice());
+
+        let xa = Tensor::from_vec(6, 4, (0..24).map(|i| (i as f32 * 0.7).sin()).collect());
+        let a_train = {
+            let mut g = Graph::new();
+            let xi = g.input(xa.clone());
+            let y = attn.forward_masked(&mut g, xi, None);
+            g.value(y).clone()
+        };
+        let a_infer = {
+            let mut g = Graph::new();
+            let xi = g.input(xa.clone());
+            let y = attn.forward_masked_infer(&mut g, xi, None);
+            g.value(y).clone()
+        };
+        assert_eq!(a_train.as_slice(), a_infer.as_slice());
+    }
+
+    #[test]
+    fn bind_infer_leaves_no_grad_path() {
+        let mut r = rng();
+        let lin = Linear::new(2, 2, &mut r);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::full(1, 2, 1.0));
+        let y = lin.forward_infer(&mut g, x);
+        let l = g.mean_all(y);
+        g.backward(l);
+        let mut lin = lin;
+        lin.absorb_grads(&g);
+        assert!(
+            lin.params_mut().iter().all(|p| p.grad.norm() == 0.0),
+            "inference binds must not feed gradients back"
+        );
     }
 
     #[test]

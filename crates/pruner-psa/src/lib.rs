@@ -214,8 +214,41 @@ impl Psa {
     /// The result is sorted by ascending estimate. If the pool is smaller
     /// than `size`, the whole pool is returned.
     pub fn prune(&self, pool: Vec<Program>, size: usize) -> Vec<Program> {
-        let mut scored: Vec<(f64, Program)> =
-            pool.into_iter().map(|p| (self.estimate(&p), p)).collect();
+        self.prune_par(pool, size, 1)
+    }
+
+    /// Estimates every program's latency, fanning the pure per-program
+    /// analysis out over up to `threads` workers.
+    ///
+    /// Programs are split into contiguous index bands and the scores merged
+    /// back in index order, so the result is bit-identical to mapping
+    /// [`Self::estimate`] sequentially — at any thread count.
+    pub fn estimate_batch(&self, progs: &[Program], threads: usize) -> Vec<f64> {
+        let workers = threads.max(1).min(progs.len().max(1));
+        if workers <= 1 {
+            return progs.iter().map(|p| self.estimate(p)).collect();
+        }
+        let mut scores = vec![0.0f64; progs.len()];
+        let band = progs.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (out_band, prog_band) in scores.chunks_mut(band).zip(progs.chunks(band)) {
+                scope.spawn(move |_| {
+                    for (slot, p) in out_band.iter_mut().zip(prog_band) {
+                        *slot = self.estimate(p);
+                    }
+                });
+            }
+        })
+        .expect("PSA workers must not panic");
+        scores
+    }
+
+    /// Parallel [`Self::prune`]: estimates fan out over `threads` workers;
+    /// the stable sort and truncation stay on the calling thread, so the
+    /// kept set and its order are identical at any thread count.
+    pub fn prune_par(&self, pool: Vec<Program>, size: usize, threads: usize) -> Vec<Program> {
+        let scores = self.estimate_batch(&pool, threads);
+        let mut scored: Vec<(f64, Program)> = scores.into_iter().zip(pool).collect();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite estimates"));
         scored.truncate(size);
         scored.into_iter().map(|(_, p)| p).collect()
@@ -408,6 +441,38 @@ mod tests {
             }
         }
         assert!(wins >= 2, "target space should usually contain better programs ({wins}/3)");
+    }
+
+    #[test]
+    fn parallel_prune_matches_serial() {
+        let psa = t4_psa();
+        let mut r = rng();
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let pool: Vec<Program> =
+            (0..300).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+        let serial = psa.prune(pool.clone(), 48);
+        for threads in [2, 4, 8, 300] {
+            assert_eq!(
+                psa.prune_par(pool.clone(), 48, threads),
+                serial,
+                "prune diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_batch_matches_sequential() {
+        let psa = t4_psa();
+        let mut r = rng();
+        let limits = HardwareLimits::default();
+        let wl = Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1);
+        let progs: Vec<Program> =
+            (0..97).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+        let sequential: Vec<f64> = progs.iter().map(|p| psa.estimate(p)).collect();
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(psa.estimate_batch(&progs, threads), sequential);
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 use crate::config::{Schedule, UNROLL_CANDIDATES, VECTORIZE_CANDIDATES};
 use crate::limits::HardwareLimits;
 use crate::program::{sample_reduce_split, sample_spatial_split, Program};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 const MAX_TRIES: usize = 16;
 
@@ -184,6 +185,148 @@ pub fn next_generation(
     out
 }
 
+/// Derives the RNG seed for one generated candidate.
+///
+/// Every candidate index gets its own `ChaCha8Rng` stream, mixed from the
+/// campaign seed, the tuning round and the candidate's global index with a
+/// SplitMix64-style finalizer. Because the seed depends only on
+/// `(seed, round, item)` — never on which worker thread or chunk produced
+/// the candidate — the parallel generators below are bit-identical at any
+/// thread count and any chunk size.
+pub fn derive_item_seed(seed: u64, round: u64, item: u64) -> u64 {
+    let mut z = seed
+        ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ item.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates `n` programs, one per item index, fanned out over `threads`
+/// workers in contiguous index bands and merged back in index order.
+///
+/// `f` must be pure per item: it receives the item's derived RNG and
+/// nothing else mutable, so the output is independent of scheduling.
+fn par_generate<F>(
+    n: usize,
+    threads: usize,
+    seed: u64,
+    round: u64,
+    base_item: u64,
+    f: F,
+) -> Vec<Program>
+where
+    F: Fn(&mut ChaCha8Rng) -> Program + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let item_rng = |i: usize| {
+        ChaCha8Rng::seed_from_u64(derive_item_seed(seed, round, base_item + i as u64))
+    };
+    let workers = threads.max(1).min(n);
+    if workers == 1 {
+        return (0..n)
+            .map(|i| {
+                let mut rng = item_rng(i);
+                f(&mut rng)
+            })
+            .collect();
+    }
+    let mut slots: Vec<Option<Program>> = (0..n).map(|_| None).collect();
+    let band = n.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (b, out_band) in slots.chunks_mut(band).enumerate() {
+            let f = &f;
+            let item_rng = &item_rng;
+            scope.spawn(move |_| {
+                for (k, slot) in out_band.iter_mut().enumerate() {
+                    let mut rng = item_rng(b * band + k);
+                    *slot = Some(f(&mut rng));
+                }
+            });
+        }
+    })
+    .expect("generation workers must not panic");
+    slots.into_iter().map(|s| s.expect("every slot is filled")).collect()
+}
+
+/// Parallel counterpart of [`init_population`]: samples distinct valid
+/// programs with per-item derived RNG streams.
+///
+/// Candidates are sampled in parallel batches, then deduplicated in item
+/// order on the calling thread, so the population depends only on
+/// `(seed, round)` — not on `threads`. As with the serial sampler, the
+/// result may be shorter than `size` when the space is tiny.
+pub fn init_population_par(
+    workload: &pruner_ir::Workload,
+    size: usize,
+    limits: &HardwareLimits,
+    seed: u64,
+    round: u64,
+    threads: usize,
+) -> Vec<Program> {
+    let mut out: Vec<Program> = Vec::with_capacity(size);
+    let mut seen = std::collections::HashSet::new();
+    let mut next_item = 0u64;
+    let mut stale = 0usize;
+    while out.len() < size && stale < 200 {
+        // Batch size depends only on progress so far, never on threads.
+        let batch = (size - out.len()).max(32);
+        let progs = par_generate(batch, threads, seed, round, next_item, |rng| {
+            Program::sample(workload, limits, rng)
+        });
+        next_item += batch as u64;
+        for p in progs {
+            if out.len() >= size || stale >= 200 {
+                break;
+            }
+            if seen.insert(p.dedup_key()) {
+                out.push(p);
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Parallel counterpart of [`next_generation`]: regenerates one round's
+/// sample space (mutations, crossovers and fresh samples of the elites'
+/// workload) with per-item derived RNG streams.
+///
+/// Each of the `size` children draws its genetic operator and parents from
+/// its own item RNG, so the generation depends only on `(seed, round)` and
+/// the elite list — not on `threads`.
+///
+/// # Panics
+/// Panics if `elites` is empty.
+pub fn next_generation_par(
+    elites: &[Program],
+    size: usize,
+    limits: &HardwareLimits,
+    seed: u64,
+    round: u64,
+    threads: usize,
+) -> Vec<Program> {
+    assert!(!elites.is_empty(), "need at least one elite");
+    let workload = elites[0].workload.clone();
+    par_generate(size, threads, seed, round, 0, |rng| {
+        let roll: f64 = rng.gen();
+        if roll < 0.45 {
+            let p = &elites[rng.gen_range(0..elites.len())];
+            mutate(p, limits, rng)
+        } else if roll < 0.75 && elites.len() >= 2 {
+            let i = rng.gen_range(0..elites.len());
+            let j = rng.gen_range(0..elites.len());
+            crossover(&elites[i], &elites[j], limits, rng)
+        } else {
+            Program::sample(&workload, limits, rng)
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +414,82 @@ mod tests {
         let generation = next_generation(&elites, 64, &limits, &mut r);
         assert_eq!(generation.len(), 64);
         assert!(generation.iter().all(|p| p.is_valid(&limits)));
+    }
+
+    #[test]
+    fn item_seeds_are_distinct_across_all_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..4u64 {
+            for round in 0..4u64 {
+                for item in 0..64u64 {
+                    assert!(
+                        seen.insert(derive_item_seed(seed, round, item)),
+                        "collision at ({seed}, {round}, {item})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_population_is_thread_count_invariant() {
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let baseline = init_population_par(&wl, 128, &limits, 7, 3, 1);
+        assert_eq!(baseline.len(), 128);
+        for threads in [2, 3, 4, 8, 17] {
+            assert_eq!(
+                init_population_par(&wl, 128, &limits, 7, 3, threads),
+                baseline,
+                "population diverged at {threads} threads"
+            );
+        }
+        let keys: std::collections::HashSet<_> =
+            baseline.iter().map(|p| p.dedup_key()).collect();
+        assert_eq!(keys.len(), baseline.len(), "population must stay distinct");
+    }
+
+    #[test]
+    fn parallel_generation_is_thread_count_invariant() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let elites: Vec<Program> =
+            (0..6).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+        let baseline = next_generation_par(&elites, 96, &limits, 11, 5, 1);
+        assert_eq!(baseline.len(), 96);
+        assert!(baseline.iter().all(|p| p.is_valid(&limits)));
+        for threads in [2, 4, 8, 96, 200] {
+            assert_eq!(
+                next_generation_par(&elites, 96, &limits, 11, 5, threads),
+                baseline,
+                "generation diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_generation_depends_on_seed_and_round() {
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let elites: Vec<Program> =
+            (0..6).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+        let a = next_generation_par(&elites, 64, &limits, 1, 0, 4);
+        let other_seed = next_generation_par(&elites, 64, &limits, 2, 0, 4);
+        let other_round = next_generation_par(&elites, 64, &limits, 1, 1, 4);
+        assert_ne!(a, other_seed, "seed must matter");
+        assert_ne!(a, other_round, "round must matter");
+    }
+
+    #[test]
+    fn tiny_space_parallel_population_stops_early() {
+        let limits = HardwareLimits::default();
+        let wl = Workload::elementwise(EwKind::Relu, 64);
+        let a = init_population_par(&wl, 500, &limits, 99, 0, 1);
+        let b = init_population_par(&wl, 500, &limits, 99, 0, 8);
+        assert_eq!(a, b);
+        assert!(a.len() < 500, "the elementwise space is small");
+        assert!(!a.is_empty());
     }
 }

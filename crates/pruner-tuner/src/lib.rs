@@ -45,5 +45,5 @@ mod tuner;
 pub use curve::{CurvePoint, TuningCurve};
 pub use measure::{Measurer, SearchStats, TimeModel};
 pub use mtl::{pretrain_pacm, Mtl};
-pub use task::TaskTuner;
+pub use task::{ProposeParams, TaskTuner};
 pub use tuner::{ModelSetup, Tuner, TunerConfig, TuningResult};

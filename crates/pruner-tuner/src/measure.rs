@@ -48,7 +48,14 @@ impl Default for TimeModel {
 }
 
 /// Simulated-time ledger of one tuning campaign.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The `*_time_s` fields are *simulated* costs charged through
+/// [`TimeModel`] and are fully deterministic. The `*_wall_s` fields are
+/// *host* wall-clock time actually spent in the parallel pipeline stages
+/// (candidate generation, PSA drafting, cost-model inference); they vary
+/// run to run and are therefore excluded from both equality comparison and
+/// serialization.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Programs measured on the (simulated) device.
     pub trials: u64,
@@ -62,6 +69,28 @@ pub struct SearchStats {
     pub train_time_s: f64,
     /// Seconds spent generating/evolving candidates.
     pub evolve_time_s: f64,
+    /// Host wall-clock seconds in candidate generation (GA fan-out).
+    #[serde(skip)]
+    pub gen_wall_s: f64,
+    /// Host wall-clock seconds in PSA drafting (estimate fan-out).
+    #[serde(skip)]
+    pub psa_wall_s: f64,
+    /// Host wall-clock seconds in cost-model inference (predict fan-out).
+    #[serde(skip)]
+    pub predict_wall_s: f64,
+}
+
+impl PartialEq for SearchStats {
+    /// Compares only the deterministic simulated ledger; host wall-clock
+    /// timings differ between otherwise identical runs.
+    fn eq(&self, other: &Self) -> bool {
+        self.trials == other.trials
+            && self.measure_time_s == other.measure_time_s
+            && self.model_time_s == other.model_time_s
+            && self.psa_time_s == other.psa_time_s
+            && self.train_time_s == other.train_time_s
+            && self.evolve_time_s == other.evolve_time_s
+    }
 }
 
 impl SearchStats {
@@ -72,6 +101,11 @@ impl SearchStats {
             + self.psa_time_s
             + self.train_time_s
             + self.evolve_time_s
+    }
+
+    /// Total host wall-clock time spent in the parallel pipeline stages.
+    pub fn pipeline_wall_s(&self) -> f64 {
+        self.gen_wall_s + self.psa_wall_s + self.predict_wall_s
     }
 }
 
@@ -152,6 +186,21 @@ impl Measurer {
     pub fn charge_evolution(&mut self, n: usize) {
         self.stats.evolve_time_s += n as f64 * self.time.evolve_s;
     }
+
+    /// Records host wall-clock time spent generating candidates.
+    pub fn record_gen_wall(&mut self, seconds: f64) {
+        self.stats.gen_wall_s += seconds;
+    }
+
+    /// Records host wall-clock time spent in PSA drafting.
+    pub fn record_psa_wall(&mut self, seconds: f64) {
+        self.stats.psa_wall_s += seconds;
+    }
+
+    /// Records host wall-clock time spent in cost-model inference.
+    pub fn record_predict_wall(&mut self, seconds: f64) {
+        self.stats.predict_wall_s += seconds;
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +246,20 @@ mod tests {
         assert!(s.measure_time_s > 2.0, "compile dominates: {}", s.measure_time_s);
         assert!(s.model_time_s > 0.0 && s.psa_time_s > 0.0);
         assert!(s.total_s() > s.measure_time_s);
+    }
+
+    #[test]
+    fn wall_clock_is_excluded_from_equality() {
+        let mut a = measurer();
+        let mut b = measurer();
+        a.measure(&prog(3));
+        b.measure(&prog(3));
+        a.record_gen_wall(0.25);
+        a.record_psa_wall(0.5);
+        a.record_predict_wall(1.0);
+        assert_eq!(a.stats(), b.stats(), "wall clock must not break determinism checks");
+        assert!(a.stats().pipeline_wall_s() > 0.0);
+        assert_eq!(b.stats().pipeline_wall_s(), 0.0);
     }
 
     #[test]

@@ -7,9 +7,35 @@ use pruner_psa::Psa;
 use pruner_sketch::{evolve, HardwareLimits, Program};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Number of elite (best measured) programs evolution breeds from.
 const ELITE_POOL: usize = 16;
+
+/// One round's proposal knobs (Algorithm 1 parameters plus the worker
+/// fan-out configuration).
+///
+/// `seed` and `round` feed the per-candidate RNG derivation in
+/// [`pruner_sketch::evolve::derive_item_seed`]; `threads` only controls how
+/// the work is scheduled — every proposal is bit-identical at any thread
+/// count.
+#[derive(Debug, Clone, Copy)]
+pub struct ProposeParams {
+    /// Search-space size per round (`space_size` of Algorithm 1).
+    pub space_size: usize,
+    /// Raw sample-pool size drawn before drafting.
+    pub pool_size: usize,
+    /// ε share of the space retained at random from the unpruned pool.
+    pub epsilon: f64,
+    /// Number of programs to propose for measurement.
+    pub n: usize,
+    /// Campaign seed (mixed with the task id per candidate).
+    pub seed: u64,
+    /// Global tuning-round index.
+    pub round: u64,
+    /// Worker threads for generation, PSA drafting and inference.
+    pub threads: usize,
+}
 
 /// Tuning state of one subgraph.
 pub struct TaskTuner {
@@ -81,32 +107,63 @@ impl TaskTuner {
     /// model-guided evolutionary search does. Returns the top `n`
     /// unmeasured programs; charges generation, PSA and inference time on
     /// `measurer`.
-    #[allow(clippy::too_many_arguments)]
+    ///
+    /// Generation, PSA estimation, feature extraction and cost-model
+    /// inference all fan out over `params.threads` workers; `rng` is only
+    /// consumed by the (cheap, sequential) ε-retention draw, so the
+    /// proposal is bit-identical at any thread count.
     pub fn propose(
         &mut self,
-        model: &mut dyn CostModel,
+        model: &dyn CostModel,
         psa: Option<&Psa>,
         measurer: &mut Measurer,
         limits: &HardwareLimits,
-        space_size: usize,
-        pool_size: usize,
-        epsilon: f64,
-        n: usize,
+        params: &ProposeParams,
         rng: &mut ChaCha8Rng,
     ) -> Vec<Program> {
+        let threads = params.threads.max(1);
+        // Distinct tasks tuned in the same round must not share candidate
+        // RNG streams: fold the task id into the campaign seed.
+        let gen_seed =
+            params.seed ^ (self.task_id as u64).wrapping_mul(0x517C_C1B7_2722_0A95);
+
         // --- Sample pool: GA offspring + fresh random blood --------------
+        let gen_start = Instant::now();
         let elites = self.elites();
-        let pool_size = pool_size.max(space_size);
-        let mut pool: Vec<Program> = if elites.is_empty() {
-            evolve::init_population(&self.workload, pool_size, limits, rng)
+        let pool_size = params.pool_size.max(params.space_size);
+        let pool: Vec<Program> = if elites.is_empty() {
+            evolve::init_population_par(
+                &self.workload,
+                pool_size,
+                limits,
+                gen_seed,
+                params.round,
+                threads,
+            )
         } else {
-            let evolved = evolve::next_generation(&elites, pool_size * 3 / 4, limits, rng);
-            let mut p = evolved;
-            while p.len() < pool_size {
-                p.push(Program::sample(&self.workload, limits, rng));
-            }
+            // The fresh-blood tail reuses the same derived-seed generator
+            // with a disjoint round tag so its streams never collide with
+            // the offspring streams.
+            let mut p = evolve::next_generation_par(
+                &elites,
+                pool_size * 3 / 4,
+                limits,
+                gen_seed,
+                params.round,
+                threads,
+            );
+            let fresh = pool_size - p.len();
+            p.extend(evolve::init_population_par(
+                &self.workload,
+                fresh,
+                limits,
+                gen_seed ^ 0xA076_1D64_78BD_642F,
+                params.round,
+                threads,
+            ));
             p
         };
+        let mut pool = pool;
         measurer.charge_evolution(pool.len());
 
         // Drop duplicates and already-measured programs up front.
@@ -115,16 +172,18 @@ impl TaskTuner {
             let key = p.dedup_key();
             !self.measured_keys.contains(&key) && seen.insert(key)
         });
+        measurer.record_gen_wall(gen_start.elapsed().as_secs_f64());
         if pool.is_empty() {
             return Vec::new();
         }
 
         // --- Draft: PSA shortlist (or the whole pool for the baseline) ---
         let candidates: Vec<Program> = if let Some(psa) = psa {
+            let psa_start = Instant::now();
             measurer.charge_psa_evals(pool.len());
-            let n_random = ((space_size as f64) * epsilon).round() as usize;
-            let n_target = space_size.saturating_sub(n_random).min(pool.len());
-            let shortlist = psa.prune(pool.clone(), n_target);
+            let n_random = ((params.space_size as f64) * params.epsilon).round() as usize;
+            let n_target = params.space_size.saturating_sub(n_random).min(pool.len());
+            let shortlist = psa.prune_par(pool.clone(), n_target, threads);
             let kept: HashSet<String> = shortlist.iter().map(|p| p.dedup_key()).collect();
             let mut c = shortlist;
             // ε-retention: random members of the original (unpruned) pool.
@@ -134,22 +193,24 @@ impl TaskTuner {
                 let pick = rand::Rng::gen_range(rng, 0..leftovers.len());
                 c.push(leftovers[pick].clone());
             }
+            measurer.record_psa_wall(psa_start.elapsed().as_secs_f64());
             c
         } else {
             pool
         };
 
         // --- Verify: cost-model ranking ----------------------------------
-        let samples: Vec<Sample> =
-            candidates.iter().map(|p| Sample::unlabeled(p, self.task_id)).collect();
-        let scores = model.predict(&samples);
+        let predict_start = Instant::now();
+        let samples = featurize_par(&candidates, self.task_id, threads);
+        let scores = model.predict_batch(&samples, threads);
         measurer.charge_model_evals(candidates.len());
+        measurer.record_predict_wall(predict_start.elapsed().as_secs_f64());
         // NaN scores (a diverged model) rank last rather than poisoning the
         // sort: the round degrades gracefully instead of crashing.
         let key = |i: usize| if scores[i].is_finite() { scores[i] } else { f32::NEG_INFINITY };
         let mut idx: Vec<usize> = (0..candidates.len()).collect();
         idx.sort_by(|&a, &b| key(b).total_cmp(&key(a)));
-        idx.truncate(n);
+        idx.truncate(params.n);
         let mut picked: Vec<Program> = idx.into_iter().map(|i| candidates[i].clone()).collect();
         // Dedup across the shortlist/ε overlap.
         let mut out_seen = HashSet::new();
@@ -183,6 +244,29 @@ impl TaskTuner {
     }
 }
 
+/// Extracts features for every candidate, fanning the per-program work out
+/// over contiguous index bands and merging in index order — the sample list
+/// is identical at any thread count.
+fn featurize_par(candidates: &[Program], task_id: usize, threads: usize) -> Vec<Sample> {
+    let workers = threads.max(1).min(candidates.len().max(1));
+    if workers <= 1 {
+        return candidates.iter().map(|p| Sample::unlabeled(p, task_id)).collect();
+    }
+    let mut slots: Vec<Option<Sample>> = (0..candidates.len()).map(|_| None).collect();
+    let band = candidates.len().div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (out_band, prog_band) in slots.chunks_mut(band).zip(candidates.chunks(band)) {
+            scope.spawn(move |_| {
+                for (slot, p) in out_band.iter_mut().zip(prog_band) {
+                    *slot = Some(Sample::unlabeled(p, task_id));
+                }
+            });
+        }
+    })
+    .expect("featurization workers must not panic");
+    slots.into_iter().map(|s| s.expect("every slot is filled")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,11 +280,16 @@ mod tests {
         (task, measurer, GpuSpec::t4().limits(), ChaCha8Rng::seed_from_u64(7))
     }
 
+    fn params(space_size: usize, pool_size: usize, epsilon: f64, n: usize, round: u64) -> ProposeParams {
+        ProposeParams { space_size, pool_size, epsilon, n, seed: 7, round, threads: 1 }
+    }
+
     #[test]
     fn propose_returns_requested_count() {
         let (mut task, mut m, limits, mut rng) = setup();
-        let mut model = RandomModel::new(1);
-        let progs = task.propose(&mut model, None, &mut m, &limits, 128, 128, 0.0, 10, &mut rng);
+        let model = RandomModel::new(1);
+        let progs =
+            task.propose(&model, None, &mut m, &limits, &params(128, 128, 0.0, 10, 0), &mut rng);
         assert_eq!(progs.len(), 10);
         assert!(m.stats().model_time_s > 0.0);
     }
@@ -209,15 +298,41 @@ mod tests {
     fn propose_with_psa_drafts_each_round() {
         let (mut task, mut m, limits, mut rng) = setup();
         let psa = Psa::new(GpuSpec::t4());
-        let mut model = RandomModel::new(1);
-        task.propose(&mut model, Some(&psa), &mut m, &limits, 64, 256, 0.2, 5, &mut rng);
+        let model = RandomModel::new(1);
+        task.propose(&model, Some(&psa), &mut m, &limits, &params(64, 256, 0.2, 5, 0), &mut rng);
         let psa_time = m.stats().psa_time_s;
         assert!(psa_time > 0.0);
-        task.propose(&mut model, Some(&psa), &mut m, &limits, 64, 256, 0.2, 5, &mut rng);
+        task.propose(&model, Some(&psa), &mut m, &limits, &params(64, 256, 0.2, 5, 1), &mut rng);
         assert!(m.stats().psa_time_s > psa_time, "PSA must draft every round");
         // The model only ever scores the shortlist, not the full pool.
         let model_evals = m.stats().model_time_s / m.time_model().model_eval_s;
         assert!(model_evals <= 2.0 * 64.0 + 1.0, "model scored too much: {model_evals}");
+    }
+
+    #[test]
+    fn propose_is_thread_count_invariant() {
+        let psa = Psa::new(GpuSpec::t4());
+        let run = |threads: usize| {
+            // Fresh model per run: RandomModel's per-call counter is state.
+            let model = RandomModel::new(1);
+            let (mut task, mut m, limits, mut rng) = setup();
+            let mut all = Vec::new();
+            for round in 0..3 {
+                let p = ProposeParams { threads, ..params(64, 256, 0.2, 6, round) };
+                let progs = task.propose(&model, Some(&psa), &mut m, &limits, &p, &mut rng);
+                for prog in &progs {
+                    task.record(prog.clone(), m.measure(prog));
+                }
+                all.extend(progs);
+            }
+            (all, m.stats())
+        };
+        let (serial, serial_stats) = run(1);
+        for threads in [2, 4, 8] {
+            let (progs, stats) = run(threads);
+            assert_eq!(progs, serial, "proposals diverged at {threads} threads");
+            assert_eq!(stats, serial_stats, "stats diverged at {threads} threads");
+        }
     }
 
     #[test]
@@ -235,12 +350,14 @@ mod tests {
     #[test]
     fn proposals_avoid_measured_programs() {
         let (mut task, mut m, limits, mut rng) = setup();
-        let mut model = RandomModel::new(2);
-        let first = task.propose(&mut model, None, &mut m, &limits, 64, 64, 0.0, 8, &mut rng);
+        let model = RandomModel::new(2);
+        let first =
+            task.propose(&model, None, &mut m, &limits, &params(64, 64, 0.0, 8, 0), &mut rng);
         for p in &first {
             task.record(p.clone(), 1e-3);
         }
-        let second = task.propose(&mut model, None, &mut m, &limits, 64, 64, 0.0, 8, &mut rng);
+        let second =
+            task.propose(&model, None, &mut m, &limits, &params(64, 64, 0.0, 8, 1), &mut rng);
         let first_keys: HashSet<String> = first.iter().map(|p| p.dedup_key()).collect();
         assert!(second.iter().all(|p| !first_keys.contains(&p.dedup_key())));
     }
@@ -254,7 +371,7 @@ mod tests {
             fn name(&self) -> &'static str {
                 "half-nan"
             }
-            fn predict(&mut self, samples: &[Sample]) -> Vec<f32> {
+            fn predict(&self, samples: &[Sample]) -> Vec<f32> {
                 (0..samples.len())
                     .map(|i| if i % 2 == 0 { f32::NAN } else { i as f32 })
                     .collect()
@@ -267,8 +384,9 @@ mod tests {
             }
         }
         let (mut task, mut m, limits, mut rng) = setup();
-        let mut model = HalfNan;
-        let progs = task.propose(&mut model, None, &mut m, &limits, 64, 64, 0.0, 8, &mut rng);
+        let model = HalfNan;
+        let progs =
+            task.propose(&model, None, &mut m, &limits, &params(64, 64, 0.0, 8, 0), &mut rng);
         assert_eq!(progs.len(), 8, "NaN scores must not shrink the proposal");
     }
 
@@ -285,10 +403,16 @@ mod tests {
     #[test]
     fn model_kinds_can_propose() {
         let (mut task, mut m, limits, mut rng) = setup();
-        for kind in [ModelKind::Pacm, ModelKind::Ansor] {
-            let mut model = kind.build(3);
-            let progs =
-                task.propose(model.as_mut(), None, &mut m, &limits, 32, 32, 0.0, 4, &mut rng);
+        for (round, kind) in [ModelKind::Pacm, ModelKind::Ansor].into_iter().enumerate() {
+            let model = kind.build(3);
+            let progs = task.propose(
+                model.as_ref(),
+                None,
+                &mut m,
+                &limits,
+                &params(32, 32, 0.0, 4, round as u64),
+                &mut rng,
+            );
             assert!(!progs.is_empty());
         }
     }

@@ -3,7 +3,7 @@
 use crate::curve::{CurvePoint, TuningCurve};
 use crate::measure::{Measurer, SearchStats, TimeModel};
 use crate::mtl::Mtl;
-use crate::task::TaskTuner;
+use crate::task::{ProposeParams, TaskTuner};
 use pruner_cost::{CostModel, ModelKind, PacmModel, Sample};
 use pruner_gpu::{GpuSpec, Simulator};
 use pruner_ir::{Network, Workload};
@@ -57,6 +57,16 @@ pub struct TunerConfig {
     pub train_window: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for the candidate-evaluation pipeline (generation,
+    /// PSA drafting, feature extraction, cost-model inference). `1` runs
+    /// the pipeline serially; any value produces bit-identical results.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+/// Default worker count: the host's available parallelism.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl Default for TunerConfig {
@@ -72,6 +82,7 @@ impl Default for TunerConfig {
             mtl_epochs: 3,
             train_window: 1536,
             seed: 42,
+            threads: default_threads(),
         }
     }
 }
@@ -203,21 +214,27 @@ impl Tuner {
         }
         curve.push(self.curve_point());
 
-        for _round in 0..self.cfg.rounds {
+        for round in 0..self.cfg.rounds {
             let ti = self.pick_task();
             // Propose and measure.
             let progs = {
                 let cfg = self.cfg;
+                let params = ProposeParams {
+                    space_size: cfg.space_size,
+                    pool_size: cfg.target_pool,
+                    epsilon: cfg.epsilon,
+                    n: cfg.measure_per_round,
+                    seed: cfg.seed,
+                    round: round as u64,
+                    threads: cfg.threads,
+                };
                 let task = &mut self.tasks[ti];
                 task.propose(
-                    self.model.as_mut(),
+                    self.model.as_ref(),
                     self.psa.as_ref(),
                     &mut self.measurer,
                     &self.limits,
-                    cfg.space_size,
-                    cfg.target_pool,
-                    cfg.epsilon,
-                    cfg.measure_per_round,
+                    &params,
                     &mut self.rng,
                 )
             };

@@ -21,6 +21,7 @@ struct Args {
     workloads: Vec<Workload>,
     trials: usize,
     seed: u64,
+    threads: Option<usize>,
     model: ModelKind,
     use_psa: bool,
     show_schedules: usize,
@@ -32,7 +33,7 @@ pruner-tune: tune tensor programs on a simulated GPU
 
 USAGE:
     pruner-tune --platform <p> (--network <name> | --matmul B,M,N,K | --conv2d N,C,H,W,CO,K,S,P)...
-                [--trials N] [--seed N] [--model <m>] [--no-psa]
+                [--trials N] [--seed N] [--threads N] [--model <m>] [--no-psa]
                 [--show-schedules N] [--output file.json]
 
 OPTIONS:
@@ -42,6 +43,8 @@ OPTIONS:
     --conv2d N,C,H,W,CO,K,S,P  add a conv2d task (repeatable)
     --trials N            measurement budget [default: 800]
     --seed N              RNG seed [default: 42]
+    --threads N           pipeline worker threads; results are identical at
+                          any value [default: all host cores]
     --model <m>           pacm | ansor | xgb | tensetmlp | tlp | random [default: pacm]
     --no-psa              disable PSA search-space pruning
     --show-schedules N    print the N best tuned schedules as pseudo-TIR [default: 1]
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         workloads: Vec::new(),
         trials: 800,
         seed: 42,
+        threads: None,
         model: ModelKind::Pacm,
         use_psa: true,
         show_schedules: 1,
@@ -102,6 +106,14 @@ fn parse_args() -> Result<Args, String> {
                     value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                let n: usize =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
             "--model" => {
                 args.model = match value("--model")?.as_str() {
                     "pacm" => ModelKind::Pacm,
@@ -151,6 +163,9 @@ fn main() -> ExitCode {
         .model(args.model)
         .seed(args.seed)
         .trials(args.trials);
+    if let Some(threads) = args.threads {
+        builder = builder.threads(threads);
+    }
     if !args.use_psa {
         builder = builder.without_psa();
     }
@@ -214,8 +229,8 @@ mod tests {
     #[test]
     fn usage_mentions_every_flag() {
         for flag in
-            ["--platform", "--network", "--matmul", "--conv2d", "--trials", "--seed", "--model",
-             "--no-psa", "--show-schedules", "--output"]
+            ["--platform", "--network", "--matmul", "--conv2d", "--trials", "--seed", "--threads",
+             "--model", "--no-psa", "--show-schedules", "--output"]
         {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }

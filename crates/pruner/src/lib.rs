@@ -188,6 +188,15 @@ impl PrunerBuilder {
         self
     }
 
+    /// Sets the worker-thread count of the candidate-evaluation pipeline.
+    ///
+    /// `1` runs the pipeline serially; results are bit-identical at any
+    /// value (the default is the host's available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
     /// Builds the tuner.
     ///
     /// # Panics
@@ -237,6 +246,32 @@ mod tests {
     #[should_panic(expected = "add a workload")]
     fn empty_builder_panics() {
         let _ = Pruner::builder(GpuSpec::t4()).build();
+    }
+
+    #[test]
+    fn threads_is_clamped_to_one() {
+        let p = Pruner::builder(GpuSpec::t4())
+            .workload(Workload::matmul(1, 64, 64, 64))
+            .threads(0);
+        assert_eq!(p.config.threads, 1);
+    }
+
+    #[test]
+    fn campaign_is_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            Pruner::builder(GpuSpec::t4())
+                .workload(Workload::matmul(1, 256, 256, 256))
+                .config(TunerConfig { rounds: 3, ..TunerConfig::quick() })
+                .seed(5)
+                .threads(threads)
+                .build()
+                .tune()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.best_latency_s, parallel.best_latency_s);
+        assert_eq!(serial.curve, parallel.curve);
+        assert_eq!(serial.stats, parallel.stats);
     }
 
     #[test]

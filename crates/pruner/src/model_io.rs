@@ -81,7 +81,7 @@ mod tests {
         model.fit(&data, 8);
         let path = tmp("pacm.json");
         save_json(&model, &path).unwrap();
-        let mut restored: PacmModel = load_json(&path).unwrap();
+        let restored: PacmModel = load_json(&path).unwrap();
         assert_eq!(model.predict(&data), restored.predict(&data));
         std::fs::remove_file(path).ok();
     }
@@ -93,14 +93,14 @@ mod tests {
         m1.fit(&data, 5);
         let p1 = tmp("tenset.json");
         save_json(&m1, &p1).unwrap();
-        let mut r1: TensetMlpModel = load_json(&p1).unwrap();
+        let r1: TensetMlpModel = load_json(&p1).unwrap();
         assert_eq!(m1.predict(&data), r1.predict(&data));
 
         let mut m2 = XgbModel::new();
         m2.fit(&data, 1);
         let p2 = tmp("xgb.json");
         save_json(&m2, &p2).unwrap();
-        let mut r2: XgbModel = load_json(&p2).unwrap();
+        let r2: XgbModel = load_json(&p2).unwrap();
         assert_eq!(m2.predict(&data), r2.predict(&data));
         std::fs::remove_file(p1).ok();
         std::fs::remove_file(p2).ok();

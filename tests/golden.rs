@@ -1,0 +1,89 @@
+//! Golden regression: the quick matmul campaign's exact tuning curve.
+//!
+//! Serializes the `TuningCurve` (plus the final best latency) of a fixed
+//! campaign — seed 42, simulated T4, one 512×512×512 matmul,
+//! `TunerConfig::quick()` — and compares it byte-for-byte against
+//! `tests/golden/quick_matmul_t4.json`. Any change to sampling, the GA,
+//! PSA, the cost models, the simulator or the tuner that shifts this
+//! campaign shows up here as a diff.
+//!
+//! To refresh after an *intentional* behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release --test golden
+//! ```
+//!
+//! The campaign runs at the host's default thread count; the parallel
+//! pipeline guarantees the result is identical at any thread count, so the
+//! golden file is stable across machines.
+
+use pruner::gpu::GpuSpec;
+use pruner::ir::Workload;
+use pruner::tuner::{TunerConfig, TuningCurve};
+use pruner::Pruner;
+use serde::Serialize;
+
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/quick_matmul_t4.json");
+
+/// Everything the golden file pins down.
+#[derive(Serialize)]
+struct GoldenRecord {
+    curve: TuningCurve,
+    best_latency_s: f64,
+    trials: u64,
+}
+
+fn campaign() -> GoldenRecord {
+    let mut builder = Pruner::builder(GpuSpec::t4())
+        .workload(Workload::matmul(1, 512, 512, 512))
+        .config(TunerConfig::quick())
+        .seed(42);
+    // CI runs this under a THREADS=1 / THREADS=4 matrix: the golden file
+    // must match at every pipeline width, not just the host default.
+    if let Ok(threads) = std::env::var("THREADS") {
+        builder = builder.threads(threads.parse().expect("THREADS must be an integer"));
+    }
+    let result = builder.build().tune();
+    GoldenRecord {
+        best_latency_s: result.best_latency_s,
+        trials: result.stats.trials,
+        curve: result.curve,
+    }
+}
+
+#[test]
+fn quick_matmul_campaign_matches_golden_curve() {
+    let record = campaign();
+    let actual = serde_json::to_string_pretty(&record).expect("curve serializes");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap())
+            .expect("golden dir");
+        std::fs::write(GOLDEN_PATH, actual.as_bytes()).expect("write golden");
+        eprintln!("golden file refreshed: {GOLDEN_PATH}");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {GOLDEN_PATH} ({e}); \
+             run with UPDATE_GOLDEN=1 to generate it"
+        )
+    });
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "the quick campaign's curve changed; if intentional, refresh with \
+         UPDATE_GOLDEN=1 cargo test --release --test golden"
+    );
+}
+
+#[test]
+fn golden_campaign_is_reproducible_in_process() {
+    // The exact-compare above is only meaningful if the campaign itself is
+    // bit-stable within one build.
+    let a = serde_json::to_string_pretty(&campaign()).unwrap();
+    let b = serde_json::to_string_pretty(&campaign()).unwrap();
+    assert_eq!(a, b);
+}

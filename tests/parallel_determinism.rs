@@ -1,0 +1,137 @@
+//! Integration: the parallel candidate-evaluation pipeline is bit-identical
+//! at every thread count.
+//!
+//! The tentpole guarantee of the worker fan-out is that `threads` is purely
+//! a scheduling knob: candidate generation derives one RNG stream per item,
+//! PSA drafting and cost-model inference band the work and merge in index
+//! order, and the ε-retention draw stays on the sequential campaign RNG.
+//! These tests drive whole campaigns through `Tuner::run` at 1/2/4/8
+//! threads and demand identical curves, latencies and simulated-time
+//! ledgers.
+
+use proptest::prelude::*;
+use pruner::cost::ModelKind;
+use pruner::gpu::GpuSpec;
+use pruner::ir::Workload;
+use pruner::tuner::{TunerConfig, TuningResult};
+use pruner::Pruner;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A campaign small enough to run dozens of times under proptest.
+fn tiny_config() -> TunerConfig {
+    TunerConfig {
+        rounds: 3,
+        measure_per_round: 3,
+        space_size: 32,
+        target_pool: 96,
+        ..TunerConfig::default()
+    }
+}
+
+fn campaign(wl: &Workload, seed: u64, use_psa: bool, threads: usize) -> TuningResult {
+    let mut builder = Pruner::builder(GpuSpec::t4())
+        .workload(wl.clone())
+        .config(tiny_config())
+        .model(ModelKind::Ansor) // cheapest learned model
+        .seed(seed)
+        .threads(threads);
+    if !use_psa {
+        builder = builder.without_psa();
+    }
+    builder.build().tune()
+}
+
+fn assert_identical(a: &TuningResult, b: &TuningResult, threads: usize) {
+    assert_eq!(
+        a.best_latency_s, b.best_latency_s,
+        "best latency diverged at {threads} threads"
+    );
+    assert_eq!(a.curve, b.curve, "tuning curve diverged at {threads} threads");
+    assert_eq!(a.stats, b.stats, "time ledger diverged at {threads} threads");
+    assert_eq!(
+        a.per_task_best, b.per_task_best,
+        "per-task results diverged at {threads} threads"
+    );
+    assert_eq!(
+        a.best_programs, b.best_programs,
+        "winning schedules diverged at {threads} threads"
+    );
+}
+
+/// Strategy: workloads spanning all three sketch kinds.
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        (4u64..=6, 4u64..=6).prop_map(|(m, n)| Workload::matmul(1, 1 << m, 1 << n, 256)),
+        (4u64..=6).prop_map(|c| Workload::conv2d(1, 1 << c, 14, 14, 32, 3, 1, 1)),
+        (12u64..=16).prop_map(|p| Workload::elementwise(pruner::ir::EwKind::Relu, 1 << p)),
+        (7u64..=9).prop_map(|o| Workload::reduction(1 << o, 256)),
+    ]
+}
+
+proptest! {
+    // Each case runs 4 full campaigns; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn campaigns_are_identical_at_any_thread_count(
+        wl in arb_workload(),
+        seed in 0u64..1000,
+        use_psa in prop_oneof![Just(true), Just(false)],
+    ) {
+        let baseline = campaign(&wl, seed, use_psa, THREAD_COUNTS[0]);
+        for &threads in &THREAD_COUNTS[1..] {
+            let run = campaign(&wl, seed, use_psa, threads);
+            assert_identical(&baseline, &run, threads);
+        }
+    }
+}
+
+#[test]
+fn paper_scale_round_is_identical_across_threads() {
+    // One round at the paper's full pool size, so the banded fan-out
+    // actually spans many chunks per stage.
+    let cfg = TunerConfig {
+        rounds: 1,
+        measure_per_round: 4,
+        space_size: 128,
+        target_pool: 2048,
+        ..TunerConfig::default()
+    };
+    let run = |threads: usize| {
+        Pruner::builder(GpuSpec::t4())
+            .workload(Workload::matmul(1, 512, 512, 512))
+            .config(cfg)
+            .model(ModelKind::Pacm)
+            .seed(42)
+            .threads(threads)
+            .build()
+            .tune()
+    };
+    let baseline = run(1);
+    for threads in [2, 4, 8] {
+        assert_identical(&baseline, &run(threads), threads);
+    }
+}
+
+#[test]
+fn multi_task_network_is_identical_across_threads() {
+    // Several tasks sharing one campaign: per-task seed folding must keep
+    // the schedule and every per-task incumbent thread-count independent.
+    let mut net = pruner::ir::Network::new("mini");
+    net.add(Workload::matmul(1, 256, 256, 256), 2);
+    net.add(Workload::reduction(1024, 256), 1);
+    let run = |threads: usize| {
+        Pruner::builder(GpuSpec::titan_v())
+            .network(&net)
+            .config(TunerConfig { rounds: 4, ..tiny_config() })
+            .seed(7)
+            .threads(threads)
+            .build()
+            .tune()
+    };
+    let baseline = run(1);
+    for threads in [2, 8] {
+        assert_identical(&baseline, &run(threads), threads);
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline micro-benchmark harness with criterion's import surface.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a simple calibrated loop (warm-up, then enough
+//! iterations to fill a small measurement budget) printing mean ns/iter —
+//! no statistics engine, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for compatibility;
+/// the offline harness times every batch identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Substring filter from the command line (cargo bench passes the
+    /// trailing free argument through).
+    filter: Option<String>,
+    /// Measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter, budget: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Accepted for compatibility with criterion's statistics engine; the
+    /// offline harness sizes its measurement loop from the time budget
+    /// instead of a fixed sample count.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one benchmark if it passes the filter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, budget: self.budget };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_secs_f64() * 1e9 / b.iters as f64
+        };
+        println!("{name:<48} {mean_ns:>14.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills the
+        // budget without calling Instant::now around every single call.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = target;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = target;
+    }
+}
+
+/// Declares a group of benchmark functions.
+///
+/// Both the positional form (`criterion_group!(name, target, ...)`) and the
+/// named form (`criterion_group! { name = ...; config = ...; targets = ... }`)
+/// are supported, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_and_times() {
+        let mut c = Criterion { filter: None, budget: Duration::from_millis(5) };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 1, "benchmark body must run more than once");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion { filter: None, budget: Duration::from_millis(5) };
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("match-me".into()), budget: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}

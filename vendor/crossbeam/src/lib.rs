@@ -1,0 +1,105 @@
+//! Offline shim for the `crossbeam` scoped-thread API.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this shim
+//! simply adapts `crossbeam::thread::scope`'s surface (closures receive the
+//! scope, `scope` returns a `Result`) onto [`std::thread::scope`].
+
+pub use crate::thread::scope;
+
+pub mod thread {
+    //! Scoped threads in the `crossbeam::thread` shape.
+
+    /// Spawns scoped threads; the closure result is returned as `Ok` once
+    /// every (joined or unjoined) thread has finished.
+    ///
+    /// Unlike upstream crossbeam, a panicking *unjoined* child aborts via
+    /// `std::thread::scope`'s propagation instead of being collected into
+    /// the `Err` variant; the workspace always joins or lets the scope
+    /// propagate, so the distinction is unobservable here.
+    ///
+    /// # Errors
+    /// Never returns `Err` (panics propagate instead); the `Result` exists
+    /// for crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    /// A handle for spawning threads that may borrow from the enclosing
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns work, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Owned permission to join a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_mutate_disjoint_chunks() {
+        let mut data = vec![0u64; 97];
+        crate::scope(|s| {
+            for (i, chunk) in data.chunks_mut(10).enumerate() {
+                s.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 10 + j) as u64;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        let answer = crate::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(answer, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let v = crate::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 7);
+                inner.join().unwrap()
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline subset of `rand_distr`: the distributions this workspace uses.
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error building a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Standard normal via Box–Muller (no cached spare, so sampling is a pure
+/// function of the RNG stream position — important for determinism).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Builds `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    /// Fails when `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if std_dev.is_nan() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Builds `exp(N(mu, sigma²))`.
+    ///
+    /// # Errors
+    /// Fails when `sigma` is negative or non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let d = LogNormal::new(0.0, 0.05).unwrap();
+        let mut rng = Lcg(5);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean > 0.9 && mean < 1.1, "lognormal(0, .05) mean ≈ 1, got {mean}");
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = Lcg(11);
+        let n = 8000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.5, "var {var}");
+    }
+}

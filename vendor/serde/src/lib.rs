@@ -1,0 +1,512 @@
+//! Offline serialization framework with serde's import surface.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the pieces of serde the workspace actually uses — `Serialize`,
+//! `Deserialize`, `de::DeserializeOwned` and the two derive macros — over
+//! a simplified self-describing data model ([`Content`]). `serde_json`
+//! (also vendored) renders [`Content`] to JSON text and back.
+//!
+//! Deliberate simplifications vs. upstream serde:
+//! - One universal in-memory tree ([`Content`]) instead of visitor-driven
+//!   zero-copy serialization. Fine at this workspace's artifact sizes.
+//! - Non-finite floats serialize to `Null` (as `serde_json` does) and
+//!   deserialize back as `NaN` rather than erroring, so labeled/unlabeled
+//!   sample round-trips are lossless in spirit.
+//! - Only the `#[serde(skip)]` and `#[serde(default = "path")]` field
+//!   attributes are honored — the only ones used in this repository.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The self-describing value tree every type serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A finite float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (integers widen losslessly, `Null` is NaN).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::F64(v) if v.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&v) => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in serialized map entries (helper for derived code).
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A serialization or deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl std::fmt::Display) -> Error {
+        Error { msg: msg.to_string() }
+    }
+
+    /// The standard "missing field" error (helper for derived code).
+    pub fn missing_field(ty: &str, field: &str) -> Error {
+        Error::custom(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// The standard "type mismatch" error (helper for derived code).
+    pub fn invalid_type(ty: &str, expected: &str) -> Error {
+        Error::custom(format!("invalid type while deserializing {ty}: expected {expected}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`Content`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can rebuild itself from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a content tree.
+    ///
+    /// # Errors
+    /// Returns an [`Error`] when the tree shape does not match the type.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization traits (`serde::de` import compatibility).
+
+    pub use crate::{Deserialize, Error};
+
+    /// Marker for types deserializable without borrowing the input — every
+    /// [`Deserialize`] type here, since [`crate::Content`] is owned.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization traits (`serde::ser` import compatibility).
+
+    pub use crate::{Error, Serialize};
+}
+
+// --- primitive impls -----------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_u64().ok_or_else(|| Error::invalid_type(stringify!($t), "unsigned integer"))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_i64().ok_or_else(|| Error::invalid_type(stringify!($t), "integer"))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as f64;
+                if v.is_finite() { Content::F64(v) } else { Content::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                c.as_f64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| Error::invalid_type(stringify!($t), "number"))
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::invalid_type("bool", "boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str().map(str::to_string).ok_or_else(|| Error::invalid_type("String", "string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+/// Deserializing into `&'static str` works by interning: each distinct
+/// string is leaked exactly once and reused afterwards. The workspace only
+/// uses this for small fixed vocabularies (axis names such as `"m"`/`"rk"`),
+/// so the leak is bounded by the vocabulary size.
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_str().ok_or_else(|| Error::invalid_type("&str", "string"))?;
+        Ok(intern_static(s))
+    }
+}
+
+fn intern_static(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL.get_or_init(|| Mutex::new(HashSet::new())).lock().unwrap();
+    match pool.get(s) {
+        Some(&interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+            pool.insert(leaked);
+            leaked
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_str().ok_or_else(|| Error::invalid_type("char", "string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(Error::invalid_type("char", "one-character string")),
+        }
+    }
+}
+
+// --- container impls -----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::invalid_type("Vec", "sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let seq = c.as_seq().ok_or_else(|| Error::invalid_type("array", "sequence"))?;
+        if seq.len() != N {
+            return Err(Error::custom(format!("expected {N} elements, got {}", seq.len())));
+        }
+        let items: Result<Vec<T>, Error> = seq.iter().map(T::from_content).collect();
+        items?.try_into().map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let seq = c.as_seq().ok_or_else(|| Error::invalid_type("tuple", "sequence"))?;
+                let expected = [$(stringify!($n)),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a {expected}-tuple, got {} elements", seq.len())));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        // Deterministic artifact bytes regardless of hasher state.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::invalid_type("HashMap", "map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::invalid_type("BTreeMap", "map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for std::sync::atomic::AtomicU64 {
+    fn to_content(&self) -> Content {
+        Content::U64(self.load(std::sync::atomic::Ordering::Relaxed))
+    }
+}
+
+impl Deserialize for std::sync::atomic::AtomicU64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_u64()
+            .map(std::sync::atomic::AtomicU64::new)
+            .ok_or_else(|| Error::invalid_type("AtomicU64", "unsigned integer"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        assert_eq!(f64::NAN.to_content(), Content::Null);
+        assert_eq!(f64::INFINITY.to_content(), Content::Null);
+        assert!(f64::from_content(&Content::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn options_and_vecs_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let c = v.to_content();
+        assert_eq!(Vec::<Option<u32>>::from_content(&c).unwrap(), v);
+    }
+
+    #[test]
+    fn arrays_and_tuples_round_trip() {
+        let a = [1u64, 2, 3, 4, 5];
+        assert_eq!(<[u64; 5]>::from_content(&a.to_content()).unwrap(), a);
+        let t = (1u32, -2i64, 0.5f64);
+        assert_eq!(<(u32, i64, f64)>::from_content(&t.to_content()).unwrap(), t);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let a = [1u64, 2, 3];
+        assert!(<[u64; 5]>::from_content(&a.to_content()).is_err());
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        match m.to_content() {
+            Content::Map(entries) => {
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(entries[1].0, "b");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The macros parse the item declaration directly from the token stream
+//! (no `syn`/`quote` available offline) and emit impls of the shim's
+//! `to_content`/`from_content` traits. Supported shapes — the ones this
+//! workspace uses:
+//!
+//! - structs with named fields, honoring `#[serde(skip)]` and
+//!   `#[serde(skip, default = "path")]` / `#[serde(default = "path")]`
+//! - tuple structs (newtypes serialize transparently, like serde)
+//! - enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, like serde's default)
+//!
+//! Generic type parameters are not supported and fail with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field attribute set.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default_path: Option<String>,
+}
+
+/// A named or positional field.
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+/// Enum variant payload shapes.
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// The parsed item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => serialize_named_struct(name, fields),
+        Item::TupleStruct { name, arity } => serialize_tuple_struct(name, *arity),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => deserialize_named_struct(name, fields),
+        Item::TupleStruct { name, arity } => deserialize_tuple_struct(name, *arity),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes, visibility and auxiliary keywords.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    }
+
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (offline shim): generic types are not supported, found on `{name}`");
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && is_struct => {
+            Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && is_struct => {
+            Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && !is_struct => {
+            Item::Enum { name, variants: parse_variants(g.stream()) }
+        }
+        other => panic!("serde_derive: unsupported item body for `{name}`: {other:?}"),
+    }
+}
+
+/// Parses `#[serde(...)]` contents already split from the attribute.
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Shape: serde ( skip , default = "path" , ... )
+    let Some(TokenTree::Ident(tag)) = inner.first() else { return };
+    if tag.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else { return };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                attrs.skip = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                j += 1;
+                if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    j += 1;
+                    if let Some(TokenTree::Literal(lit)) = args.get(j) {
+                        let raw = lit.to_string();
+                        attrs.default_path = Some(raw.trim_matches('"').to_string());
+                        j += 1;
+                    }
+                } else {
+                    // Bare `default`: std Default.
+                    attrs.default_path = Some(String::new());
+                }
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+/// Consumes attributes at `tokens[i..]`, returning the parsed serde attrs
+/// and the index after them.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (FieldAttrs, usize) {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            parse_serde_attr(g, &mut attrs);
+            i += 1;
+        }
+    }
+    (attrs, i)
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker if present.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a type (field-type position) up to a top-level `,`.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (attrs, next) = take_attrs(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i = skip_type(&tokens, i + 1);
+        i += 1; // the comma (or past the end)
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, next) = take_attrs(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        i += 1; // comma
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, next) = take_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(
+                    parse_named_fields(g.stream()).into_iter().map(|f| f.name).collect(),
+                )
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible discriminant and the separating comma.
+        while i < tokens.len()
+            && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- code generation -----------------------------------------------------
+
+fn serialize_named_struct(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        pushes.push_str(&format!(
+            "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_content(&self.{n})));\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_content(&self) -> ::serde::Content {{\n\
+             let mut entries: Vec<(String, ::serde::Content)> = Vec::new();\n\
+             {pushes}\
+             ::serde::Content::Map(entries)\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn deserialize_named_struct(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.attrs.skip {
+            match &f.attrs.default_path {
+                Some(path) if !path.is_empty() => inits.push_str(&format!("{n}: {path}(),\n")),
+                _ => inits.push_str(&format!("{n}: ::core::default::Default::default(),\n")),
+            }
+        } else {
+            let fallback = match &f.attrs.default_path {
+                Some(path) if !path.is_empty() => format!("{path}()"),
+                Some(_) => "::core::default::Default::default()".to_string(),
+                None => format!("return Err(::serde::Error::missing_field(\"{name}\", \"{n}\"))"),
+            };
+            inits.push_str(&format!(
+                "{n}: match ::serde::content_get(map, \"{n}\") {{\n\
+                   Some(v) => ::serde::Deserialize::from_content(v)?,\n\
+                   None => {fallback},\n\
+                 }},\n"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+             let map = c.as_map().ok_or_else(|| ::serde::Error::invalid_type(\"{name}\", \"map\"))?;\n\
+             Ok({name} {{\n\
+               {inits}\
+             }})\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn serialize_tuple_struct(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        // Newtype structs serialize transparently, matching serde.
+        "::serde::Serialize::to_content(&self.0)".to_string()
+    } else {
+        let items: Vec<String> =
+            (0..arity).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+        format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_tuple_struct(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+    } else {
+        let items: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+            .collect();
+        format!(
+            "let seq = c.as_seq().ok_or_else(|| ::serde::Error::invalid_type(\"{name}\", \"sequence\"))?;\n\
+             if seq.len() != {arity} {{\n\
+               return Err(::serde::Error::custom(format!(\"expected {arity} elements for {name}, got {{}}\", seq.len())));\n\
+             }}\n\
+             Ok({name}({items}))",
+            items = items.join(", ")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+            )),
+            VariantKind::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_content(f0))]),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_content({b})")).collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Seq(vec![{items}]))]),\n",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                ));
+            }
+            VariantKind::Struct(field_names) => {
+                let binds = field_names.join(", ");
+                let items: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Map(vec![{items}]))]),\n",
+                    items = items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_content(&self) -> ::serde::Content {{\n\
+             match self {{\n\
+               {arms}\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+            }
+            VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(payload)?)),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                       let seq = payload.as_seq().ok_or_else(|| ::serde::Error::invalid_type(\"{name}::{vn}\", \"sequence\"))?;\n\
+                       if seq.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}::{vn}\")); }}\n\
+                       Ok({name}::{vn}({items}))\n\
+                     }}\n",
+                    items = items.join(", ")
+                ));
+            }
+            VariantKind::Struct(field_names) => {
+                let inits: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_content(::serde::content_get(m, \"{f}\").ok_or_else(|| ::serde::Error::missing_field(\"{name}::{vn}\", \"{f}\"))?)?"
+                        )
+                    })
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                       let m = payload.as_map().ok_or_else(|| ::serde::Error::invalid_type(\"{name}::{vn}\", \"map\"))?;\n\
+                       Ok({name}::{vn} {{ {inits} }})\n\
+                     }}\n",
+                    inits = inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+             match c {{\n\
+               ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+               }},\n\
+               ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                   {data_arms}\
+                   other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+               }}\n\
+               _ => Err(::serde::Error::invalid_type(\"{name}\", \"string or single-entry map\")),\n\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}
