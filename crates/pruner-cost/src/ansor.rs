@@ -1,6 +1,6 @@
 //! Ansor's online cost model, approximated by a compact MLP regressor.
 
-use crate::model::CostModel;
+use crate::model::{CostModel, ModelSnapshot};
 use crate::sample::{group_by_task, stack_pooled, Sample};
 use pruner_features::STMT_DIM;
 use pruner_nn::{latencies_to_relevance, mse_loss, Adam, Graph, Mlp, Module, NodeId};
@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnsorModel {
     net: Mlp,
-    #[serde(skip, default = "default_adam")]
+    #[serde(default = "default_adam")]
     adam: Adam,
     seed: u64,
 }
@@ -107,6 +107,10 @@ impl CostModel for AnsorModel {
 
     fn clone_box(&self) -> Box<dyn CostModel> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Ansor(self.clone()))
     }
 }
 

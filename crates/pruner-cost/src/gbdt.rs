@@ -7,7 +7,7 @@
 //! gradient boosting over pooled statement features, retrained from
 //! scratch at every `fit` exactly as Ansor retrains per round.
 
-use crate::model::CostModel;
+use crate::model::{CostModel, ModelSnapshot};
 use crate::sample::{group_by_task, stack_pooled, Sample};
 use pruner_nn::latencies_to_relevance;
 use serde::{Deserialize, Serialize};
@@ -256,6 +256,10 @@ impl CostModel for XgbModel {
 
     fn clone_box(&self) -> Box<dyn CostModel> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Xgb(self.clone()))
     }
 }
 

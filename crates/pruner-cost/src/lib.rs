@@ -33,7 +33,7 @@ mod tlp;
 
 pub use ansor::AnsorModel;
 pub use gbdt::{Gbdt, XgbModel};
-pub use model::{CostModel, ModelKind, RandomModel};
+pub use model::{CostModel, ModelKind, ModelSnapshot, RandomModel};
 pub use pacm::PacmModel;
 pub use sample::{
     attention_masks, group_by_task, stack_flow, stack_pooled, stack_stmt, stack_tokens, Sample,

@@ -61,6 +61,48 @@ pub trait CostModel: Send + Sync {
 
     /// Clones the model behind the trait object.
     fn clone_box(&self) -> Box<dyn CostModel>;
+
+    /// Captures the full training state behind the trait object for
+    /// crash-safe checkpointing, or `None` for models that don't support
+    /// it. Every built-in model supports it; restoring through
+    /// [`ModelSnapshot::into_model`] reproduces predictions *and*
+    /// subsequent fine-tuning bit-for-bit.
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        None
+    }
+}
+
+/// A serializable capture of any built-in cost model, optimizer state
+/// included — the unit of model persistence in campaign checkpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)] // built once per checkpoint
+pub enum ModelSnapshot {
+    /// Pattern-aware Cost Model (any branch configuration).
+    Pacm(crate::PacmModel),
+    /// TensetMLP baseline.
+    TensetMlp(crate::TensetMlpModel),
+    /// TLP baseline.
+    Tlp(crate::TlpModel),
+    /// Ansor online-MLP baseline.
+    Ansor(crate::AnsorModel),
+    /// Gradient-boosted trees baseline.
+    Xgb(crate::XgbModel),
+    /// Random-score floor (its call counter is the state).
+    Random(RandomModel),
+}
+
+impl ModelSnapshot {
+    /// Rebuilds the captured model as a trait object.
+    pub fn into_model(self) -> Box<dyn CostModel> {
+        match self {
+            ModelSnapshot::Pacm(m) => Box::new(m),
+            ModelSnapshot::TensetMlp(m) => Box::new(m),
+            ModelSnapshot::Tlp(m) => Box::new(m),
+            ModelSnapshot::Ansor(m) => Box::new(m),
+            ModelSnapshot::Xgb(m) => Box::new(m),
+            ModelSnapshot::Random(m) => Box::new(m),
+        }
+    }
 }
 
 impl Clone for Box<dyn CostModel> {
@@ -156,6 +198,10 @@ impl CostModel for RandomModel {
 
     fn clone_box(&self) -> Box<dyn CostModel> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Random(self.clone()))
     }
 }
 

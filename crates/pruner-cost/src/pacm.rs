@@ -1,6 +1,6 @@
 //! PaCM — the Pattern-aware Cost Model (paper §2.4, Figure 3).
 
-use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel};
+use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel, ModelSnapshot};
 use crate::sample::{stack_flow, stack_stmt, Sample};
 use pruner_features::{FLOW_DIM, MAX_FLOW, MAX_STMTS, STMT_DIM};
 use pruner_nn::{
@@ -30,7 +30,7 @@ pub struct PacmModel {
     head: Mlp,
     use_stmt: bool,
     use_flow: bool,
-    #[serde(skip, default = "default_adam")]
+    #[serde(default = "default_adam")]
     adam: Adam,
     seed: u64,
 }
@@ -200,6 +200,10 @@ impl CostModel for PacmModel {
 
     fn clone_box(&self) -> Box<dyn CostModel> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Pacm(self.clone()))
     }
 }
 

@@ -1,6 +1,6 @@
 //! TensetMLP — the statement-feature MLP baseline (Zheng et al., Tenset).
 
-use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel};
+use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel, ModelSnapshot};
 use crate::sample::{stack_stmt, Sample};
 use pruner_features::{MAX_STMTS, STMT_DIM};
 use pruner_nn::{lambdarank_grad, Adam, Graph, Mlp, Module, NodeId, Tensor};
@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 pub struct TensetMlpModel {
     encoder: Mlp,
     head: Mlp,
-    #[serde(skip, default = "default_adam")]
+    #[serde(default = "default_adam")]
     adam: Adam,
     seed: u64,
 }
@@ -105,6 +105,10 @@ impl CostModel for TensetMlpModel {
 
     fn clone_box(&self) -> Box<dyn CostModel> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::TensetMlp(self.clone()))
     }
 }
 

@@ -1,6 +1,6 @@
 //! TLP — the schedule-primitive transformer baseline (Zhai et al.).
 
-use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel};
+use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel, ModelSnapshot};
 use crate::sample::{stack_tokens, Sample};
 use pruner_features::{MAX_TOKENS, TLP_DIM};
 use pruner_nn::{
@@ -23,7 +23,7 @@ pub struct TlpModel {
     attn1: SelfAttention,
     attn2: SelfAttention,
     head: Mlp,
-    #[serde(skip, default = "default_adam")]
+    #[serde(default = "default_adam")]
     adam: Adam,
     seed: u64,
 }
@@ -134,6 +134,10 @@ impl CostModel for TlpModel {
 
     fn clone_box(&self) -> Box<dyn CostModel> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Tlp(self.clone()))
     }
 }
 

@@ -37,9 +37,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod sim;
 mod spec;
 pub mod vendor;
 
+pub use fault::{FaultDraw, FaultKind, FaultModel, Measurement};
 pub use sim::{quick_latency, SimConfig, Simulator};
 pub use spec::GpuSpec;

@@ -1,5 +1,6 @@
 //! The analytical latency model.
 
+use crate::fault::{FaultDraw, FaultKind, FaultModel, Measurement};
 use crate::spec::GpuSpec;
 use pruner_sketch::{Program, ProgramStats};
 use rand::SeedableRng;
@@ -12,7 +13,7 @@ use std::hash::{Hash, Hasher};
 /// The defaults are calibrated so tuned kernels land at realistic fractions
 /// of roofline; experiments only rely on *relative* orderings, which are
 /// stable across a broad range of these constants.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimConfig {
     /// Amplitude of the deterministic microarchitectural quirk term (±).
     pub quirk_amplitude: f64,
@@ -62,17 +63,18 @@ impl Default for SimConfig {
 pub struct Simulator {
     spec: GpuSpec,
     cfg: SimConfig,
+    fault: Option<FaultModel>,
 }
 
 impl Simulator {
     /// Creates a simulator with default model constants.
     pub fn new(spec: GpuSpec) -> Simulator {
-        Simulator { spec, cfg: SimConfig::default() }
+        Simulator { spec, cfg: SimConfig::default(), fault: None }
     }
 
     /// Creates a simulator with explicit model constants.
     pub fn with_config(spec: GpuSpec, cfg: SimConfig) -> Simulator {
-        Simulator { spec, cfg }
+        Simulator { spec, cfg, fault: None }
     }
 
     /// The platform being simulated.
@@ -83,6 +85,18 @@ impl Simulator {
     /// The model constants.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Enables (or disables, with `None`) deterministic fault injection on
+    /// the measurement path. Noise-free [`Simulator::latency`] queries are
+    /// never faulted — only measurements, like real hardware.
+    pub fn set_fault_model(&mut self, fault: Option<FaultModel>) {
+        self.fault = fault;
+    }
+
+    /// The active fault model, if any.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
     }
 
     /// Noise-free latency of a program, in seconds.
@@ -249,13 +263,58 @@ impl Simulator {
 
     /// Averages `repeats` noisy measurements (the usual measuring practice).
     pub fn measure_avg(&self, prog: &Program, nonce: u64, repeats: u32) -> f64 {
+        self.measure_dist(prog, nonce, repeats).mean_s
+    }
+
+    /// Mean **and** per-repeat dispersion of `repeats` noisy measurements.
+    ///
+    /// The mean is bit-identical to [`Simulator::measure_avg`] (same
+    /// per-repeat sequence, same summation order); the variance is the
+    /// population variance of the repeats, which outlier detection keys on.
+    pub fn measure_dist(&self, prog: &Program, nonce: u64, repeats: u32) -> Measurement {
         assert!(repeats > 0, "need at least one repeat");
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         prog.dedup_key().hash(&mut hasher);
         nonce.hash(&mut hasher);
         let salt = hasher.finish();
-        (0..repeats as u64).map(|i| self.measure(prog, salt.wrapping_add(i))).sum::<f64>()
-            / repeats as f64
+        let vals: Vec<f64> =
+            (0..repeats as u64).map(|i| self.measure(prog, salt.wrapping_add(i))).collect();
+        let mean = vals.iter().sum::<f64>() / repeats as f64;
+        let variance =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / repeats as f64;
+        Measurement { mean_s: mean, variance }
+    }
+
+    /// One measurement attempt through the fault model.
+    ///
+    /// With no fault model installed (or a clean draw) this is exactly
+    /// [`Simulator::measure_dist`]. A faulting draw returns the typed
+    /// failure instead; an outlier draw corrupts the returned timing as if
+    /// one of the repeats had spiked by the drawn multiplier, inflating
+    /// both the mean and the variance so the harness can detect it.
+    pub fn try_measure(
+        &self,
+        prog: &Program,
+        nonce: u64,
+        repeats: u32,
+    ) -> Result<Measurement, FaultKind> {
+        let draw = match &self.fault {
+            Some(fault) => fault.draw(&prog.dedup_key(), nonce),
+            None => FaultDraw::Clean,
+        };
+        match draw {
+            FaultDraw::Clean => Ok(self.measure_dist(prog, nonce, repeats)),
+            FaultDraw::Fault(kind) => Err(kind),
+            FaultDraw::Outlier(mult) => {
+                let clean = self.measure_dist(prog, nonce, repeats);
+                let n = repeats as f64;
+                let spike = clean.mean_s * (mult - 1.0);
+                Ok(Measurement {
+                    mean_s: clean.mean_s + spike / n,
+                    variance: clean.variance + spike * spike * (n - 1.0).max(0.0) / (n * n),
+                })
+            }
+        }
     }
 
     /// The best latency a perfectly tuned kernel could approach on this
@@ -397,6 +456,55 @@ mod tests {
         let base = sim.latency(&prog);
         let avg = sim.measure_avg(&prog, 0, 64);
         assert!((avg / base - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn measure_dist_mean_matches_avg_and_variance_is_tight() {
+        let sim = t4();
+        let prog = sample_prog(&Workload::matmul(1, 256, 256, 256), 4);
+        let m = sim.measure_dist(&prog, 3, 64);
+        assert_eq!(m.mean_s, sim.measure_avg(&prog, 3, 64), "mean must be bit-identical");
+        assert!(m.variance > 0.0);
+        assert!(m.rel_std() < 0.1, "clean rel std {} should track σ=0.02", m.rel_std());
+    }
+
+    #[test]
+    fn try_measure_without_faults_is_clean_dist() {
+        let sim = t4();
+        let prog = sample_prog(&Workload::matmul(1, 256, 256, 256), 5);
+        assert_eq!(sim.try_measure(&prog, 9, 32), Ok(sim.measure_dist(&prog, 9, 32)));
+    }
+
+    #[test]
+    fn try_measure_injects_typed_faults_and_detectable_outliers() {
+        let mut sim = t4();
+        sim.set_fault_model(Some(crate::FaultModel::from_rate(0xFA17, 0.5)));
+        let prog = sample_prog(&Workload::matmul(1, 256, 256, 256), 6);
+        let clean = sim.measure_dist(&prog, 0, 100);
+        let mut faults = 0;
+        let mut outliers = 0;
+        for nonce in 0..200 {
+            match sim.try_measure(&prog, nonce, 100) {
+                Err(_) => faults += 1,
+                Ok(m) if m.rel_std() > 0.5 => {
+                    outliers += 1;
+                    assert!(m.mean_s > clean.mean_s, "outlier must inflate the mean");
+                }
+                Ok(m) => assert!(
+                    m.rel_std() < 0.1,
+                    "clean draws must stay tight, got rel std {}",
+                    m.rel_std()
+                ),
+            }
+        }
+        assert!(faults > 0, "hard faults must fire at rate 0.5");
+        assert!(outliers > 0, "outliers must fire and be detectable at rate 0.5");
+        // Determinism: the same nonces reproduce the same fate sequence.
+        let replay: Vec<Result<_, _>> =
+            (0..200).map(|n| sim.try_measure(&prog, n, 100)).collect();
+        let again: Vec<Result<_, _>> =
+            (0..200).map(|n| sim.try_measure(&prog, n, 100)).collect();
+        assert_eq!(replay, again);
     }
 
     #[test]

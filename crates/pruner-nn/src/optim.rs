@@ -1,9 +1,15 @@
 //! Optimizers.
 
 use crate::layers::Param;
+use serde::{Deserialize, Serialize};
 
 /// Adam optimizer (Kingma & Ba) with decoupled step counting.
-#[derive(Debug, Clone)]
+///
+/// Serializable so crash-safe tuner checkpoints can capture the step
+/// counter `t` (which drives bias correction) along with the moment
+/// tensors stored in each [`Param`] — without it a resumed fine-tuning
+/// run would diverge from an uninterrupted one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     /// Learning rate.
     pub lr: f32,

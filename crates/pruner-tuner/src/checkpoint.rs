@@ -1,0 +1,212 @@
+//! Crash-safe campaign checkpointing.
+//!
+//! A [`Checkpoint`] captures *everything* a campaign needs to continue as
+//! if it had never stopped: the round counter, every task's measurement
+//! log and quarantine set, the measurement cache and simulated-time
+//! ledger, the cost model's weights (including optimizer moments and the
+//! Adam step counter), the MTL Siamese state, the fault model, and the
+//! word offset of the campaign RNG. Resuming from a checkpoint therefore
+//! produces a byte-identical [`crate::TuningResult`] to the uninterrupted
+//! run — checked by the `checkpoint` integration suite.
+//!
+//! Writes are atomic: the JSON is written to a `.tmp` sibling and
+//! `rename`d over the destination, so a crash mid-write leaves either the
+//! previous checkpoint or the new one, never a torn file.
+
+use crate::curve::TuningCurve;
+use crate::measure::{MeasureOutcome, RetryPolicy, SearchStats, TimeModel};
+use crate::mtl::Mtl;
+use pruner_cost::ModelSnapshot;
+use pruner_gpu::{FaultModel, GpuSpec, SimConfig};
+use pruner_ir::Workload;
+use pruner_psa::PsaConfig;
+use pruner_sketch::Program;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::tuner::TunerConfig;
+
+/// Serialized state of one [`crate::TaskTuner`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskCheckpoint {
+    /// The workload being tuned.
+    pub workload: Workload,
+    /// Stable task identifier.
+    pub task_id: usize,
+    /// Occurrence weight in the parent network.
+    pub weight: u64,
+    /// Measurement log in measurement order (the incumbent is re-derived
+    /// by replaying it).
+    pub measured: Vec<(Program, f64)>,
+    /// Quarantined program keys, sorted.
+    pub quarantined: Vec<String>,
+    /// Scheduler staleness counter.
+    pub rounds_since_improvement: usize,
+}
+
+/// Serialized state of the [`crate::Measurer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasurerCheckpoint {
+    /// Time-cost constants.
+    pub time: TimeModel,
+    /// Retry/backoff policy.
+    pub policy: RetryPolicy,
+    /// Simulator model constants (noise seed included).
+    pub sim: SimConfig,
+    /// The fault model installed on the simulator, if any.
+    pub fault: Option<FaultModel>,
+    /// Measurement cache in sorted-key order.
+    pub cache: Vec<(String, MeasureOutcome)>,
+    /// The simulated-time ledger.
+    pub stats: SearchStats,
+    /// Measurement attempts issued so far (the next attempt's nonce).
+    pub attempts: u64,
+}
+
+/// A complete, resumable snapshot of a tuning campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version (bumped on incompatible layout changes).
+    pub version: u32,
+    /// Campaign parameters.
+    pub config: TunerConfig,
+    /// The platform being tuned.
+    pub spec: GpuSpec,
+    /// PSA penalty toggles (used only when `config.use_psa`).
+    pub psa_cfg: PsaConfig,
+    /// The next round to execute (rounds `0..next_round` are complete).
+    pub next_round: usize,
+    /// Best-so-far trajectory up to `next_round`.
+    pub curve: TuningCurve,
+    /// Per-task state.
+    pub tasks: Vec<TaskCheckpoint>,
+    /// Measurement subsystem state.
+    pub measurer: MeasurerCheckpoint,
+    /// Cost-model weights and optimizer state.
+    pub model: ModelSnapshot,
+    /// MTL Siamese state, when MTL is configured.
+    pub mtl: Option<Mtl>,
+    /// Words consumed from the campaign RNG (seeded from `config.seed`).
+    pub rng_word_offset: u64,
+}
+
+impl Checkpoint {
+    /// Current checkpoint format version.
+    pub const VERSION: u32 = 1;
+
+    /// Serializes and atomically writes the checkpoint to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads and validates a checkpoint from `path`.
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let text = fs::read_to_string(path)?;
+        let ckpt: Checkpoint = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if ckpt.version != Checkpoint::VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint version {} unsupported (expected {})",
+                    ckpt.version,
+                    Checkpoint::VERSION
+                ),
+            ));
+        }
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Measurer;
+    use pruner_gpu::Simulator;
+    use pruner_sketch::HardwareLimits;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn demo_checkpoint() -> Checkpoint {
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let prog = Program::sample(&wl, &HardwareLimits::default(), &mut rng);
+        let mut measurer = Measurer::new(Simulator::new(GpuSpec::t4()));
+        let out = measurer.measure(&prog);
+        assert!(out.is_success());
+        Checkpoint {
+            version: Checkpoint::VERSION,
+            config: TunerConfig::quick(),
+            spec: GpuSpec::t4(),
+            psa_cfg: PsaConfig::default(),
+            next_round: 3,
+            curve: TuningCurve::new(),
+            tasks: vec![TaskCheckpoint {
+                workload: wl,
+                task_id: 0,
+                weight: 1,
+                measured: vec![(prog, out.latency().unwrap())],
+                quarantined: vec!["some-key".into()],
+                rounds_since_improvement: 2,
+            }],
+            measurer: MeasurerCheckpoint {
+                time: TimeModel::default(),
+                policy: RetryPolicy::default(),
+                sim: SimConfig::default(),
+                fault: Some(FaultModel::from_rate(9, 0.25)),
+                cache: measurer.cache_entries(),
+                stats: measurer.stats(),
+                attempts: 1,
+            },
+            model: ModelSnapshot::Random(pruner_cost::RandomModel::new(3)),
+            mtl: None,
+            rng_word_offset: 17,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let ckpt = demo_checkpoint();
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.next_round, 3);
+        assert_eq!(back.tasks[0].quarantined, vec!["some-key".to_string()]);
+        assert_eq!(back.measurer.stats, ckpt.measurer.stats);
+        assert_eq!(back.measurer.fault, ckpt.measurer.fault);
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_round_trips() {
+        let dir = std::env::temp_dir().join("pruner-ckpt-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+        let ckpt = demo_checkpoint();
+        ckpt.save(&path).unwrap();
+        assert!(!path.with_extension("json.tmp").exists(), "tmp file must be renamed away");
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), serde_json::to_string(&ckpt).unwrap());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join("pruner-ckpt-version-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+        let mut ckpt = demo_checkpoint();
+        ckpt.version = 999;
+        ckpt.save(&path).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "unexpected error: {err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

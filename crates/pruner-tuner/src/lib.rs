@@ -36,14 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod curve;
 mod measure;
 mod mtl;
 mod task;
 mod tuner;
 
+pub use checkpoint::{Checkpoint, MeasurerCheckpoint, TaskCheckpoint};
 pub use curve::{CurvePoint, TuningCurve};
-pub use measure::{Measurer, SearchStats, TimeModel};
+pub use measure::{MeasureOutcome, Measurer, RetryPolicy, SearchStats, TimeModel};
 pub use mtl::{pretrain_pacm, Mtl};
 pub use task::{ProposeParams, TaskTuner};
 pub use tuner::{ModelSetup, Tuner, TunerConfig, TuningResult};

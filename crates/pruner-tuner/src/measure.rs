@@ -1,6 +1,6 @@
-//! Measurement with caching and search-time accounting.
+//! Measurement with caching, fault handling, and search-time accounting.
 
-use pruner_gpu::Simulator;
+use pruner_gpu::{FaultKind, Simulator};
 use pruner_sketch::Program;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -47,6 +47,77 @@ impl Default for TimeModel {
     }
 }
 
+/// How the measurement harness reacts to injected hardware failures.
+///
+/// Mirrors the retry discipline of a real RPC measurement fleet: a failed
+/// attempt is retried a bounded number of times with exponential backoff
+/// (charged to simulated time, not host time), device resets charge an
+/// extra recovery penalty, and timings whose relative standard deviation
+/// exceeds `outlier_rel_std` are treated as failed attempts too.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Extra attempts allowed after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff charged before the first retry, seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_mult: f64,
+    /// Deadline charged when an attempt times out, seconds.
+    pub timeout_s: f64,
+    /// Recovery penalty charged when the device resets, seconds.
+    pub reset_penalty_s: f64,
+    /// Relative standard deviation (σ / mean) above which a timing is
+    /// rejected as an outlier and the attempt retried.
+    pub outlier_rel_std: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base_s: 0.5,
+            backoff_mult: 2.0,
+            timeout_s: 10.0,
+            reset_penalty_s: 30.0,
+            outlier_rel_std: 0.5,
+        }
+    }
+}
+
+/// The final verdict on measuring one program, after retries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MeasureOutcome {
+    /// A trusted timing.
+    Success {
+        /// Mean latency over the configured repeats, seconds.
+        latency_s: f64,
+        /// Population variance of the per-repeat latencies, seconds².
+        variance: f64,
+    },
+    /// Every attempt failed; the program is quarantined.
+    Failure {
+        /// The failure class of the last attempt.
+        kind: FaultKind,
+        /// Total attempts spent before giving up.
+        attempts: u32,
+    },
+}
+
+impl MeasureOutcome {
+    /// The latency if the measurement succeeded.
+    pub fn latency(&self) -> Option<f64> {
+        match self {
+            MeasureOutcome::Success { latency_s, .. } => Some(*latency_s),
+            MeasureOutcome::Failure { .. } => None,
+        }
+    }
+
+    /// Whether this outcome carries a trusted timing.
+    pub fn is_success(&self) -> bool {
+        matches!(self, MeasureOutcome::Success { .. })
+    }
+}
+
 /// Simulated-time ledger of one tuning campaign.
 ///
 /// The `*_time_s` fields are *simulated* costs charged through
@@ -69,6 +140,36 @@ pub struct SearchStats {
     pub train_time_s: f64,
     /// Seconds spent generating/evolving candidates.
     pub evolve_time_s: f64,
+    /// Measurement attempts that failed (all classes, including rejected
+    /// outlier timings).
+    #[serde(default)]
+    pub failures: u64,
+    /// Failed attempts that were retried.
+    #[serde(default)]
+    pub retries: u64,
+    /// Attempts lost to compile errors.
+    #[serde(default)]
+    pub compile_errors: u64,
+    /// Attempts lost to run timeouts.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Attempts lost to device resets.
+    #[serde(default)]
+    pub device_resets: u64,
+    /// Timings rejected as outliers (excessive dispersion).
+    #[serde(default)]
+    pub outliers: u64,
+    /// Programs quarantined after exhausting retries.
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Seconds of simulated exponential backoff before retries.
+    #[serde(default)]
+    pub retry_backoff_s: f64,
+    /// Seconds of simulated device time wasted on failed attempts
+    /// (compile time of broken kernels, timeout deadlines, reset
+    /// recovery, discarded outlier runs).
+    #[serde(default)]
+    pub fault_time_s: f64,
     /// Host wall-clock seconds in candidate generation (GA fan-out).
     #[serde(skip)]
     pub gen_wall_s: f64,
@@ -90,17 +191,28 @@ impl PartialEq for SearchStats {
             && self.psa_time_s == other.psa_time_s
             && self.train_time_s == other.train_time_s
             && self.evolve_time_s == other.evolve_time_s
+            && self.failures == other.failures
+            && self.retries == other.retries
+            && self.compile_errors == other.compile_errors
+            && self.timeouts == other.timeouts
+            && self.device_resets == other.device_resets
+            && self.outliers == other.outliers
+            && self.quarantined == other.quarantined
+            && self.retry_backoff_s == other.retry_backoff_s
+            && self.fault_time_s == other.fault_time_s
     }
 }
 
 impl SearchStats {
-    /// Total simulated search time.
+    /// Total simulated search time, including time lost to faults.
     pub fn total_s(&self) -> f64 {
         self.measure_time_s
             + self.model_time_s
             + self.psa_time_s
             + self.train_time_s
             + self.evolve_time_s
+            + self.retry_backoff_s
+            + self.fault_time_s
     }
 
     /// Total host wall-clock time spent in the parallel pipeline stages.
@@ -109,25 +221,51 @@ impl SearchStats {
     }
 }
 
-/// Measures programs on the simulator, deduplicating repeats and accounting
-/// simulated search time.
+/// Measures programs on the simulator, deduplicating repeats, retrying
+/// injected failures per [`RetryPolicy`], and accounting simulated search
+/// time.
 #[derive(Debug, Clone)]
 pub struct Measurer {
     sim: Simulator,
     time: TimeModel,
-    cache: HashMap<String, f64>,
+    policy: RetryPolicy,
+    cache: HashMap<String, MeasureOutcome>,
     stats: SearchStats,
+    /// Measurement attempts issued so far; the nonce of the next attempt.
+    /// With no faults every attempt succeeds, so this tracks
+    /// `stats.trials` exactly and the zero-fault noise stream is
+    /// bit-identical to a fault-unaware harness.
+    attempts: u64,
 }
 
 impl Measurer {
     /// Wraps a simulator with the default time model.
     pub fn new(sim: Simulator) -> Measurer {
-        Measurer { sim, time: TimeModel::default(), cache: HashMap::new(), stats: SearchStats::default() }
+        Measurer::with_time_model(sim, TimeModel::default())
     }
 
     /// Wraps a simulator with an explicit time model.
     pub fn with_time_model(sim: Simulator, time: TimeModel) -> Measurer {
-        Measurer { sim, time, cache: HashMap::new(), stats: SearchStats::default() }
+        Measurer {
+            sim,
+            time,
+            policy: RetryPolicy::default(),
+            cache: HashMap::new(),
+            stats: SearchStats::default(),
+            attempts: 0,
+        }
+    }
+
+    /// Rebuilds a measurer from checkpointed state.
+    pub(crate) fn from_parts(
+        sim: Simulator,
+        time: TimeModel,
+        policy: RetryPolicy,
+        cache: Vec<(String, MeasureOutcome)>,
+        stats: SearchStats,
+        attempts: u64,
+    ) -> Measurer {
+        Measurer { sim, time, policy, cache: cache.into_iter().collect(), stats, attempts }
     }
 
     /// The underlying simulator.
@@ -135,9 +273,31 @@ impl Measurer {
         &self.sim
     }
 
+    /// Mutable access to the simulator (e.g. to install a fault model).
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
     /// The time-cost constants in use.
     pub fn time_model(&self) -> &TimeModel {
         &self.time
+    }
+
+    /// Replaces the time-cost constants **without** touching the
+    /// measurement cache, ledger, or attempt counter — swapping cost
+    /// constants mid-campaign must not forget what was already measured.
+    pub fn set_time_model(&mut self, time: TimeModel) {
+        self.time = time;
+    }
+
+    /// The retry policy in use.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Replaces the retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
     }
 
     /// The accumulated ledger.
@@ -145,24 +305,118 @@ impl Measurer {
         self.stats
     }
 
-    /// Measures one program (averaged over the configured repeats), charging
-    /// compile + run time. Previously measured programs return the cached
-    /// value and charge nothing — real tuners skip re-measuring too.
-    pub fn measure(&mut self, prog: &Program) -> f64 {
-        let key = prog.dedup_key();
-        if let Some(&lat) = self.cache.get(&key) {
-            return lat;
-        }
-        let lat = self.sim.measure_avg(prog, self.stats.trials, self.time.repeats);
-        self.stats.trials += 1;
-        self.stats.measure_time_s += self.time.compile_s
-            + self.time.measure_overhead_s
-            + lat * self.time.repeats as f64;
-        self.cache.insert(key, lat);
-        lat
+    /// Measurement attempts issued so far (the next attempt's nonce).
+    pub(crate) fn attempts(&self) -> u64 {
+        self.attempts
     }
 
-    /// Whether a program has already been measured.
+    /// The measurement cache in deterministic (sorted-key) order, for
+    /// checkpointing.
+    pub(crate) fn cache_entries(&self) -> Vec<(String, MeasureOutcome)> {
+        let mut entries: Vec<(String, MeasureOutcome)> =
+            self.cache.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Measures one program (averaged over the configured repeats),
+    /// charging compile + run time, retrying injected failures up to the
+    /// policy bound. Previously measured programs return the cached
+    /// outcome and charge nothing — real tuners skip re-measuring too,
+    /// and a quarantined kernel is never put back on the device.
+    pub fn measure(&mut self, prog: &Program) -> MeasureOutcome {
+        let key = prog.dedup_key();
+        if let Some(&out) = self.cache.get(&key) {
+            return out;
+        }
+        let mut last_kind = FaultKind::CompileError;
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                self.stats.retry_backoff_s +=
+                    self.policy.backoff_base_s * self.policy.backoff_mult.powi(attempt as i32 - 1);
+            }
+            let nonce = self.attempts;
+            self.attempts += 1;
+            match self.sim.try_measure(prog, nonce, self.time.repeats) {
+                Err(kind) => {
+                    self.record_fault(kind, 0.0);
+                    last_kind = kind;
+                }
+                Ok(m) if m.rel_std() > self.policy.outlier_rel_std => {
+                    // The run "completed", so the device time was spent
+                    // before the timing was rejected.
+                    self.record_fault(
+                        FaultKind::Outlier,
+                        m.mean_s * self.time.repeats as f64,
+                    );
+                    last_kind = FaultKind::Outlier;
+                }
+                Ok(m) => {
+                    self.stats.trials += 1;
+                    self.stats.measure_time_s += self.time.compile_s
+                        + self.time.measure_overhead_s
+                        + m.mean_s * self.time.repeats as f64;
+                    let out =
+                        MeasureOutcome::Success { latency_s: m.mean_s, variance: m.variance };
+                    self.cache.insert(key, out);
+                    return out;
+                }
+            }
+        }
+        self.stats.quarantined += 1;
+        let out =
+            MeasureOutcome::Failure { kind: last_kind, attempts: self.policy.max_retries + 1 };
+        self.cache.insert(key, out);
+        out
+    }
+
+    /// Measures one program bypassing the fault model (a hand-verified
+    /// reference run, as a real campaign does for its seed schedules).
+    /// Consumes the same nonce stream as [`Measurer::measure`] so the
+    /// zero-fault path is unchanged, and always produces a trusted timing.
+    pub fn measure_trusted(&mut self, prog: &Program) -> f64 {
+        let key = prog.dedup_key();
+        if let Some(&out) = self.cache.get(&key) {
+            if let Some(lat) = out.latency() {
+                return lat;
+            }
+        }
+        let nonce = self.attempts;
+        self.attempts += 1;
+        let m = self.sim.measure_dist(prog, nonce, self.time.repeats);
+        self.stats.trials += 1;
+        self.stats.measure_time_s +=
+            self.time.compile_s + self.time.measure_overhead_s + m.mean_s * self.time.repeats as f64;
+        let out = MeasureOutcome::Success { latency_s: m.mean_s, variance: m.variance };
+        self.cache.insert(key, out);
+        m.mean_s
+    }
+
+    fn record_fault(&mut self, kind: FaultKind, run_s: f64) {
+        self.stats.failures += 1;
+        let charged = match kind {
+            FaultKind::CompileError => {
+                self.stats.compile_errors += 1;
+                self.time.compile_s
+            }
+            FaultKind::Timeout => {
+                self.stats.timeouts += 1;
+                self.time.compile_s + self.time.measure_overhead_s + self.policy.timeout_s
+            }
+            FaultKind::DeviceReset => {
+                self.stats.device_resets += 1;
+                self.time.compile_s + self.time.measure_overhead_s + self.policy.reset_penalty_s
+            }
+            FaultKind::Outlier => {
+                self.stats.outliers += 1;
+                self.time.compile_s + self.time.measure_overhead_s + run_s
+            }
+        };
+        self.stats.fault_time_s += charged;
+    }
+
+    /// Whether a program has already been measured (or quarantined).
     pub fn is_measured(&self, prog: &Program) -> bool {
         self.cache.contains_key(&prog.dedup_key())
     }
@@ -206,7 +460,7 @@ impl Measurer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pruner_gpu::GpuSpec;
+    use pruner_gpu::{FaultModel, GpuSpec};
     use pruner_ir::Workload;
     use pruner_sketch::{HardwareLimits, Program};
     use rand::SeedableRng;
@@ -214,6 +468,12 @@ mod tests {
 
     fn measurer() -> Measurer {
         Measurer::new(Simulator::new(GpuSpec::t4()))
+    }
+
+    fn faulty_measurer(rate: f64) -> Measurer {
+        let mut sim = Simulator::new(GpuSpec::t4());
+        sim.set_fault_model(Some(FaultModel::from_rate(11, rate)));
+        Measurer::new(sim)
     }
 
     fn prog(seed: u64) -> Program {
@@ -229,9 +489,116 @@ mod tests {
         let t1 = m.stats().measure_time_s;
         let b = m.measure(&p);
         assert_eq!(a, b);
+        assert!(a.is_success());
         assert_eq!(m.stats().trials, 1, "repeat measurement must not count");
         assert_eq!(m.stats().measure_time_s, t1);
         assert!(m.is_measured(&p));
+    }
+
+    #[test]
+    fn zero_fault_path_matches_legacy_nonce_stream() {
+        // Without faults the attempt nonce must equal the trial count at
+        // every cache miss, so measure() reproduces the historical
+        // measure_avg(prog, trials, repeats) stream bit for bit.
+        let mut m = measurer();
+        let sim = Simulator::new(GpuSpec::t4());
+        for s in 0..8 {
+            let p = prog(s);
+            let expect = sim.measure_avg(&p, m.stats().trials, m.time_model().repeats);
+            let got = m.measure(&p).latency().expect("fault-free");
+            assert_eq!(got, expect, "nonce stream diverged at trial {s}");
+        }
+        assert_eq!(m.stats().failures, 0);
+        assert_eq!(m.stats().fault_time_s, 0.0);
+    }
+
+    #[test]
+    fn measure_trusted_is_identical_to_measure_without_faults() {
+        let mut a = measurer();
+        let mut b = measurer();
+        for s in 0..6 {
+            let p = prog(s);
+            let la = a.measure(&p).latency().unwrap();
+            let lb = b.measure_trusted(&p);
+            assert_eq!(la, lb);
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn retries_and_quarantine_account_faults() {
+        // At a near-certain fault rate every program exhausts its retries.
+        let mut m = faulty_measurer(0.9);
+        m.set_retry_policy(RetryPolicy { max_retries: 2, ..RetryPolicy::default() });
+        let mut quarantined = 0;
+        for s in 0..24 {
+            if let MeasureOutcome::Failure { attempts, .. } = m.measure(&prog(s)) {
+                assert_eq!(attempts, 3);
+                quarantined += 1;
+            }
+        }
+        let st = m.stats();
+        assert!(quarantined > 0, "rate 0.9 must quarantine something in 24 programs");
+        assert_eq!(st.quarantined, quarantined);
+        assert!(st.failures >= 3 * quarantined, "each quarantine burns all attempts");
+        assert_eq!(st.failures, st.retries + st.quarantined, "one extra failure per quarantine");
+    }
+
+    #[test]
+    fn retry_backoff_grows_exponentially() {
+        let mut m = faulty_measurer(0.9);
+        m.set_retry_policy(RetryPolicy {
+            max_retries: 3,
+            backoff_base_s: 1.0,
+            backoff_mult: 2.0,
+            ..RetryPolicy::default()
+        });
+        // Find a program that exhausts all 4 attempts.
+        for s in 0..64 {
+            let before = m.stats().retry_backoff_s;
+            if let MeasureOutcome::Failure { .. } = m.measure(&prog(s)) {
+                let spent = m.stats().retry_backoff_s - before;
+                // 1 + 2 + 4 seconds of backoff across 3 retries.
+                assert_eq!(spent, 7.0);
+                return;
+            }
+        }
+        panic!("rate 0.9 never exhausted retries in 64 programs");
+    }
+
+    #[test]
+    fn quarantined_outcome_is_cached_and_charges_nothing_again() {
+        let mut m = faulty_measurer(0.9);
+        for s in 0..64 {
+            let p = prog(s);
+            let first = m.measure(&p);
+            if !first.is_success() {
+                let stats = m.stats();
+                let again = m.measure(&p);
+                assert_eq!(first, again);
+                assert_eq!(m.stats(), stats, "cached failure must not re-charge");
+                return;
+            }
+        }
+        panic!("rate 0.9 never quarantined in 64 programs");
+    }
+
+    #[test]
+    fn fault_classes_are_counted_and_charged() {
+        let mut m = faulty_measurer(0.5);
+        for s in 0..200 {
+            m.measure(&prog(s));
+        }
+        let st = m.stats();
+        assert!(st.failures > 0);
+        assert_eq!(
+            st.failures,
+            st.compile_errors + st.timeouts + st.device_resets + st.outliers,
+            "class counters must partition failures"
+        );
+        assert!(st.fault_time_s > 0.0);
+        assert!(st.retry_backoff_s > 0.0);
+        assert!(st.total_s() > st.measure_time_s + st.fault_time_s);
     }
 
     #[test]
@@ -246,6 +613,19 @@ mod tests {
         assert!(s.measure_time_s > 2.0, "compile dominates: {}", s.measure_time_s);
         assert!(s.model_time_s > 0.0 && s.psa_time_s > 0.0);
         assert!(s.total_s() > s.measure_time_s);
+    }
+
+    #[test]
+    fn set_time_model_preserves_cache_and_stats() {
+        let mut m = measurer();
+        let p = prog(5);
+        m.measure(&p);
+        let stats = m.stats();
+        let time = TimeModel { compile_s: 10.0, ..TimeModel::default() };
+        m.set_time_model(time);
+        assert!(m.is_measured(&p), "swapping cost constants must not drop the cache");
+        assert_eq!(m.stats(), stats, "swapping cost constants must not reset the ledger");
+        assert_eq!(m.time_model().compile_s, 10.0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use pruner_cost::{CostModel, PacmModel, Sample};
 use pruner_nn::Module;
+use serde::{Deserialize, Serialize};
 
 /// The MTL state: a pre-trained Siamese copy of PaCM plus the momentum
 /// coefficient (`m = 0.99` in the paper).
@@ -12,7 +13,7 @@ use pruner_nn::Module;
 /// `P_s ← m·P_s + (1−m)·P_t` — the bidirectional feedback that keeps
 /// fine-tuning from collapsing while still letting the pre-trained
 /// knowledge drift toward the new platform.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mtl {
     siamese: PacmModel,
     momentum: f32,

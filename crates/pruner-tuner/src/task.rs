@@ -47,6 +47,7 @@ pub struct TaskTuner {
     pub weight: u64,
     measured: Vec<(Program, f64)>,
     measured_keys: HashSet<String>,
+    quarantined: HashSet<String>,
     best: Option<(Program, f64)>,
     rounds_since_improvement: usize,
 }
@@ -60,9 +61,45 @@ impl TaskTuner {
             weight,
             measured: Vec::new(),
             measured_keys: HashSet::new(),
+            quarantined: HashSet::new(),
             best: None,
             rounds_since_improvement: 0,
         }
+    }
+
+    /// Rebuilds the tuning state from checkpointed measurements. The
+    /// incumbent is re-derived by replaying the measurement order, so a
+    /// restored task is indistinguishable from one that never stopped.
+    pub(crate) fn from_checkpoint(
+        workload: Workload,
+        task_id: usize,
+        weight: u64,
+        measured: Vec<(Program, f64)>,
+        quarantined: Vec<String>,
+        rounds_since_improvement: usize,
+    ) -> TaskTuner {
+        let mut task = TaskTuner::new(workload, task_id, weight);
+        for (prog, latency) in measured {
+            task.record(prog, latency);
+        }
+        for key in quarantined {
+            task.measured_keys.insert(key.clone());
+            task.quarantined.insert(key);
+        }
+        task.rounds_since_improvement = rounds_since_improvement;
+        task
+    }
+
+    /// The measurement log, in measurement order (for checkpointing).
+    pub(crate) fn measured_log(&self) -> &[(Program, f64)] {
+        &self.measured
+    }
+
+    /// Quarantined program keys in deterministic (sorted) order.
+    pub(crate) fn quarantined_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.quarantined.iter().cloned().collect();
+        keys.sort();
+        keys
     }
 
     /// Best measured latency so far (∞ before the first round).
@@ -228,6 +265,20 @@ impl TaskTuner {
         self.measured.push((prog, latency));
     }
 
+    /// Quarantines a program whose measurement failed permanently: it is
+    /// never re-proposed (its key joins the measured set) and never enters
+    /// the training data (it is not recorded as a labeled sample).
+    pub fn quarantine(&mut self, prog: &Program) {
+        let key = prog.dedup_key();
+        self.measured_keys.insert(key.clone());
+        self.quarantined.insert(key);
+    }
+
+    /// Number of programs quarantined on this task.
+    pub fn num_quarantined(&self) -> usize {
+        self.quarantined.len()
+    }
+
     /// Marks the end of one tuning round for scheduler bookkeeping.
     pub fn finish_round(&mut self, improved: bool) {
         if improved {
@@ -321,7 +372,7 @@ mod tests {
                 let p = ProposeParams { threads, ..params(64, 256, 0.2, 6, round) };
                 let progs = task.propose(&model, Some(&psa), &mut m, &limits, &p, &mut rng);
                 for prog in &progs {
-                    task.record(prog.clone(), m.measure(prog));
+                    task.record(prog.clone(), m.measure(prog).latency().unwrap());
                 }
                 all.extend(progs);
             }
@@ -360,6 +411,49 @@ mod tests {
             task.propose(&model, None, &mut m, &limits, &params(64, 64, 0.0, 8, 1), &mut rng);
         let first_keys: HashSet<String> = first.iter().map(|p| p.dedup_key()).collect();
         assert!(second.iter().all(|p| !first_keys.contains(&p.dedup_key())));
+    }
+
+    #[test]
+    fn quarantined_programs_never_return() {
+        let (mut task, mut m, limits, mut rng) = setup();
+        let model = RandomModel::new(2);
+        let first =
+            task.propose(&model, None, &mut m, &limits, &params(64, 64, 0.0, 8, 0), &mut rng);
+        let bad = first[0].clone();
+        task.quarantine(&bad);
+        assert_eq!(task.num_quarantined(), 1);
+        assert!(task.labeled_samples().is_empty(), "quarantine must not create training data");
+        let second =
+            task.propose(&model, None, &mut m, &limits, &params(64, 64, 0.0, 8, 1), &mut rng);
+        assert!(
+            second.iter().all(|p| p.dedup_key() != bad.dedup_key()),
+            "a quarantined program must never be re-proposed"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_incumbent_and_quarantine() {
+        let (mut task, _, limits, mut rng) = setup();
+        let a = Program::sample(&task.workload, &limits, &mut rng);
+        let b = Program::sample(&task.workload, &limits, &mut rng);
+        let c = Program::sample(&task.workload, &limits, &mut rng);
+        task.record(a, 2e-3);
+        task.record(b.clone(), 1e-3);
+        task.quarantine(&c);
+        task.finish_round(false);
+        let restored = TaskTuner::from_checkpoint(
+            task.workload.clone(),
+            task.task_id,
+            task.weight,
+            task.measured_log().to_vec(),
+            task.quarantined_keys(),
+            task.rounds_since_improvement(),
+        );
+        assert_eq!(restored.best_latency(), 1e-3);
+        assert_eq!(restored.best_program().map(|p| p.dedup_key()), Some(b.dedup_key()));
+        assert_eq!(restored.num_measured(), 2);
+        assert_eq!(restored.num_quarantined(), 1);
+        assert_eq!(restored.rounds_since_improvement(), 1);
     }
 
     #[test]

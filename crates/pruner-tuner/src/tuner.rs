@@ -1,16 +1,22 @@
 //! The tuning orchestrator: rounds, task scheduling, model updates.
 
+use crate::checkpoint::{Checkpoint, MeasurerCheckpoint, TaskCheckpoint};
 use crate::curve::{CurvePoint, TuningCurve};
-use crate::measure::{Measurer, SearchStats, TimeModel};
+use crate::measure::{MeasureOutcome, Measurer, RetryPolicy, SearchStats, TimeModel};
 use crate::mtl::Mtl;
 use crate::task::{ProposeParams, TaskTuner};
 use pruner_cost::{CostModel, ModelKind, PacmModel, Sample};
-use pruner_gpu::{GpuSpec, Simulator};
+use pruner_gpu::{FaultModel, GpuSpec, Simulator};
 use pruner_ir::{Network, Workload};
 use pruner_psa::{Psa, PsaConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Seed salt separating the fault stream from measurement noise and the
+/// campaign RNG.
+const FAULT_SEED_SALT: u64 = 0xFA17_FA17_FA17_FA17;
 
 /// How the tuner obtains and updates its cost model.
 #[allow(clippy::large_enum_variant)] // configuration object, built once per campaign
@@ -62,11 +68,38 @@ pub struct TunerConfig {
     /// the pipeline serially; any value produces bit-identical results.
     #[serde(default = "default_threads")]
     pub threads: usize,
+    /// Composite hardware-failure rate injected into the measurement path
+    /// (0 disables fault injection entirely; the zero-fault campaign is
+    /// bit-identical to a fault-unaware build).
+    #[serde(default)]
+    pub fault_rate: f64,
+    /// Extra measurement attempts allowed after a failed attempt before
+    /// the candidate is quarantined.
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+    /// Rounds between checkpoint writes (0 disables periodic writes;
+    /// checkpoints are only written when a path is configured).
+    #[serde(default = "default_checkpoint_every")]
+    pub checkpoint_every: usize,
+    /// Stop after this many rounds even if `rounds` is larger — the
+    /// "kill" half of kill-and-resume testing.
+    #[serde(default)]
+    pub halt_after: Option<usize>,
 }
 
 /// Default worker count: the host's available parallelism.
 fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Default retry budget after a failed measurement attempt.
+fn default_max_retries() -> u32 {
+    2
+}
+
+/// Default checkpoint cadence, in rounds.
+fn default_checkpoint_every() -> usize {
+    5
 }
 
 impl Default for TunerConfig {
@@ -83,6 +116,10 @@ impl Default for TunerConfig {
             train_window: 1536,
             seed: 42,
             threads: default_threads(),
+            fault_rate: 0.0,
+            max_retries: default_max_retries(),
+            checkpoint_every: default_checkpoint_every(),
+            halt_after: None,
         }
     }
 }
@@ -125,6 +162,8 @@ pub struct TuningResult {
 /// round when configured.
 pub struct Tuner {
     cfg: TunerConfig,
+    spec: GpuSpec,
+    psa_cfg: PsaConfig,
     measurer: Measurer,
     psa: Option<Psa>,
     limits: pruner_sketch::HardwareLimits,
@@ -132,6 +171,9 @@ pub struct Tuner {
     model: Box<dyn CostModel>,
     mtl: Option<Mtl>,
     rng: ChaCha8Rng,
+    checkpoint_path: Option<PathBuf>,
+    start_round: usize,
+    restored_curve: Option<TuningCurve>,
 }
 
 impl Tuner {
@@ -147,9 +189,15 @@ impl Tuner {
         setup: ModelSetup,
         psa_cfg: PsaConfig,
     ) -> Tuner {
-        let sim = Simulator::new(spec.clone());
+        let mut sim = Simulator::new(spec.clone());
+        if cfg.fault_rate > 0.0 {
+            sim.set_fault_model(Some(FaultModel::from_rate(
+                cfg.seed ^ FAULT_SEED_SALT,
+                cfg.fault_rate,
+            )));
+        }
         let limits = spec.limits();
-        let psa = cfg.use_psa.then(|| Psa::with_config(spec, psa_cfg));
+        let psa = cfg.use_psa.then(|| Psa::with_config(spec.clone(), psa_cfg));
         let (model, mtl): (Box<dyn CostModel>, Option<Mtl>) = match setup {
             ModelSetup::Fresh(kind) => (kind.build(cfg.seed), None),
             ModelSetup::Offline(model) => (model, None),
@@ -158,22 +206,139 @@ impl Tuner {
                 (Box::new(pretrained), Some(mtl))
             }
         };
+        let mut measurer = Measurer::new(sim);
+        measurer
+            .set_retry_policy(RetryPolicy { max_retries: cfg.max_retries, ..RetryPolicy::default() });
         Tuner {
             cfg,
-            measurer: Measurer::new(sim),
+            spec,
+            psa_cfg,
+            measurer,
             psa,
             limits,
             tasks: Vec::new(),
             model,
             mtl,
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            checkpoint_path: None,
+            start_round: 0,
+            restored_curve: None,
         }
     }
 
-    /// Overrides the time-cost constants (calibration experiments).
+    /// Overrides the time-cost constants (calibration experiments),
+    /// preserving the measurement cache and the simulated-time ledger.
     pub fn set_time_model(&mut self, time: TimeModel) {
-        let sim = self.measurer.simulator().clone();
-        self.measurer = Measurer::with_time_model(sim, time);
+        self.measurer.set_time_model(time);
+    }
+
+    /// Enables periodic checkpointing to `path` (every
+    /// [`TunerConfig::checkpoint_every`] rounds, written atomically).
+    pub fn set_checkpoint_path<P: Into<PathBuf>>(&mut self, path: P) {
+        self.checkpoint_path = Some(path.into());
+    }
+
+    /// Restores a campaign from a checkpoint file. The resumed campaign
+    /// continues from the first unfinished round and produces a
+    /// byte-identical [`TuningResult`] to the uninterrupted run.
+    pub fn resume<P: AsRef<Path>>(path: P) -> std::io::Result<Tuner> {
+        let ckpt = Checkpoint::load(path.as_ref())?;
+        Ok(Tuner::from_checkpoint(ckpt))
+    }
+
+    /// Rebuilds a tuner from an in-memory checkpoint.
+    pub fn from_checkpoint(ckpt: Checkpoint) -> Tuner {
+        let cfg = ckpt.config;
+        let mut sim = Simulator::with_config(ckpt.spec.clone(), ckpt.measurer.sim.clone());
+        sim.set_fault_model(ckpt.measurer.fault);
+        let limits = ckpt.spec.limits();
+        let psa =
+            cfg.use_psa.then(|| Psa::with_config(ckpt.spec.clone(), ckpt.psa_cfg));
+        let measurer = Measurer::from_parts(
+            sim,
+            ckpt.measurer.time,
+            ckpt.measurer.policy,
+            ckpt.measurer.cache,
+            ckpt.measurer.stats,
+            ckpt.measurer.attempts,
+        );
+        let tasks = ckpt
+            .tasks
+            .into_iter()
+            .map(|t| {
+                TaskTuner::from_checkpoint(
+                    t.workload,
+                    t.task_id,
+                    t.weight,
+                    t.measured,
+                    t.quarantined,
+                    t.rounds_since_improvement,
+                )
+            })
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        rng.set_word_offset(ckpt.rng_word_offset);
+        Tuner {
+            cfg,
+            spec: ckpt.spec,
+            psa_cfg: ckpt.psa_cfg,
+            measurer,
+            psa,
+            limits,
+            tasks,
+            model: ckpt.model.into_model(),
+            mtl: ckpt.mtl,
+            rng,
+            checkpoint_path: None,
+            start_round: ckpt.next_round,
+            restored_curve: Some(ckpt.curve),
+        }
+    }
+
+    /// Snapshots the complete campaign state after `next_round` rounds.
+    ///
+    /// # Panics
+    /// Panics if the cost model does not support snapshotting (a custom
+    /// [`ModelSetup::Offline`] model without
+    /// [`CostModel::snapshot`]).
+    fn make_checkpoint(&self, next_round: usize, curve: &TuningCurve) -> Checkpoint {
+        Checkpoint {
+            version: Checkpoint::VERSION,
+            // `halt_after` models the kill in kill-and-resume testing; a
+            // resumed campaign runs to completion.
+            config: TunerConfig { halt_after: None, ..self.cfg },
+            spec: self.spec.clone(),
+            psa_cfg: self.psa_cfg,
+            next_round,
+            curve: curve.clone(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| TaskCheckpoint {
+                    workload: t.workload.clone(),
+                    task_id: t.task_id,
+                    weight: t.weight,
+                    measured: t.measured_log().to_vec(),
+                    quarantined: t.quarantined_keys(),
+                    rounds_since_improvement: t.rounds_since_improvement(),
+                })
+                .collect(),
+            measurer: MeasurerCheckpoint {
+                time: *self.measurer.time_model(),
+                policy: *self.measurer.retry_policy(),
+                sim: self.measurer.simulator().config().clone(),
+                fault: self.measurer.simulator().fault_model().copied(),
+                cache: self.measurer.cache_entries(),
+                stats: self.measurer.stats(),
+                attempts: self.measurer.attempts(),
+            },
+            model: self
+                .model
+                .snapshot()
+                .expect("checkpointing requires a snapshot-capable cost model"),
+            mtl: self.mtl.clone(),
+            rng_word_offset: self.rng.word_offset(),
+        }
     }
 
     /// Adds one tuning task.
@@ -198,23 +363,35 @@ impl Tuner {
 
     /// Runs the campaign and returns the result.
     ///
+    /// Failed measurements (injected hardware faults that survive the
+    /// retry budget) quarantine the candidate: it is excluded from the
+    /// incumbent, the training window, and all future proposals, so the
+    /// curve stays monotone and an all-fail round simply carries the
+    /// incumbent forward.
+    ///
     /// # Panics
-    /// Panics if no tasks were added.
+    /// Panics if no tasks were added, or if a configured checkpoint
+    /// cannot be written.
     pub fn run(&mut self) -> TuningResult {
         assert!(!self.tasks.is_empty(), "add at least one task before running");
-        let mut curve = TuningCurve::new();
+        let mut curve = self.restored_curve.take().unwrap_or_default();
 
-        // Warm-up: measure every task's canonical fallback so the weighted
-        // end-to-end latency is finite from the first point (TVM measures
-        // a default schedule for the same reason).
-        for task in &mut self.tasks {
-            let fallback = pruner_sketch::Program::fallback(&task.workload);
-            let lat = self.measurer.measure(&fallback);
-            task.record(fallback, lat);
+        if self.start_round == 0 {
+            // Warm-up: measure every task's canonical fallback so the
+            // weighted end-to-end latency is finite from the first point
+            // (TVM measures a default schedule for the same reason). The
+            // fallback is measured *trusted* — a real campaign hand-checks
+            // its seed schedule — so every task starts with a finite
+            // incumbent even under heavy fault injection.
+            for task in &mut self.tasks {
+                let fallback = pruner_sketch::Program::fallback(&task.workload);
+                let lat = self.measurer.measure_trusted(&fallback);
+                task.record(fallback, lat);
+            }
+            curve.push(self.curve_point());
         }
-        curve.push(self.curve_point());
 
-        for round in 0..self.cfg.rounds {
+        for round in self.start_round..self.cfg.rounds {
             let ti = self.pick_task();
             // Propose and measure.
             let progs = {
@@ -241,9 +418,17 @@ impl Tuner {
             let mut improved = false;
             for p in progs {
                 let before = self.tasks[ti].best_latency();
-                let lat = self.measurer.measure(&p);
-                self.tasks[ti].record(p, lat);
-                improved |= lat < before;
+                match self.measurer.measure(&p) {
+                    MeasureOutcome::Success { latency_s, .. } => {
+                        self.tasks[ti].record(p, latency_s);
+                        improved |= latency_s < before;
+                    }
+                    MeasureOutcome::Failure { .. } => {
+                        // No usable timing: never re-propose, never train
+                        // on it, keep the incumbent.
+                        self.tasks[ti].quarantine(&p);
+                    }
+                }
             }
             self.tasks[ti].finish_round(improved);
 
@@ -264,6 +449,18 @@ impl Tuner {
             }
 
             curve.push(self.curve_point());
+
+            let completed = round + 1;
+            if let Some(path) = self.checkpoint_path.clone() {
+                if self.cfg.checkpoint_every > 0 && completed % self.cfg.checkpoint_every == 0 {
+                    self.make_checkpoint(completed, &curve)
+                        .save(&path)
+                        .expect("checkpoint write failed");
+                }
+            }
+            if self.cfg.halt_after.is_some_and(|halt| completed >= halt) {
+                break;
+            }
         }
 
         TuningResult {
@@ -419,5 +616,91 @@ mod tests {
     fn run_without_tasks_panics() {
         Tuner::new(GpuSpec::t4(), TunerConfig::quick(), ModelSetup::Fresh(ModelKind::Random))
             .run();
+    }
+
+    #[test]
+    fn fault_injection_terminates_and_stays_monotone() {
+        let cfg = TunerConfig { fault_rate: 0.25, ..TunerConfig::quick() };
+        let mut t = Tuner::new(GpuSpec::t4(), cfg, ModelSetup::Fresh(ModelKind::Pacm));
+        t.add_task(Workload::matmul(1, 512, 512, 512), 1);
+        let result = t.run();
+        let lats: Vec<f64> =
+            result.curve.points().iter().map(|p| p.best_latency_s).collect();
+        assert!(lats.windows(2).all(|w| w[1] <= w[0] + 1e-12), "curve must stay monotone");
+        assert!(result.best_latency_s.is_finite(), "warm-up keeps the incumbent finite");
+        assert!(result.stats.failures > 0, "rate 0.25 must inject failures");
+        assert!(result.stats.fault_time_s > 0.0, "failures must cost simulated time");
+    }
+
+    #[test]
+    fn zero_fault_rate_is_identical_to_fault_unaware_campaign() {
+        let base = quick_tuner(true, ModelKind::Pacm).run();
+        let cfg = TunerConfig { fault_rate: 0.0, ..TunerConfig::quick() };
+        let mut t = Tuner::new(GpuSpec::t4(), cfg, ModelSetup::Fresh(ModelKind::Pacm));
+        t.add_task(Workload::matmul(1, 512, 512, 512), 1);
+        let zero = t.run();
+        assert_eq!(base.curve, zero.curve);
+        assert_eq!(base.stats, zero.stats);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_byte_identical() {
+        let cfg = TunerConfig {
+            rounds: 6,
+            fault_rate: 0.15,
+            checkpoint_every: 3,
+            ..TunerConfig::quick()
+        };
+        let build = |cfg: TunerConfig| {
+            let mut t = Tuner::new(GpuSpec::t4(), cfg, ModelSetup::Fresh(ModelKind::Pacm));
+            t.add_task(Workload::matmul(1, 512, 512, 512), 1);
+            t
+        };
+        let full = build(cfg).run();
+
+        let dir = std::env::temp_dir().join(format!("pruner-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut halted =
+            build(TunerConfig { halt_after: Some(3), ..cfg });
+        halted.set_checkpoint_path(&path);
+        let partial = halted.run();
+        assert!(partial.curve.points().len() < full.curve.points().len());
+
+        let resumed = Tuner::resume(&path).unwrap().run();
+        assert_eq!(
+            serde_json::to_string(&full).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "resumed campaign must be byte-identical to the uninterrupted one"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_mtl_is_byte_identical() {
+        let cfg = TunerConfig { rounds: 4, checkpoint_every: 2, ..TunerConfig::quick() };
+        let build = |cfg: TunerConfig| {
+            let mut t = Tuner::new(
+                GpuSpec::t4(),
+                cfg,
+                ModelSetup::Mtl { pretrained: PacmModel::new(1), momentum: 0.99 },
+            );
+            t.add_task(Workload::matmul(1, 256, 256, 256), 1);
+            t
+        };
+        let full = build(cfg).run();
+        let dir = std::env::temp_dir().join(format!("pruner-mtl-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut halted = build(TunerConfig { halt_after: Some(2), ..cfg });
+        halted.set_checkpoint_path(&path);
+        halted.run();
+        let resumed = Tuner::resume(&path).unwrap().run();
+        assert_eq!(
+            serde_json::to_string(&full).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "MTL state (Siamese + Adam step counter) must survive the checkpoint"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -24,6 +24,12 @@ struct Args {
     threads: Option<usize>,
     model: ModelKind,
     use_psa: bool,
+    fault_rate: f64,
+    max_retries: Option<u32>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<usize>,
+    resume: Option<String>,
+    halt_after: Option<usize>,
     show_schedules: usize,
     output: Option<String>,
 }
@@ -34,7 +40,10 @@ pruner-tune: tune tensor programs on a simulated GPU
 USAGE:
     pruner-tune --platform <p> (--network <name> | --matmul B,M,N,K | --conv2d N,C,H,W,CO,K,S,P)...
                 [--trials N] [--seed N] [--threads N] [--model <m>] [--no-psa]
+                [--fault-rate R] [--max-retries N]
+                [--checkpoint file.json] [--checkpoint-every N] [--halt-after N]
                 [--show-schedules N] [--output file.json]
+    pruner-tune --resume file.json [--checkpoint file.json] [--output file.json]
 
 OPTIONS:
     --platform <p>        k80 | t4 | titanv | a100 | orin
@@ -47,6 +56,20 @@ OPTIONS:
                           any value [default: all host cores]
     --model <m>           pacm | ansor | xgb | tensetmlp | tlp | random [default: pacm]
     --no-psa              disable PSA search-space pruning
+    --fault-rate R        inject deterministic hardware failures (compile
+                          errors, timeouts, device resets, outlier timings)
+                          into the measurement path at composite rate R
+                          [default: 0]
+    --max-retries N       measurement retries before a candidate is
+                          quarantined [default: 2]
+    --checkpoint <file>   write a crash-safe campaign checkpoint (atomic
+                          rename) every --checkpoint-every rounds
+    --checkpoint-every N  rounds between checkpoint writes [default: 5]
+    --halt-after N        stop after N rounds (simulates a crash for
+                          kill-and-resume testing)
+    --resume <file>       continue an interrupted campaign from a checkpoint;
+                          the result is byte-identical to an uninterrupted
+                          run (campaign flags come from the checkpoint)
     --show-schedules N    print the N best tuned schedules as pseudo-TIR [default: 1]
     --output <file>       write the tuning result as JSON
 ";
@@ -70,6 +93,12 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         model: ModelKind::Pacm,
         use_psa: true,
+        fault_rate: 0.0,
+        max_retries: None,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: None,
+        halt_after: None,
         show_schedules: 1,
         output: None,
     };
@@ -126,6 +155,37 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-psa" => args.use_psa = false,
+            "--fault-rate" => {
+                let r: f64 =
+                    value("--fault-rate")?.parse().map_err(|e| format!("--fault-rate: {e}"))?;
+                if !(0.0..=0.9).contains(&r) {
+                    return Err("--fault-rate must be in [0, 0.9]".into());
+                }
+                args.fault_rate = r;
+            }
+            "--max-retries" => {
+                args.max_retries = Some(
+                    value("--max-retries")?
+                        .parse()
+                        .map_err(|e| format!("--max-retries: {e}"))?,
+                )
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(
+                    value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?,
+                )
+            }
+            "--resume" => args.resume = Some(value("--resume")?),
+            "--halt-after" => {
+                args.halt_after = Some(
+                    value("--halt-after")?
+                        .parse()
+                        .map_err(|e| format!("--halt-after: {e}"))?,
+                )
+            }
             "--show-schedules" => {
                 args.show_schedules = value("--show-schedules")?
                     .parse()
@@ -139,11 +199,13 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if !saw_platform {
-        return Err("--platform is required".into());
-    }
-    if args.network.is_none() && args.workloads.is_empty() {
-        return Err("give --network or at least one --matmul/--conv2d".into());
+    if args.resume.is_none() {
+        if !saw_platform {
+            return Err("--platform is required".into());
+        }
+        if args.network.is_none() && args.workloads.is_empty() {
+            return Err("give --network or at least one --matmul/--conv2d".into());
+        }
     }
     Ok(args)
 }
@@ -157,34 +219,74 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("platform : {}", args.platform);
-    let mut builder = Pruner::builder(args.platform.clone())
-        .config(TunerConfig::default())
-        .model(args.model)
-        .seed(args.seed)
-        .trials(args.trials);
-    if let Some(threads) = args.threads {
-        builder = builder.threads(threads);
-    }
-    if !args.use_psa {
-        builder = builder.without_psa();
-    }
-    if let Some(net) = &args.network {
-        println!("network  : {net}");
-        builder = builder.network(net);
-    }
-    for wl in &args.workloads {
-        println!("workload : {wl}");
-        builder = builder.workload(wl.clone());
-    }
-
-    let result = builder.build().tune();
+    let result = if let Some(ckpt) = &args.resume {
+        println!("resuming : {ckpt}");
+        let mut pruner = match Pruner::resume(ckpt) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error resuming from {ckpt}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(path) = &args.checkpoint {
+            pruner.tuner_mut().set_checkpoint_path(path.clone());
+        }
+        pruner.tune()
+    } else {
+        println!("platform : {}", args.platform);
+        let mut builder = Pruner::builder(args.platform.clone())
+            .config(TunerConfig::default())
+            .model(args.model)
+            .seed(args.seed)
+            .trials(args.trials)
+            .fault_rate(args.fault_rate);
+        if let Some(threads) = args.threads {
+            builder = builder.threads(threads);
+        }
+        if !args.use_psa {
+            builder = builder.without_psa();
+        }
+        if let Some(retries) = args.max_retries {
+            builder = builder.max_retries(retries);
+        }
+        if let Some(path) = &args.checkpoint {
+            builder = builder.checkpoint(path);
+        }
+        if let Some(every) = args.checkpoint_every {
+            builder = builder.checkpoint_every(every);
+        }
+        if let Some(halt) = args.halt_after {
+            builder = builder.halt_after(halt);
+        }
+        if let Some(net) = &args.network {
+            println!("network  : {net}");
+            builder = builder.network(net);
+        }
+        for wl in &args.workloads {
+            println!("workload : {wl}");
+            builder = builder.workload(wl.clone());
+        }
+        builder.build().tune()
+    };
     println!(
         "\nbest latency : {:.4} ms   ({} trials, {:.0} simulated search seconds)",
         result.best_latency_s * 1e3,
         result.stats.trials,
         result.stats.total_s()
     );
+    if result.stats.failures > 0 {
+        println!(
+            "faults       : {} failed attempts ({} compile, {} timeout, {} reset, {} outlier), {} retried, {} quarantined, {:.0}s lost",
+            result.stats.failures,
+            result.stats.compile_errors,
+            result.stats.timeouts,
+            result.stats.device_resets,
+            result.stats.outliers,
+            result.stats.retries,
+            result.stats.quarantined,
+            result.stats.fault_time_s + result.stats.retry_backoff_s
+        );
+    }
 
     // Best schedules, slowest tasks first (they dominate the end-to-end).
     let mut order: Vec<usize> = (0..result.per_task_best.len()).collect();
@@ -230,7 +332,8 @@ mod tests {
     fn usage_mentions_every_flag() {
         for flag in
             ["--platform", "--network", "--matmul", "--conv2d", "--trials", "--seed", "--threads",
-             "--model", "--no-psa", "--show-schedules", "--output"]
+             "--model", "--no-psa", "--fault-rate", "--max-retries", "--checkpoint",
+             "--checkpoint-every", "--halt-after", "--resume", "--show-schedules", "--output"]
         {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }

@@ -79,7 +79,16 @@ impl Pruner {
             psa_config: PsaConfig::default(),
             setup: Setup::Fresh(ModelKind::Pacm),
             tasks: Vec::new(),
+            checkpoint: None,
         }
+    }
+
+    /// Restores a campaign from a checkpoint file written during a
+    /// previous (interrupted) run. The resumed campaign continues from
+    /// the first unfinished round and produces a byte-identical result to
+    /// the uninterrupted run.
+    pub fn resume<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Pruner> {
+        Ok(Pruner { tuner: Tuner::resume(path)? })
     }
 
     /// Runs the campaign.
@@ -107,6 +116,7 @@ pub struct PrunerBuilder {
     psa_config: PsaConfig,
     setup: Setup,
     tasks: Vec<(Workload, u64)>,
+    checkpoint: Option<std::path::PathBuf>,
 }
 
 impl PrunerBuilder {
@@ -197,6 +207,41 @@ impl PrunerBuilder {
         self
     }
 
+    /// Injects deterministic hardware failures into the measurement path
+    /// at the given composite rate (0 disables injection; the zero-fault
+    /// campaign is bit-identical to a fault-unaware build).
+    pub fn fault_rate(mut self, rate: f64) -> Self {
+        self.config.fault_rate = rate;
+        self
+    }
+
+    /// Sets the retry budget for failed measurement attempts.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// Enables crash-safe checkpointing to the given file (written
+    /// atomically every [`TunerConfig::checkpoint_every`] rounds).
+    pub fn checkpoint<P: Into<std::path::PathBuf>>(mut self, path: P) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets the checkpoint cadence, in rounds (0 disables periodic
+    /// writes).
+    pub fn checkpoint_every(mut self, rounds: usize) -> Self {
+        self.config.checkpoint_every = rounds;
+        self
+    }
+
+    /// Stops the campaign after this many rounds — the "kill" half of
+    /// kill-and-resume testing.
+    pub fn halt_after(mut self, rounds: usize) -> Self {
+        self.config.halt_after = Some(rounds);
+        self
+    }
+
     /// Builds the tuner.
     ///
     /// # Panics
@@ -211,6 +256,9 @@ impl PrunerBuilder {
         let mut tuner = Tuner::with_psa_config(self.spec, self.config, setup, self.psa_config);
         for (wl, weight) in self.tasks {
             tuner.add_task(wl, weight);
+        }
+        if let Some(path) = self.checkpoint {
+            tuner.set_checkpoint_path(path);
         }
         Pruner { tuner }
     }

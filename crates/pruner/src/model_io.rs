@@ -4,8 +4,9 @@
 //! "pre-trained on the NVIDIA K80-6M dataset" artifact). These helpers
 //! serialize any of the concrete model types (`PacmModel`,
 //! `TensetMlpModel`, `TlpModel`, `AnsorModel`, `XgbModel`) to JSON and
-//! back; optimizer state is deliberately excluded (a freshly loaded model
-//! starts with clean Adam moments, as a deployment would).
+//! back. Optimizer state (Adam moments and step count) rides along — the
+//! campaign checkpointer needs it for byte-identical resume — but files
+//! written without it still load, falling back to fresh moments.
 //!
 //! # Example
 //!

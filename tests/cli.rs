@@ -59,3 +59,76 @@ fn help_exits_zero() {
     assert!(output.status.success());
     assert!(String::from_utf8_lossy(&output.stdout).contains("USAGE"));
 }
+
+#[test]
+fn rejects_out_of_range_fault_rate() {
+    let output = Command::new(bin())
+        .args(["--platform", "t4", "--matmul", "1,8,8,8", "--fault-rate", "1.5"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--fault-rate"));
+}
+
+#[test]
+fn kill_and_resume_via_cli_matches_uninterrupted_run() {
+    let dir = std::env::temp_dir().join(format!("pruner-cli-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let full_path = dir.join("full.json");
+    let resumed_path = dir.join("resumed.json");
+    let ckpt_path = dir.join("ckpt.json");
+    let common = [
+        "--platform",
+        "t4",
+        "--matmul",
+        "1,256,256,256",
+        "--trials",
+        "80",
+        "--seed",
+        "5",
+        "--fault-rate",
+        "0.1",
+    ];
+
+    let full = Command::new(bin())
+        .args(common)
+        .arg("--output")
+        .arg(&full_path)
+        .output()
+        .expect("binary runs");
+    assert!(full.status.success(), "stderr: {}", String::from_utf8_lossy(&full.stderr));
+
+    // "Crash" after 4 of 8 rounds, leaving a checkpoint behind.
+    let partial = Command::new(bin())
+        .args(common)
+        .args(["--checkpoint-every", "2", "--halt-after", "4", "--checkpoint"])
+        .arg(&ckpt_path)
+        .output()
+        .expect("binary runs");
+    assert!(partial.status.success(), "stderr: {}", String::from_utf8_lossy(&partial.stderr));
+    assert!(ckpt_path.exists(), "checkpoint file must exist after the halt");
+
+    let resumed = Command::new(bin())
+        .arg("--resume")
+        .arg(&ckpt_path)
+        .arg("--output")
+        .arg(&resumed_path)
+        .output()
+        .expect("binary runs");
+    assert!(resumed.status.success(), "stderr: {}", String::from_utf8_lossy(&resumed.stderr));
+
+    let full_json = std::fs::read_to_string(&full_path).expect("full result written");
+    let resumed_json = std::fs::read_to_string(&resumed_path).expect("resumed result written");
+    assert_eq!(full_json, resumed_json, "resumed run must match the uninterrupted run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_with_missing_checkpoint_fails() {
+    let output = Command::new(bin())
+        .args(["--resume", "/nonexistent/pruner-ckpt.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("error resuming"));
+}

@@ -34,11 +34,23 @@ struct GoldenRecord {
     trials: u64,
 }
 
+/// CI's fault-injection job reruns this suite with FAULT_RATE=0.25; at a
+/// non-zero rate the curve legitimately differs from the golden file, so
+/// the byte-compare is skipped while reproducibility and monotonicity
+/// still hold.
+fn fault_rate_from_env() -> f64 {
+    std::env::var("FAULT_RATE")
+        .ok()
+        .map(|v| v.parse().expect("FAULT_RATE must be a float"))
+        .unwrap_or(0.0)
+}
+
 fn campaign() -> GoldenRecord {
     let mut builder = Pruner::builder(GpuSpec::t4())
         .workload(Workload::matmul(1, 512, 512, 512))
         .config(TunerConfig::quick())
-        .seed(42);
+        .seed(42)
+        .fault_rate(fault_rate_from_env());
     // CI runs this under a THREADS=1 / THREADS=4 matrix: the golden file
     // must match at every pipeline width, not just the host default.
     if let Ok(threads) = std::env::var("THREADS") {
@@ -56,6 +68,17 @@ fn campaign() -> GoldenRecord {
 fn quick_matmul_campaign_matches_golden_curve() {
     let record = campaign();
     let actual = serde_json::to_string_pretty(&record).expect("curve serializes");
+
+    if fault_rate_from_env() != 0.0 {
+        // Fault injection changes the trajectory by design; the golden
+        // byte-compare only pins the zero-fault campaign. Check what must
+        // still hold: a monotone curve ending at the reported best.
+        let lats: Vec<f64> = record.curve.points().iter().map(|p| p.best_latency_s).collect();
+        assert!(lats.windows(2).all(|w| w[1] <= w[0] + 1e-12), "curve must stay monotone");
+        assert_eq!(record.curve.final_latency(), record.best_latency_s);
+        eprintln!("FAULT_RATE set: skipping golden byte-compare");
+        return;
+    }
 
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap())

@@ -19,12 +19,21 @@ use pruner::Pruner;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// A campaign small enough to run dozens of times under proptest.
+///
+/// CI's fault-injection job reruns this suite with FAULT_RATE=0.25: the
+/// thread-count-invariance guarantee must survive injected hardware
+/// failures, retries and quarantining.
 fn tiny_config() -> TunerConfig {
+    let fault_rate = std::env::var("FAULT_RATE")
+        .ok()
+        .map(|v| v.parse().expect("FAULT_RATE must be a float"))
+        .unwrap_or(0.0);
     TunerConfig {
         rounds: 3,
         measure_per_round: 3,
         space_size: 32,
         target_pool: 96,
+        fault_rate,
         ..TunerConfig::default()
     }
 }

@@ -59,6 +59,35 @@ macro_rules! chacha_rng {
         }
 
         impl $name {
+            /// Total keystream words consumed since seeding.
+            ///
+            /// Together with the original seed this pins down the full
+            /// generator state, which is what crash-safe checkpointing
+            /// needs: re-seed and [`Self::set_word_offset`] to restore.
+            pub fn word_offset(&self) -> u64 {
+                // A fresh generator has `counter = 0, pos = 16` (buffer
+                // exhausted, no block issued); each refill advances the
+                // counter before words are read, so consumed words are
+                // `counter·16 + pos − 16` throughout.
+                self.counter
+                    .wrapping_mul(16)
+                    .wrapping_add(self.pos as u64)
+                    .wrapping_sub(16)
+            }
+
+            /// Fast-forwards a freshly seeded generator so that exactly
+            /// `n` keystream words have been consumed.
+            ///
+            /// Restores the state captured by [`Self::word_offset`] when
+            /// applied to a generator seeded identically.
+            pub fn set_word_offset(&mut self, n: u64) {
+                self.counter = n / 16;
+                self.pos = 16; // force a refill on the next word
+                for _ in 0..(n % 16) {
+                    self.next_u32();
+                }
+            }
+
             fn refill(&mut self) {
                 let mut state = [0u32; 16];
                 state[0] = 0x6170_7865;
@@ -155,6 +184,23 @@ mod tests {
         let repeat: Vec<u32> = (0..16).map(|_| again.next_u32()).collect();
         assert_eq!(first, repeat);
         assert_ne!(first[..8], first[8..], "keystream must not be degenerate");
+    }
+
+    #[test]
+    fn word_offset_round_trips_mid_block_and_on_boundaries() {
+        for consumed in [0usize, 1, 15, 16, 17, 37, 64] {
+            let mut a = ChaCha8Rng::seed_from_u64(11);
+            for _ in 0..consumed {
+                a.next_u32();
+            }
+            assert_eq!(a.word_offset(), consumed as u64);
+            let mut b = ChaCha8Rng::seed_from_u64(11);
+            b.set_word_offset(consumed as u64);
+            assert_eq!(b.word_offset(), consumed as u64);
+            let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+            let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+            assert_eq!(va, vb, "restore diverged after {consumed} words");
+        }
     }
 
     #[test]
