@@ -1,7 +1,7 @@
 //! Ansor's online cost model, approximated by a compact MLP regressor.
 
 use crate::model::{CostModel, ModelSnapshot};
-use crate::sample::{group_by_task, stack_pooled, Sample};
+use crate::sample::{group_by_task, stack_pooled_in, Sample};
 use pruner_features::STMT_DIM;
 use pruner_nn::{latencies_to_relevance, mse_loss, Adam, Graph, Mlp, Module, NodeId};
 use rand::SeedableRng;
@@ -36,14 +36,16 @@ impl AnsorModel {
     }
 
     fn forward(&mut self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
-        let x = g.input(stack_pooled(samples, picks));
+        let stacked = stack_pooled_in(g, samples, picks);
+        let x = g.input(stacked);
         self.net.forward(g, x)
     }
 
     /// Inference-only forward pass: same math as [`Self::forward`] but
     /// gradient-free, so it works through `&self` across threads.
     fn forward_infer(&self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
-        let x = g.input(stack_pooled(samples, picks));
+        let stacked = stack_pooled_in(g, samples, picks);
+        let x = g.input(stacked);
         self.net.forward_infer(g, x)
     }
 
@@ -65,16 +67,25 @@ impl CostModel for AnsorModel {
     }
 
     fn predict(&self, samples: &[Sample]) -> Vec<f32> {
+        self.predict_with(&mut Graph::new(), samples)
+    }
+
+    fn predict_with(&self, g: &mut Graph, samples: &[Sample]) -> Vec<f32> {
+        let picks: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
-        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(512) {
-            let mut g = Graph::new();
-            let scores = self.forward_infer(&mut g, samples, chunk);
+        for chunk in picks.chunks(512) {
+            g.reset();
+            let scores = self.forward_infer(g, samples, chunk);
             out.extend_from_slice(g.value(scores).as_slice());
         }
         out
     }
 
     fn fit(&mut self, samples: &[Sample], epochs: usize) -> f64 {
+        self.fit_batch(samples, epochs, 1)
+    }
+
+    fn fit_batch(&mut self, samples: &[Sample], epochs: usize, threads: usize) -> f64 {
         let labeled: Vec<usize> =
             (0..samples.len()).filter(|&i| samples[i].is_labeled()).collect();
         if labeled.is_empty() {
@@ -82,6 +93,7 @@ impl CostModel for AnsorModel {
         }
         let labeled_samples: Vec<Sample> = labeled.iter().map(|&i| samples[i].clone()).collect();
         let groups = group_by_task(&labeled_samples);
+        let mut g = Graph::with_threads(threads);
         let mut last = 0.0;
         for _ in 0..epochs.max(1) {
             let mut total = 0.0;
@@ -90,7 +102,7 @@ impl CostModel for AnsorModel {
                 let lats: Vec<f64> = group.iter().map(|&i| samples[i].latency).collect();
                 let rel = latencies_to_relevance(&lats);
                 self.zero_grad();
-                let mut g = Graph::new();
+                g.reset();
                 let scores = self.forward(&mut g, samples, &group);
                 let loss = mse_loss(&mut g, scores, &rel);
                 total += g.value(loss).at(0, 0) as f64;

@@ -1,6 +1,7 @@
 //! The cost-model interface and shared training helpers.
 
 use crate::sample::{group_by_task, Sample};
+use pruner_nn::Graph;
 use pruner_nn::{lambdarank_grad, latencies_to_relevance};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -25,6 +26,17 @@ pub trait CostModel: Send + Sync {
     /// Scores a batch of samples (higher = better).
     fn predict(&self, samples: &[Sample]) -> Vec<f32>;
 
+    /// Scores a batch reusing a caller-owned [`Graph`] workspace.
+    ///
+    /// Learned models override this to `reset` the graph between internal
+    /// chunks instead of allocating a fresh tape per chunk — the
+    /// allocation-free steady state `predict_batch` workers rely on.
+    /// Results are bit-identical to `predict`; the default ignores the
+    /// workspace and delegates.
+    fn predict_with(&self, _workspace: &mut Graph, samples: &[Sample]) -> Vec<f32> {
+        self.predict(samples)
+    }
+
     /// Scores a batch of samples using up to `threads` worker threads.
     ///
     /// Samples are split into fixed-size chunks, workers score contiguous
@@ -45,8 +57,12 @@ pub trait CostModel: Send + Sync {
         crossbeam::thread::scope(|scope| {
             for (out_band, chunk_band) in scored.chunks_mut(band).zip(chunks.chunks(band)) {
                 scope.spawn(move |_| {
+                    // One tape per worker, reset between chunks: after the
+                    // first chunk warms the buffer pool, the remaining
+                    // chunks in the band run allocation-free.
+                    let mut g = Graph::new();
                     for (slot, chunk) in out_band.iter_mut().zip(chunk_band) {
-                        *slot = self.predict(chunk);
+                        *slot = self.predict_with(&mut g, chunk);
                     }
                 });
             }
@@ -58,6 +74,17 @@ pub trait CostModel: Send + Sync {
     /// Trains on labeled samples for `epochs` passes; returns a final
     /// training-objective value (lower = better fit, model-specific scale).
     fn fit(&mut self, samples: &[Sample], epochs: usize) -> f64;
+
+    /// Trains like [`CostModel::fit`] but lets the model band its large
+    /// training-time GEMMs across up to `threads` scoped workers.
+    ///
+    /// Banding preserves the per-element accumulation order (see
+    /// `pruner_nn::gemm`), so the trained weights are **bit-identical** to
+    /// a single-threaded `fit` at any thread count. The default ignores
+    /// the hint and trains serially.
+    fn fit_batch(&mut self, samples: &[Sample], epochs: usize, _threads: usize) -> f64 {
+        self.fit(samples, epochs)
+    }
 
     /// Clones the model behind the trait object.
     fn clone_box(&self) -> Box<dyn CostModel>;

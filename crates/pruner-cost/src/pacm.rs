@@ -1,7 +1,7 @@
 //! PaCM — the Pattern-aware Cost Model (paper §2.4, Figure 3).
 
 use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel, ModelSnapshot};
-use crate::sample::{stack_flow, stack_stmt, Sample};
+use crate::sample::{attention_masks_in, stack_flow_in, stack_stmt_in, Sample};
 use pruner_features::{FLOW_DIM, MAX_FLOW, MAX_STMTS, STMT_DIM};
 use pruner_nn::{
     lambdarank_grad, Adam, Graph, Linear, Mlp, Module, NodeId, SelfAttention, Tensor,
@@ -76,18 +76,17 @@ impl PacmModel {
     fn forward(&mut self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
         let mut joined: Option<NodeId> = None;
         if self.use_stmt {
-            let x = g.input(stack_stmt(samples, picks));
+            let stacked = stack_stmt_in(g, samples, picks);
+            let x = g.input(stacked);
             let enc = self.stmt_enc.forward(g, x);
             let pooled = g.sum_groups(enc, MAX_STMTS);
             joined = Some(pooled);
         }
         if self.use_flow {
-            let stacked = stack_flow(samples, picks);
-            let (col_mask, row_mask) =
-                crate::sample::attention_masks(&stacked, MAX_FLOW, FLOW_HIDDEN);
+            let stacked = stack_flow_in(g, samples, picks);
+            let (col_mask, row_mask) = attention_masks_in(g, &stacked, MAX_FLOW, FLOW_HIDDEN);
             let x = g.input(stacked);
-            let emb = self.flow_embed.forward(g, x);
-            let emb = g.relu(emb);
+            let emb = self.flow_embed.forward_relu(g, x);
             let col = g.input(col_mask);
             let ctx = self.flow_attn.forward_masked(g, emb, Some(col));
             let row = g.input(row_mask);
@@ -108,18 +107,17 @@ impl PacmModel {
     fn forward_infer(&self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
         let mut joined: Option<NodeId> = None;
         if self.use_stmt {
-            let x = g.input(stack_stmt(samples, picks));
+            let stacked = stack_stmt_in(g, samples, picks);
+            let x = g.input(stacked);
             let enc = self.stmt_enc.forward_infer(g, x);
             let pooled = g.sum_groups(enc, MAX_STMTS);
             joined = Some(pooled);
         }
         if self.use_flow {
-            let stacked = stack_flow(samples, picks);
-            let (col_mask, row_mask) =
-                crate::sample::attention_masks(&stacked, MAX_FLOW, FLOW_HIDDEN);
+            let stacked = stack_flow_in(g, samples, picks);
+            let (col_mask, row_mask) = attention_masks_in(g, &stacked, MAX_FLOW, FLOW_HIDDEN);
             let x = g.input(stacked);
-            let emb = self.flow_embed.forward_infer(g, x);
-            let emb = g.relu(emb);
+            let emb = self.flow_embed.forward_relu_infer(g, x);
             let col = g.input(col_mask);
             let ctx = self.flow_attn.forward_masked_infer(g, emb, Some(col));
             let row = g.input(row_mask);
@@ -167,21 +165,33 @@ impl CostModel for PacmModel {
     }
 
     fn predict(&self, samples: &[Sample]) -> Vec<f32> {
+        self.predict_with(&mut Graph::new(), samples)
+    }
+
+    fn predict_with(&self, g: &mut Graph, samples: &[Sample]) -> Vec<f32> {
+        let picks: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
-        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(256) {
-            let mut g = Graph::new();
-            let scores = self.forward_infer(&mut g, samples, chunk);
+        for chunk in picks.chunks(256) {
+            g.reset();
+            let scores = self.forward_infer(g, samples, chunk);
             out.extend_from_slice(g.value(scores).as_slice());
         }
         out
     }
 
     fn fit(&mut self, samples: &[Sample], epochs: usize) -> f64 {
+        self.fit_batch(samples, epochs, 1)
+    }
+
+    fn fit_batch(&mut self, samples: &[Sample], epochs: usize, threads: usize) -> f64 {
         let seed = self.seed;
         let mut this = std::mem::replace(self, PacmModel::new(0));
+        // One tape for the whole run: reset per step recycles every buffer,
+        // and the thread budget bands the large batch GEMMs bit-exactly.
+        let mut g = Graph::with_threads(threads);
         let loss = lambdarank_epochs(samples, epochs, seed, |group, rel| {
             this.zero_grad();
-            let mut g = Graph::new();
+            g.reset();
             let scores = this.forward(&mut g, samples, group);
             let sv: Vec<f32> = g.value(scores).as_slice().to_vec();
             let lambdas = lambdarank_grad(&sv, rel);
@@ -190,8 +200,8 @@ impl CostModel for PacmModel {
             g.backward_from(scores, seed_grad);
             this.absorb_grads(&g);
             let mut adam = std::mem::replace(&mut this.adam, default_adam());
-                adam.step(this.params_mut());
-                this.adam = adam;
+            adam.step(this.params_mut());
+            this.adam = adam;
             objective
         });
         *self = this;

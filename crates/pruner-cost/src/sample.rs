@@ -4,7 +4,7 @@ use pruner_features::{
     flow_features, stmt_features, tlp_tokens, FLOW_DIM, MAX_FLOW, MAX_STMTS, MAX_TOKENS,
     STMT_DIM, TLP_DIM,
 };
-use pruner_nn::Tensor;
+use pruner_nn::{Graph, Tensor};
 use pruner_sketch::Program;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -64,46 +64,68 @@ pub fn group_by_task(samples: &[Sample]) -> Vec<Vec<usize>> {
     map.into_values().collect()
 }
 
+/// Copies one fixed-width feature block per pick into `dst`.
+fn fill_stack(dst: &mut [f32], samples: &[Sample], picks: &[usize], f: impl Fn(&Sample) -> &[f32]) {
+    let width = dst.len() / picks.len().max(1);
+    for (block, &i) in dst.chunks_mut(width).zip(picks) {
+        block.copy_from_slice(f(&samples[i]));
+    }
+}
+
 /// Stacks statement features of the picked samples: `[n·MAX_STMTS, STMT_DIM]`.
 pub fn stack_stmt(samples: &[Sample], picks: &[usize]) -> Tensor {
-    let mut data = Vec::with_capacity(picks.len() * MAX_STMTS * STMT_DIM);
-    for &i in picks {
-        data.extend_from_slice(&samples[i].stmt);
-    }
-    Tensor::from_vec(picks.len() * MAX_STMTS, STMT_DIM, data)
+    stack_stmt_in(&mut Graph::new(), samples, picks)
+}
+
+/// [`stack_stmt`] into `g`'s buffer pool — allocation-free once warm.
+pub fn stack_stmt_in(g: &mut Graph, samples: &[Sample], picks: &[usize]) -> Tensor {
+    let mut t = g.scratch(picks.len() * MAX_STMTS, STMT_DIM);
+    fill_stack(t.as_mut_slice(), samples, picks, |s| &s.stmt);
+    t
 }
 
 /// Stacks data-flow features: `[n·MAX_FLOW, FLOW_DIM]`.
 pub fn stack_flow(samples: &[Sample], picks: &[usize]) -> Tensor {
-    let mut data = Vec::with_capacity(picks.len() * MAX_FLOW * FLOW_DIM);
-    for &i in picks {
-        data.extend_from_slice(&samples[i].flow);
-    }
-    Tensor::from_vec(picks.len() * MAX_FLOW, FLOW_DIM, data)
+    stack_flow_in(&mut Graph::new(), samples, picks)
+}
+
+/// [`stack_flow`] into `g`'s buffer pool — allocation-free once warm.
+pub fn stack_flow_in(g: &mut Graph, samples: &[Sample], picks: &[usize]) -> Tensor {
+    let mut t = g.scratch(picks.len() * MAX_FLOW, FLOW_DIM);
+    fill_stack(t.as_mut_slice(), samples, picks, |s| &s.flow);
+    t
 }
 
 /// Stacks TLP tokens: `[n·MAX_TOKENS, TLP_DIM]`.
 pub fn stack_tokens(samples: &[Sample], picks: &[usize]) -> Tensor {
-    let mut data = Vec::with_capacity(picks.len() * MAX_TOKENS * TLP_DIM);
-    for &i in picks {
-        data.extend_from_slice(&samples[i].tokens);
-    }
-    Tensor::from_vec(picks.len() * MAX_TOKENS, TLP_DIM, data)
+    stack_tokens_in(&mut Graph::new(), samples, picks)
+}
+
+/// [`stack_tokens`] into `g`'s buffer pool — allocation-free once warm.
+pub fn stack_tokens_in(g: &mut Graph, samples: &[Sample], picks: &[usize]) -> Tensor {
+    let mut t = g.scratch(picks.len() * MAX_TOKENS, TLP_DIM);
+    fill_stack(t.as_mut_slice(), samples, picks, |s| &s.tokens);
+    t
 }
 
 /// Stacks statement features summed over statements: `[n, STMT_DIM]`.
 pub fn stack_pooled(samples: &[Sample], picks: &[usize]) -> Tensor {
-    let mut data = Vec::with_capacity(picks.len() * STMT_DIM);
-    for &i in picks {
+    stack_pooled_in(&mut Graph::new(), samples, picks)
+}
+
+/// [`stack_pooled`] into `g`'s buffer pool — allocation-free once warm.
+pub fn stack_pooled_in(g: &mut Graph, samples: &[Sample], picks: &[usize]) -> Tensor {
+    let mut t = g.scratch(picks.len(), STMT_DIM);
+    for (row, &i) in t.as_mut_slice().chunks_mut(STMT_DIM).zip(picks) {
         let mut acc = [0.0f32; STMT_DIM];
         for chunk in samples[i].stmt.chunks(STMT_DIM) {
             for (a, &v) in acc.iter_mut().zip(chunk) {
                 *a += v;
             }
         }
-        data.extend_from_slice(&acc);
+        row.copy_from_slice(&acc);
     }
-    Tensor::from_vec(picks.len(), STMT_DIM, data)
+    t
 }
 
 /// Builds attention masks for a stacked `[n·group, dim]` sequence tensor
@@ -119,11 +141,35 @@ pub fn stack_pooled(samples: &[Sample], picks: &[usize]) -> Tensor {
 /// Panics if the row count is not a multiple of `group`.
 pub fn attention_masks(stacked: &Tensor, group: usize, width: usize) -> (Tensor, Tensor) {
     let rows = stacked.rows();
+    let mut col = Tensor::zeros(rows, group);
+    let mut row = Tensor::zeros(rows, width);
+    fill_masks(stacked, group, &mut col, &mut row);
+    (col, row)
+}
+
+/// [`attention_masks`] into `g`'s buffer pool — allocation-free once warm.
+pub fn attention_masks_in(
+    g: &mut Graph,
+    stacked: &Tensor,
+    group: usize,
+    width: usize,
+) -> (Tensor, Tensor) {
+    let rows = stacked.rows();
+    let mut col = g.scratch(rows, group);
+    let mut row = g.scratch(rows, width);
+    // Scratch buffers carry stale contents; the fill below writes every cell.
+    col.as_mut_slice().fill(0.0);
+    row.as_mut_slice().fill(0.0);
+    fill_masks(stacked, group, &mut col, &mut row);
+    (col, row)
+}
+
+fn fill_masks(stacked: &Tensor, group: usize, col: &mut Tensor, row: &mut Tensor) {
+    let rows = stacked.rows();
+    let width = row.cols();
     assert!(group > 0 && rows.is_multiple_of(group), "rows must divide into groups");
     let real: Vec<bool> =
         (0..rows).map(|r| stacked.row(r).iter().any(|&v| v != 0.0)).collect();
-    let mut col = Tensor::zeros(rows, group);
-    let mut row = Tensor::zeros(rows, width);
     for r in 0..rows {
         let base = (r / group) * group;
         for j in 0..group {
@@ -137,7 +183,6 @@ pub fn attention_masks(stacked: &Tensor, group: usize, width: usize) -> (Tensor,
             }
         }
     }
-    (col, row)
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! TensetMLP — the statement-feature MLP baseline (Zheng et al., Tenset).
 
 use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel, ModelSnapshot};
-use crate::sample::{stack_stmt, Sample};
+use crate::sample::{stack_stmt_in, Sample};
 use pruner_features::{MAX_STMTS, STMT_DIM};
 use pruner_nn::{lambdarank_grad, Adam, Graph, Mlp, Module, NodeId, Tensor};
 use rand::SeedableRng;
@@ -38,7 +38,8 @@ impl TensetMlpModel {
     }
 
     fn forward(&mut self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
-        let x = g.input(stack_stmt(samples, picks));
+        let stacked = stack_stmt_in(g, samples, picks);
+        let x = g.input(stacked);
         let enc = self.encoder.forward(g, x);
         let pooled = g.sum_groups(enc, MAX_STMTS);
         self.head.forward(g, pooled)
@@ -47,7 +48,8 @@ impl TensetMlpModel {
     /// Inference-only forward pass: same math as [`Self::forward`] but
     /// gradient-free, so it works through `&self` across threads.
     fn forward_infer(&self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
-        let x = g.input(stack_stmt(samples, picks));
+        let stacked = stack_stmt_in(g, samples, picks);
+        let x = g.input(stacked);
         let enc = self.encoder.forward_infer(g, x);
         let pooled = g.sum_groups(enc, MAX_STMTS);
         self.head.forward_infer(g, pooled)
@@ -73,21 +75,31 @@ impl CostModel for TensetMlpModel {
     }
 
     fn predict(&self, samples: &[Sample]) -> Vec<f32> {
+        self.predict_with(&mut Graph::new(), samples)
+    }
+
+    fn predict_with(&self, g: &mut Graph, samples: &[Sample]) -> Vec<f32> {
+        let picks: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
-        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(256) {
-            let mut g = Graph::new();
-            let scores = self.forward_infer(&mut g, samples, chunk);
+        for chunk in picks.chunks(256) {
+            g.reset();
+            let scores = self.forward_infer(g, samples, chunk);
             out.extend_from_slice(g.value(scores).as_slice());
         }
         out
     }
 
     fn fit(&mut self, samples: &[Sample], epochs: usize) -> f64 {
+        self.fit_batch(samples, epochs, 1)
+    }
+
+    fn fit_batch(&mut self, samples: &[Sample], epochs: usize, threads: usize) -> f64 {
         let seed = self.seed;
         let mut this = std::mem::replace(self, TensetMlpModel::new(0));
+        let mut g = Graph::with_threads(threads);
         let loss = lambdarank_epochs(samples, epochs, seed, |group, rel| {
             this.zero_grad();
-            let mut g = Graph::new();
+            g.reset();
             let scores = this.forward(&mut g, samples, group);
             let sv: Vec<f32> = g.value(scores).as_slice().to_vec();
             let objective = lambda_magnitude(&sv, rel);
@@ -95,8 +107,8 @@ impl CostModel for TensetMlpModel {
             g.backward_from(scores, Tensor::from_vec(group.len(), 1, lambdas));
             this.absorb_grads(&g);
             let mut adam = std::mem::replace(&mut this.adam, default_adam());
-                adam.step(this.params_mut());
-                this.adam = adam;
+            adam.step(this.params_mut());
+            this.adam = adam;
             objective
         });
         *self = this;

@@ -1,7 +1,7 @@
 //! TLP — the schedule-primitive transformer baseline (Zhai et al.).
 
 use crate::model::{lambda_magnitude, lambdarank_epochs, CostModel, ModelSnapshot};
-use crate::sample::{stack_tokens, Sample};
+use crate::sample::{attention_masks_in, stack_tokens_in, Sample};
 use pruner_features::{MAX_TOKENS, TLP_DIM};
 use pruner_nn::{
     lambdarank_grad, Adam, Graph, Linear, Mlp, Module, NodeId, SelfAttention, Tensor,
@@ -47,12 +47,10 @@ impl TlpModel {
     }
 
     fn forward(&mut self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
-        let stacked = stack_tokens(samples, picks);
-        let (col_mask, row_mask) =
-            crate::sample::attention_masks(&stacked, MAX_TOKENS, D_MODEL);
+        let stacked = stack_tokens_in(g, samples, picks);
+        let (col_mask, row_mask) = attention_masks_in(g, &stacked, MAX_TOKENS, D_MODEL);
         let x = g.input(stacked);
-        let emb = self.embed.forward(g, x);
-        let emb = g.relu(emb);
+        let emb = self.embed.forward_relu(g, x);
         let col = g.input(col_mask);
         let h = self.attn1.forward_masked(g, emb, Some(col));
         let h = self.attn2.forward_masked(g, h, Some(col));
@@ -65,12 +63,10 @@ impl TlpModel {
     /// Inference-only forward pass: same math as [`Self::forward`] but
     /// gradient-free, so it works through `&self` across threads.
     fn forward_infer(&self, g: &mut Graph, samples: &[Sample], picks: &[usize]) -> NodeId {
-        let stacked = stack_tokens(samples, picks);
-        let (col_mask, row_mask) =
-            crate::sample::attention_masks(&stacked, MAX_TOKENS, D_MODEL);
+        let stacked = stack_tokens_in(g, samples, picks);
+        let (col_mask, row_mask) = attention_masks_in(g, &stacked, MAX_TOKENS, D_MODEL);
         let x = g.input(stacked);
-        let emb = self.embed.forward_infer(g, x);
-        let emb = g.relu(emb);
+        let emb = self.embed.forward_relu_infer(g, x);
         let col = g.input(col_mask);
         let h = self.attn1.forward_masked_infer(g, emb, Some(col));
         let h = self.attn2.forward_masked_infer(g, h, Some(col));
@@ -102,21 +98,31 @@ impl CostModel for TlpModel {
     }
 
     fn predict(&self, samples: &[Sample]) -> Vec<f32> {
+        self.predict_with(&mut Graph::new(), samples)
+    }
+
+    fn predict_with(&self, g: &mut Graph, samples: &[Sample]) -> Vec<f32> {
+        let picks: Vec<usize> = (0..samples.len()).collect();
         let mut out = Vec::with_capacity(samples.len());
-        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(256) {
-            let mut g = Graph::new();
-            let scores = self.forward_infer(&mut g, samples, chunk);
+        for chunk in picks.chunks(256) {
+            g.reset();
+            let scores = self.forward_infer(g, samples, chunk);
             out.extend_from_slice(g.value(scores).as_slice());
         }
         out
     }
 
     fn fit(&mut self, samples: &[Sample], epochs: usize) -> f64 {
+        self.fit_batch(samples, epochs, 1)
+    }
+
+    fn fit_batch(&mut self, samples: &[Sample], epochs: usize, threads: usize) -> f64 {
         let seed = self.seed;
         let mut this = std::mem::replace(self, TlpModel::new(0));
+        let mut g = Graph::with_threads(threads);
         let loss = lambdarank_epochs(samples, epochs, seed, |group, rel| {
             this.zero_grad();
-            let mut g = Graph::new();
+            g.reset();
             let scores = this.forward(&mut g, samples, group);
             let sv: Vec<f32> = g.value(scores).as_slice().to_vec();
             let objective = lambda_magnitude(&sv, rel);
@@ -124,8 +130,8 @@ impl CostModel for TlpModel {
             g.backward_from(scores, Tensor::from_vec(group.len(), 1, lambdas));
             this.absorb_grads(&g);
             let mut adam = std::mem::replace(&mut this.adam, default_adam());
-                adam.step(this.params_mut());
-                this.adam = adam;
+            adam.step(this.params_mut());
+            this.adam = adam;
             objective
         });
         *self = this;

@@ -1,0 +1,613 @@
+//! Register-blocked GEMM micro-kernels with a bit-exactness guarantee.
+//!
+//! Every kernel in this module computes each output element as the plain
+//! ascending-`k` sum `Σₖ a·b` — the same per-element accumulation order as
+//! the naive triple loop in [`mod@reference`]. Tiling here only changes *which*
+//! elements are in flight at once (register blocks of independent
+//! accumulator chains), never the order of additions inside one element, so
+//! the blocked kernels are **bit-identical** to the reference at any block
+//! shape and any thread count. That is what lets the tuner's golden
+//! campaigns stay byte-stable while the compute core gets rewritten.
+//!
+//! Three layouts cover everything the autodiff tape needs:
+//!
+//! * `matmul_into` — `C[m×n] = A[m×k] · B[k×n]` (forward activations),
+//! * `matmul_nt_into` — `C[m×p] = A[m×k] · B[p×k]ᵀ` (input gradients),
+//! * `matmul_tn_into` — `C[m×n] = A[k×m]ᵀ · B[k×n]` (weight gradients).
+//!
+//! Each dispatching entry point takes a `threads` argument: large products
+//! are banded over contiguous output-row ranges and fanned out on scoped
+//! threads. An output element is always computed in full by exactly one
+//! worker, so results are independent of the band split.
+//!
+//! The [`set_reference_kernels`] switch reroutes every dispatch through the
+//! naive loops — a bench/test hook for measuring the blocked kernels'
+//! speedup and for cross-checking bit-exactness at the model level. Since
+//! both paths produce identical bits, flipping the switch can never change
+//! any result, only the wall clock.
+//!
+//! # SIMD width and bit-exactness
+//!
+//! On `x86_64` hosts with AVX2 the band kernels run through
+//! `#[target_feature(enable = "avx2")]` clones of the *same* Rust code
+//! (selected once at runtime). This only widens the compiler's
+//! vectorization of the independent accumulator lanes; Rust forbids
+//! floating-point reassociation and mul/add contraction, so the AVX2 path
+//! produces exactly the same bits as the scalar build — the per-element
+//! sums are still evaluated in ascending-`k` order with separate rounding
+//! per multiply and add. The one `unsafe` block in this crate is the
+//! feature-gated call, guarded by `is_x86_feature_detected!`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Column-panel width of the NN/TN kernels (fits two 8-lane f32 vectors).
+const NR: usize = 16;
+/// Row-block height of all kernels.
+const MR: usize = 4;
+
+/// Minimum multiply-add count before banding over threads pays for the
+/// scoped-thread spawns.
+const PAR_MIN_WORK: usize = 1 << 22;
+/// Minimum output rows per band; below this the spawn overhead dominates.
+const PAR_MIN_ROWS: usize = 64;
+
+static REFERENCE: AtomicBool = AtomicBool::new(false);
+
+/// Routes all GEMM dispatches through the naive [`mod@reference`] loops.
+///
+/// Bench/test hook only: the two paths are bit-identical, so this switch
+/// can only ever change timing, never results.
+pub fn set_reference_kernels(on: bool) {
+    REFERENCE.store(on, Ordering::SeqCst);
+}
+
+/// Whether dispatches currently use the naive reference loops.
+pub fn reference_kernels() -> bool {
+    REFERENCE.load(Ordering::Relaxed)
+}
+
+/// Picks the worker count for an `out_rows`-row product of `work`
+/// multiply-adds.
+fn band_workers(threads: usize, out_rows: usize, work: usize) -> usize {
+    if threads <= 1 || work < PAR_MIN_WORK {
+        return 1;
+    }
+    threads.min(out_rows / PAR_MIN_ROWS).max(1)
+}
+
+/// AVX2-compiled clones of the band kernels. The bodies are the very same
+/// functions (inlined into a `#[target_feature]` shell), so semantics are
+/// identical by construction — only the emitted vector width changes.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #[target_feature(enable = "avx2")]
+    pub fn nn_band(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+        super::nn_band(a, b, out, rows, k, n);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn nt_band(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, p: usize) {
+        super::nt_band(a, b, out, rows, k, p);
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn tn_range(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        i0: usize,
+        i1: usize,
+        k: usize,
+        m: usize,
+        n: usize,
+    ) {
+        super::tn_range(a, b, out, i0, i1, k, m, n);
+    }
+}
+
+/// Whether the AVX2 clones are usable on this machine (checked once;
+/// `is_x86_feature_detected!` caches internally).
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+fn run_nn_band(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: the only requirement of a safe `#[target_feature]` fn is
+        // that the feature is present, which was just verified at runtime.
+        #[allow(unsafe_code)]
+        return unsafe { avx2::nn_band(a, b, out, rows, k, n) };
+    }
+    nn_band(a, b, out, rows, k, n)
+}
+
+fn run_nt_band(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, p: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence verified at runtime.
+        #[allow(unsafe_code)]
+        return unsafe { avx2::nt_band(a, b, out, rows, k, p) };
+    }
+    nt_band(a, b, out, rows, k, p)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_tn_range(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence verified at runtime.
+        #[allow(unsafe_code)]
+        return unsafe { avx2::tn_range(a, b, out, i0, i1, k, m, n) };
+    }
+    tn_range(a, b, out, i0, i1, k, m, n)
+}
+
+/// `out = A[m×k] × B[k×n]`, overwriting `out` entirely (dirty buffers are
+/// fine).
+///
+/// # Panics
+/// Panics if a slice length disagrees with its shape.
+pub fn matmul_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(out.len(), m * n, "C length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if reference_kernels() {
+        reference::matmul(a, b, out, m, k, n);
+        return;
+    }
+    let workers = band_workers(threads, m, m.saturating_mul(k).saturating_mul(n));
+    if workers <= 1 {
+        run_nn_band(a, b, out, m, k, n);
+        return;
+    }
+    let band = m.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (ab, ob) in a.chunks(band * k).zip(out.chunks_mut(band * n)) {
+            scope.spawn(move |_| run_nn_band(ab, b, ob, ab.len() / k, k, n));
+        }
+    })
+    .expect("gemm workers must not panic");
+}
+
+/// `out = A[m×k] × B[p×k]ᵀ`, overwriting `out` entirely.
+///
+/// # Panics
+/// Panics if a slice length disagrees with its shape.
+pub fn matmul_nt_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    p: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), p * k, "B length mismatch");
+    assert_eq!(out.len(), m * p, "C length mismatch");
+    if m == 0 || p == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if reference_kernels() {
+        reference::matmul_nt(a, b, out, m, k, p);
+        return;
+    }
+    let workers = band_workers(threads, m, m.saturating_mul(k).saturating_mul(p));
+    if workers <= 1 {
+        run_nt_band(a, b, out, m, k, p);
+        return;
+    }
+    let band = m.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (ab, ob) in a.chunks(band * k).zip(out.chunks_mut(band * p)) {
+            scope.spawn(move |_| run_nt_band(ab, b, ob, ab.len() / k, k, p));
+        }
+    })
+    .expect("gemm workers must not panic");
+}
+
+/// `out = A[k×m]ᵀ × B[k×n]`, overwriting `out` entirely.
+///
+/// # Panics
+/// Panics if a slice length disagrees with its shape.
+pub fn matmul_tn_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), k * m, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(out.len(), m * n, "C length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if reference_kernels() {
+        reference::matmul_tn(a, b, out, k, m, n);
+        return;
+    }
+    let workers = band_workers(threads, m, m.saturating_mul(k).saturating_mul(n));
+    if workers <= 1 {
+        run_tn_range(a, b, out, 0, m, k, m, n);
+        return;
+    }
+    let band = m.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (bi, ob) in out.chunks_mut(band * n).enumerate() {
+            scope.spawn(move |_| {
+                let i0 = bi * band;
+                run_tn_range(a, b, ob, i0, i0 + ob.len() / n, k, m, n);
+            });
+        }
+    })
+    .expect("gemm workers must not panic");
+}
+
+/// NN band: `out[rows×n] = A[rows×k] × B[k×n]`.
+///
+/// `MR`-row blocks over `NR`-column panels held in register accumulators;
+/// the `k` loop is innermost and ascending for every output element.
+/// `inline(always)` so the `avx2` shells compile this body at full width.
+#[inline(always)]
+fn nn_band(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    let mut i = 0;
+    while i + MR <= rows {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let bp: &[f32; NR] =
+                    b[kk * n + j..kk * n + j + NR].try_into().expect("panel width");
+                let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+                for (accr, &ar) in acc.iter_mut().zip(&av) {
+                    for (av_c, &bv) in accr.iter_mut().zip(bp) {
+                        *av_c += ar * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+            }
+            j += NR;
+        }
+        if j < n {
+            let w = n - j;
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let bp = &b[kk * n + j..kk * n + j + w];
+                let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+                for (accr, &ar) in acc.iter_mut().zip(&av) {
+                    for (av_c, &bv) in accr.iter_mut().zip(bp) {
+                        *av_c += ar * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + n].copy_from_slice(&accr[..w]);
+            }
+        }
+        i += MR;
+    }
+    while i < rows {
+        let ar = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j < n {
+            let w = NR.min(n - j);
+            let mut acc = [0.0f32; NR];
+            for (kk, &av) in ar.iter().enumerate() {
+                let bp = &b[kk * n + j..kk * n + j + w];
+                for (accc, &bv) in acc.iter_mut().zip(bp) {
+                    *accc += av * bv;
+                }
+            }
+            orow[j..j + w].copy_from_slice(&acc[..w]);
+            j += w;
+        }
+        i += 1;
+    }
+}
+
+/// NT band: `out[rows×p] = A[rows×k] × B[p×k]ᵀ`.
+///
+/// `MR×MR` output tiles of independent serial dot-product chains: each
+/// chain is strictly ascending in `k` (bit-exact), and the 16 chains in
+/// flight cover the FMA latency the naive one-chain loop stalls on.
+#[inline(always)]
+fn nt_band(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, p: usize) {
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        let mut j = 0;
+        while j < p {
+            let nc = MR.min(p - j);
+            if mr == MR && nc == MR {
+                let a0 = &a[i * k..(i + 1) * k];
+                let a1 = &a[(i + 1) * k..(i + 2) * k];
+                let a2 = &a[(i + 2) * k..(i + 3) * k];
+                let a3 = &a[(i + 3) * k..(i + 4) * k];
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let mut acc = [[0.0f32; MR]; MR];
+                for kk in 0..k {
+                    let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+                    let bv = [b0[kk], b1[kk], b2[kk], b3[kk]];
+                    for (accr, &ar) in acc.iter_mut().zip(&av) {
+                        for (accc, &bc) in accr.iter_mut().zip(&bv) {
+                            *accc += ar * bc;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    out[(i + r) * p + j..(i + r) * p + j + MR].copy_from_slice(accr);
+                }
+            } else {
+                for r in 0..mr {
+                    let arow = &a[(i + r) * k..(i + r + 1) * k];
+                    for c in 0..nc {
+                        let brow = &b[(j + c) * k..(j + c + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in arow.iter().zip(brow) {
+                            acc += av * bv;
+                        }
+                        out[(i + r) * p + j + c] = acc;
+                    }
+                }
+            }
+            j += nc;
+        }
+        i += mr;
+    }
+}
+
+/// TN range: rows `i0..i1` of `out[m×n] = A[k×m]ᵀ × B[k×n]`.
+///
+/// `out` covers exactly the `i0..i1` row range. Out rows index columns of
+/// `A`, so an `MR` row block reads four *contiguous* values of each `A`
+/// row; the `r` (reduction) loop is ascending for every output element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tn_range(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut i = i0;
+    while i + MR <= i1 {
+        let mut j = 0;
+        while j < n {
+            let w = NR.min(n - j);
+            let mut acc = [[0.0f32; NR]; MR];
+            for r in 0..k {
+                let ap: &[f32; MR] =
+                    a[r * m + i..r * m + i + MR].try_into().expect("A block width");
+                let bp = &b[r * n + j..r * n + j + w];
+                for (accr, &av) in acc.iter_mut().zip(ap) {
+                    for (accc, &bv) in accr.iter_mut().zip(bp) {
+                        *accc += av * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i - i0 + r) * n + j..(i - i0 + r) * n + j + w]
+                    .copy_from_slice(&accr[..w]);
+            }
+            j += w;
+        }
+        i += MR;
+    }
+    while i < i1 {
+        let mut j = 0;
+        while j < n {
+            let w = NR.min(n - j);
+            let mut acc = [0.0f32; NR];
+            for r in 0..k {
+                let av = a[r * m + i];
+                let bp = &b[r * n + j..r * n + j + w];
+                for (accc, &bv) in acc.iter_mut().zip(bp) {
+                    *accc += av * bv;
+                }
+            }
+            out[(i - i0) * n + j..(i - i0) * n + j + w].copy_from_slice(&acc[..w]);
+            j += w;
+        }
+        i += 1;
+    }
+}
+
+/// The naive triple-loop kernels: the correctness oracle the blocked
+/// kernels are proptested against, and the baseline the micro-bench
+/// measures speedups from.
+///
+/// These mirror the original seed implementation with one fix: no
+/// data-dependent `a == 0.0` skip, so `0·NaN` and `0·∞` propagate as IEEE
+/// demands (and the hot loop stays branch-free).
+pub mod reference {
+    /// Naive `C[m×n] = A[m×k] × B[k×n]`; overwrites `out`.
+    pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        out.fill(0.0);
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                let crow = &mut out[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Naive `C[m×p] = A[m×k] × B[p×k]ᵀ`; overwrites `out`.
+    pub fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, p: usize) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..p {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                out[i * p + j] = acc;
+            }
+        }
+    }
+
+    /// Naive `C[m×n] = A[k×m]ᵀ × B[k×n]`; overwrites `out`.
+    pub fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+        out.fill(0.0);
+        for r in 0..k {
+            for i in 0..m {
+                let av = a[r * m + i];
+                let brow = &b[r * n..(r + 1) * n];
+                let crow = &mut out[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let v = ((i as u64 + 1).wrapping_mul(seed.wrapping_mul(2654435761) | 1)) % 1000;
+                v as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_nn_matches_reference_bitwise() {
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (4, 16, 16), (17, 33, 65), (64, 32, 128), (5, 0, 3)]
+        {
+            let a = seeded(m * k, 7);
+            let b = seeded(k * n, 11);
+            let mut blocked = vec![9.0f32; m * n];
+            let mut naive = vec![-9.0f32; m * n];
+            matmul_into(&a, &b, &mut blocked, m, k, n, 1);
+            reference::matmul(&a, &b, &mut naive, m, k, n);
+            assert_eq!(blocked, naive, "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_nt_matches_reference_bitwise() {
+        for &(m, k, p) in &[(1, 4, 1), (5, 3, 9), (16, 16, 16), (33, 7, 129)] {
+            let a = seeded(m * k, 13);
+            let b = seeded(p * k, 17);
+            let mut blocked = vec![1.0f32; m * p];
+            let mut naive = vec![2.0f32; m * p];
+            matmul_nt_into(&a, &b, &mut blocked, m, k, p, 1);
+            reference::matmul_nt(&a, &b, &mut naive, m, k, p);
+            assert_eq!(blocked, naive, "shape {m}x{k}x{p}");
+        }
+    }
+
+    #[test]
+    fn blocked_tn_matches_reference_bitwise() {
+        for &(k, m, n) in &[(1, 1, 1), (4, 6, 10), (16, 16, 16), (29, 35, 67)] {
+            let a = seeded(k * m, 19);
+            let b = seeded(k * n, 23);
+            let mut blocked = vec![3.0f32; m * n];
+            let mut naive = vec![4.0f32; m * n];
+            matmul_tn_into(&a, &b, &mut blocked, k, m, n, 1);
+            reference::matmul_tn(&a, &b, &mut naive, k, m, n);
+            assert_eq!(blocked, naive, "shape {k}x{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn banded_matches_single_thread_bitwise() {
+        // Shapes above the banding threshold: results must not depend on
+        // the worker count.
+        let (m, k, n) = (512, 64, 160);
+        let a = seeded(m * k, 29);
+        let b = seeded(k * n, 31);
+        let mut serial = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut serial, m, k, n, 1);
+        for threads in [2, 3, 4, 8] {
+            let mut banded = vec![7.0f32; m * n];
+            matmul_into(&a, &b, &mut banded, m, k, n, threads);
+            assert_eq!(banded, serial, "{threads} threads diverged");
+        }
+        let at = seeded(512 * 64, 37); // viewed as k×m for TN
+        let bt = seeded(512 * 160, 41);
+        let mut serial_tn = vec![0.0f32; 64 * 160];
+        matmul_tn_into(&at, &bt, &mut serial_tn, 512, 64, 160, 1);
+        for threads in [2, 4] {
+            let mut banded = vec![5.0f32; 64 * 160];
+            matmul_tn_into(&at, &bt, &mut banded, 512, 64, 160, threads);
+            assert_eq!(banded, serial_tn, "TN {threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn reference_switch_is_bit_transparent() {
+        let (m, k, n) = (10, 12, 14);
+        let a = seeded(m * k, 43);
+        let b = seeded(k * n, 47);
+        let mut blocked = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut blocked, m, k, n, 1);
+        set_reference_kernels(true);
+        let mut via_flag = vec![1.0f32; m * n];
+        matmul_into(&a, &b, &mut via_flag, m, k, n, 1);
+        set_reference_kernels(false);
+        assert_eq!(blocked, via_flag);
+    }
+}

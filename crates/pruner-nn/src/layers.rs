@@ -40,7 +40,7 @@ impl Param {
 
     /// Binds the parameter onto the tape and remembers its node.
     pub fn bind(&mut self, g: &mut Graph) -> NodeId {
-        let id = g.input(self.value.clone());
+        let id = g.input_ref(&self.value);
         self.node = Some(id);
         id
     }
@@ -51,7 +51,7 @@ impl Param {
     /// this pass — which is exactly what allows forward passes through
     /// `&self` and therefore concurrent prediction from multiple threads.
     pub fn bind_infer(&self, g: &mut Graph) -> NodeId {
-        g.input(self.value.clone())
+        g.input_ref(&self.value)
     }
 
     /// Adds the tape gradient (if this param participated) into `grad`.
@@ -153,20 +153,34 @@ impl Linear {
         }
     }
 
-    /// Applies the layer to `[n, in_dim]` activations.
+    /// Applies the layer to `[n, in_dim]` activations as one fused
+    /// [`Graph::linear`] node.
     pub fn forward(&mut self, g: &mut Graph, x: NodeId) -> NodeId {
         let w = self.w.bind(g);
         let b = self.b.bind(g);
-        let y = g.matmul(x, w);
-        g.add_row_bias(y, b)
+        g.linear(x, w, b)
+    }
+
+    /// Applies the layer followed by a ReLU as one fused
+    /// [`Graph::linear_relu`] node (bit-identical to `forward` + `relu`).
+    pub fn forward_relu(&mut self, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = self.w.bind(g);
+        let b = self.b.bind(g);
+        g.linear_relu(x, w, b)
     }
 
     /// Inference-only forward pass (`&self`; no gradients afterwards).
     pub fn forward_infer(&self, g: &mut Graph, x: NodeId) -> NodeId {
         let w = self.w.bind_infer(g);
         let b = self.b.bind_infer(g);
-        let y = g.matmul(x, w);
-        g.add_row_bias(y, b)
+        g.linear(x, w, b)
+    }
+
+    /// Inference-only fused linear + ReLU (`&self`).
+    pub fn forward_relu_infer(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let w = self.w.bind_infer(g);
+        let b = self.b.bind_infer(g);
+        g.linear_relu(x, w, b)
     }
 
     /// Input width.
@@ -204,15 +218,13 @@ impl Mlp {
         Mlp { layers }
     }
 
-    /// Applies the MLP (ReLU after every layer but the last).
+    /// Applies the MLP (ReLU after every layer but the last); hidden layers
+    /// run as fused `linear_relu` tape nodes.
     pub fn forward(&mut self, g: &mut Graph, x: NodeId) -> NodeId {
         let n = self.layers.len();
         let mut h = x;
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            h = layer.forward(g, h);
-            if i + 1 < n {
-                h = g.relu(h);
-            }
+            h = if i + 1 < n { layer.forward_relu(g, h) } else { layer.forward(g, h) };
         }
         h
     }
@@ -222,10 +234,11 @@ impl Mlp {
         let n = self.layers.len();
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward_infer(g, h);
-            if i + 1 < n {
-                h = g.relu(h);
-            }
+            h = if i + 1 < n {
+                layer.forward_relu_infer(g, h)
+            } else {
+                layer.forward_infer(g, h)
+            };
         }
         h
     }

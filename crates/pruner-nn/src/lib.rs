@@ -16,8 +16,13 @@
 //! * [`mse_loss`], [`lambdarank_grad`] — the training objectives; LambdaRank
 //!   is injected as a custom seed gradient via [`Graph::backward_from`].
 //!
-//! Everything is seeded and single-threaded, so training runs are exactly
-//! reproducible.
+//! Everything is seeded and bit-deterministic: matrix products run on the
+//! register-blocked kernels in [`gemm`], which preserve the naive
+//! per-element accumulation order at any block shape and any thread count,
+//! so training runs are exactly reproducible even when
+//! [`Graph::with_threads`] bands large GEMMs across workers. Graphs pool
+//! their buffers in a [`Workspace`]; [`Graph::reset`] recycles an entire
+//! tape so steady-state re-runs allocate nothing.
 //!
 //! # Example
 //!
@@ -41,16 +46,22 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the sole `unsafe` in this crate is the
+// runtime-feature-gated call into the AVX2 kernel clones in [`gemm`],
+// locally allowed there with a SAFETY argument. Everything else is safe
+// Rust, and new unsafe code is still rejected by default.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gemm;
 mod graph;
 mod layers;
 mod loss;
 mod optim;
 mod tensor;
 
-pub use graph::{Graph, NodeId};
+pub use gemm::{reference_kernels, set_reference_kernels};
+pub use graph::{Graph, NodeId, Workspace};
 pub use layers::{Linear, Mlp, Module, MultiHeadAttention, Param, SelfAttention};
 pub use loss::{lambdarank_grad, latencies_to_relevance, mse_loss};
 pub use optim::{Adam, Sgd};

@@ -6,6 +6,7 @@
 //! models this reproduction needs (per-group sequence ops handle the
 //! attention batching).
 
+use crate::gemm;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -108,6 +109,28 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Consumes the tensor, returning its backing buffer (used by the
+    /// [`crate::Workspace`] arena to recycle allocations across tape runs).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshapes in place, resizing the backing buffer as needed.
+    ///
+    /// Existing contents are unspecified afterwards — callers are expected
+    /// to overwrite every element (the `*_into` kernels do). This is how
+    /// pooled workspace buffers get retargeted without reallocating.
+    pub fn reshape_for(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Sets every element to zero in place.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
@@ -126,25 +149,36 @@ impl Tensor {
 
     /// Dense matrix product `self × other`.
     ///
+    /// Runs on the register-blocked kernel in [`crate::gemm`]; each output
+    /// element is the plain ascending-`k` sum, so results are bit-identical
+    /// to the naive triple loop (and `0·NaN`/`0·∞` propagate — there is no
+    /// data-dependent zero skip).
+    ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
         let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (cv, &ov) in crow.iter_mut().zip(orow) {
-                    *cv += a * ov;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out);
         out
+    }
+
+    /// `self × other` into a caller-provided buffer, reshaping `out` and
+    /// overwriting it entirely (dirty contents are fine).
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        out.reshape_for(self.rows, other.cols);
+        gemm::matmul_into(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            1,
+        );
     }
 
     /// `self × otherᵀ`.
@@ -152,18 +186,28 @@ impl Tensor {
     /// # Panics
     /// Panics if the column counts disagree.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.cols, "matmul_nt column mismatch");
         let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            for j in 0..other.rows {
-                let mut acc = 0.0;
-                for k in 0..self.cols {
-                    acc += self.data[i * self.cols + k] * other.data[j * other.cols + k];
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        self.matmul_nt_into(other, &mut out);
         out
+    }
+
+    /// `self × otherᵀ` into a caller-provided buffer, reshaping `out` and
+    /// overwriting it entirely.
+    ///
+    /// # Panics
+    /// Panics if the column counts disagree.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, other.cols, "matmul_nt column mismatch");
+        out.reshape_for(self.rows, other.rows);
+        gemm::matmul_nt_into(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+            1,
+        );
     }
 
     /// `selfᵀ × other`.
@@ -171,22 +215,28 @@ impl Tensor {
     /// # Panics
     /// Panics if the row counts disagree.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rows, other.rows, "matmul_tn row mismatch");
         let mut out = Tensor::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            for i in 0..self.cols {
-                let a = self.data[k * self.cols + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (cv, &ov) in crow.iter_mut().zip(orow) {
-                    *cv += a * ov;
-                }
-            }
-        }
+        self.matmul_tn_into(other, &mut out);
         out
+    }
+
+    /// `selfᵀ × other` into a caller-provided buffer, reshaping `out` and
+    /// overwriting it entirely.
+    ///
+    /// # Panics
+    /// Panics if the row counts disagree.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rows, other.rows, "matmul_tn row mismatch");
+        out.reshape_for(self.cols, other.cols);
+        gemm::matmul_tn_into(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            1,
+        );
     }
 
     /// Frobenius norm.
@@ -270,6 +320,34 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(4, 2);
         a.matmul(&b);
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // Regression: the old kernels skipped `a == 0.0` contributions,
+        // silently swallowing NaN/Inf in the other operand. IEEE says
+        // 0·NaN = NaN and 0·∞ = NaN.
+        let a = Tensor::from_vec(1, 2, vec![0.0, 0.0]);
+        let b = Tensor::from_vec(2, 1, vec![f32::NAN, 1.0]);
+        assert!(a.matmul(&b).at(0, 0).is_nan(), "0·NaN must propagate through matmul");
+        let binf = Tensor::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+        assert!(a.matmul(&binf).at(0, 0).is_nan(), "0·∞ must propagate through matmul");
+        let at = Tensor::from_vec(2, 1, vec![0.0, 0.0]);
+        let bt = Tensor::from_vec(2, 1, vec![f32::NAN, 1.0]);
+        assert!(at.matmul_tn(&bt).at(0, 0).is_nan(), "0·NaN must propagate through matmul_tn");
+        let ant = Tensor::from_vec(1, 2, vec![0.0, 0.0]);
+        let bnt = Tensor::from_vec(1, 2, vec![f32::NAN, 1.0]);
+        assert!(ant.matmul_nt(&bnt).at(0, 0).is_nan(), "0·NaN must propagate through matmul_nt");
+    }
+
+    #[test]
+    fn matmul_into_overwrites_dirty_buffer() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let fresh = a.matmul(&b);
+        let mut dirty = Tensor::full(5, 7, f32::NAN); // wrong shape AND poisoned
+        a.matmul_into(&b, &mut dirty);
+        assert_eq!(dirty, fresh);
     }
 
     #[test]

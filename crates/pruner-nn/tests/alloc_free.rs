@@ -1,0 +1,90 @@
+//! Steady-state forward/backward must not touch the heap.
+//!
+//! The library itself is `#![forbid(unsafe_code)]`, so the counting
+//! global allocator lives out here in an integration test. A single
+//! `#[test]` keeps the measurement single-threaded: the libtest harness
+//! would otherwise run tests on worker threads whose incidental
+//! allocations would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use pruner_nn::{Graph, Tensor};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn filled(rows: usize, cols: usize, seed: u32) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i as u32).wrapping_mul(seed.wrapping_mul(2654435761) | 1) % 1000) as f32 / 500.0 - 1.0)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// One full training-shaped pass: bind inputs by reference, fused
+/// linear+relu, a second fused linear, reduce, backprop. Returns the
+/// scalar loss so the work cannot be optimized away.
+fn step(g: &mut Graph, x: &Tensor, w1: &Tensor, b1: &Tensor, w2: &Tensor, b2: &Tensor) -> f32 {
+    g.reset();
+    let xi = g.input_ref(x);
+    let w1i = g.input_ref(w1);
+    let b1i = g.input_ref(b1);
+    let w2i = g.input_ref(w2);
+    let b2i = g.input_ref(b2);
+    let h = g.linear_relu(xi, w1i, b1i);
+    let y = g.linear(h, w2i, b2i);
+    let s = g.mean_all(y);
+    g.backward(s);
+    g.value(s).at(0, 0)
+}
+
+#[test]
+fn steady_state_forward_backward_allocates_nothing() {
+    let x = filled(64, 32, 3);
+    let w1 = filled(32, 48, 5);
+    let b1 = filled(1, 48, 7);
+    let w2 = filled(48, 1, 11);
+    let b2 = filled(1, 1, 13);
+
+    let mut g = Graph::new();
+    // Two warm-up passes grow the workspace pool to its fixed point:
+    // after the first pass every buffer the tape needs exists at its
+    // exact size; the second confirms reuse settles.
+    let warm1 = step(&mut g, &x, &w1, &b1, &w2, &b2);
+    let warm2 = step(&mut g, &x, &w1, &b1, &w2, &b2);
+    assert_eq!(warm1.to_bits(), warm2.to_bits(), "warm-up passes must agree");
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let measured = step(&mut g, &x, &w1, &b1, &w2, &b2);
+    COUNTING.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(measured.to_bits(), warm1.to_bits(), "steady-state result must match warm-up");
+    assert_eq!(n, 0, "steady-state forward/backward performed {n} heap allocations");
+}

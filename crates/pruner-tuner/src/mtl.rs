@@ -53,11 +53,12 @@ impl Mtl {
 
     /// One MTL round: clone → fine-tune on `samples` → momentum-fold back.
     ///
-    /// Returns the fine-tuned target model, which serves as the round's
-    /// predictor.
-    pub fn round(&mut self, samples: &[Sample], epochs: usize) -> PacmModel {
+    /// `threads` bands the target's training GEMMs across workers (the
+    /// result is bit-identical at any thread count). Returns the
+    /// fine-tuned target model, which serves as the round's predictor.
+    pub fn round(&mut self, samples: &[Sample], epochs: usize, threads: usize) -> PacmModel {
         let mut target = self.siamese.clone();
-        target.fit(samples, epochs);
+        target.fit_batch(samples, epochs, threads);
         self.siamese.momentum_update_from(&mut target, self.momentum);
         self.rounds += 1;
         target
@@ -100,7 +101,7 @@ mod tests {
         let pre = pretrain_pacm(&samples_on(GpuSpec::k80(), 24, 1), 5, 7);
         let mut mtl = Mtl::with_paper_momentum(pre.clone());
         let before = format!("{:?}", mtl.siamese().clone().predict(&samples_on(GpuSpec::t4(), 4, 9)));
-        let _target = mtl.round(&samples_on(GpuSpec::t4(), 24, 2), 5);
+        let _target = mtl.round(&samples_on(GpuSpec::t4(), 24, 2), 5, 1);
         assert_eq!(mtl.rounds(), 1);
         let after = format!("{:?}", mtl.siamese().clone().predict(&samples_on(GpuSpec::t4(), 4, 9)));
         assert_ne!(before, after, "siamese weights must drift");
@@ -110,7 +111,7 @@ mod tests {
     fn momentum_one_freezes_siamese() {
         let pre = pretrain_pacm(&samples_on(GpuSpec::k80(), 16, 3), 3, 7);
         let mut mtl = Mtl::new(pre.clone(), 1.0);
-        mtl.round(&samples_on(GpuSpec::t4(), 16, 4), 5);
+        mtl.round(&samples_on(GpuSpec::t4(), 16, 4), 5, 2);
         let probe = samples_on(GpuSpec::t4(), 4, 10);
         assert_eq!(
             mtl.siamese().clone().predict(&probe),

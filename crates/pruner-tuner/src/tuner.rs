@@ -437,12 +437,12 @@ impl Tuner {
             if samples.len() >= 2 {
                 match &mut self.mtl {
                     Some(mtl) => {
-                        let target = mtl.round(&samples, self.cfg.mtl_epochs);
+                        let target = mtl.round(&samples, self.cfg.mtl_epochs, self.cfg.threads);
                         self.measurer.charge_training(samples.len(), self.cfg.mtl_epochs);
                         self.model = Box::new(target);
                     }
                     None => {
-                        self.model.fit(&samples, self.cfg.train_epochs);
+                        self.model.fit_batch(&samples, self.cfg.train_epochs, self.cfg.threads);
                         self.measurer.charge_training(samples.len(), self.cfg.train_epochs);
                     }
                 }

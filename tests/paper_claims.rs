@@ -151,7 +151,7 @@ fn claim_mtl_is_stable() {
     let t4 = Dataset::generate(&GpuSpec::t4(), &[zoo::bert_tiny(1, 128)], 24, 8);
     let mut mtl = pruner::tuner::Mtl::with_paper_momentum(pre);
     for _ in 0..6 {
-        let _target = mtl.round(&t4.to_samples(), 2);
+        let _target = mtl.round(&t4.to_samples(), 2, 1);
     }
     let mut siamese = mtl.siamese().clone();
     let after = rho_of(&mut siamese);
