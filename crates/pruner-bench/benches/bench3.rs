@@ -15,6 +15,9 @@ use pruner::gpu::{GpuSpec, Simulator};
 use pruner::ir::Workload;
 use pruner::nn::set_reference_kernels;
 use pruner::sketch::{HardwareLimits, Program};
+use pruner::trace::{NoopRecorder, Recorder, TraceHandle};
+use pruner::tuner::{TunerConfig, TuningResult};
+use pruner::Pruner;
 use pruner_bench::{results_dir, TextTable};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -34,6 +37,11 @@ struct Bench3Result {
     blocked_train_step_s: f64,
     train_speedup: f64,
     bit_identical: bool,
+    trace_baseline_s: f64,
+    trace_noop_s: f64,
+    trace_enabled_s: f64,
+    trace_disabled_overhead: f64,
+    trace_enabled_overhead: f64,
 }
 
 fn smoke() -> bool {
@@ -117,6 +125,46 @@ fn main() {
     let predict_speedup = naive_predict_s / blocked_predict_s;
     let train_speedup = naive_train_step_s / blocked_train_step_s;
 
+    // --- trace recorder overhead: observability must be free when off ---
+    // Three variants of the same quick campaign: no recorder installed (the
+    // default no-op), an explicitly installed `NoopRecorder` (the "disabled"
+    // path the hot loop always pays for), and a live `TraceHandle`.
+    let dim = if smoke() { 256 } else { 512 };
+    let trace_campaign = |recorder: Option<Box<dyn Recorder>>| -> TuningResult {
+        let mut builder = Pruner::builder(GpuSpec::t4())
+            .workload(Workload::matmul(1, dim, dim, dim))
+            .config(TunerConfig::quick())
+            .seed(7);
+        if let Some(rec) = recorder {
+            builder = builder.recorder(rec);
+        }
+        builder.build().tune()
+    };
+    let trace_repeats = 5;
+    let _warmup = trace_campaign(None); // page in the campaign path before timing
+    let (trace_baseline_s, base_run) = best_of(trace_repeats, || trace_campaign(None));
+    let (trace_noop_s, noop_run) =
+        best_of(trace_repeats, || trace_campaign(Some(Box::new(NoopRecorder))));
+    let (trace_enabled_s, traced_run) =
+        best_of(trace_repeats, || trace_campaign(Some(Box::new(TraceHandle::new()))));
+    assert!(
+        base_run.best_latency_s.to_bits() == noop_run.best_latency_s.to_bits()
+            && base_run.best_latency_s.to_bits() == traced_run.best_latency_s.to_bits()
+            && base_run.curve == noop_run.curve
+            && base_run.curve == traced_run.curve,
+        "installing a recorder changed the campaign result"
+    );
+    let trace_disabled_overhead = trace_noop_s / trace_baseline_s - 1.0;
+    let trace_enabled_overhead = trace_enabled_s / trace_baseline_s - 1.0;
+    // <2% relative, with a small absolute floor so a sub-millisecond timing
+    // wobble on the smoke campaign cannot fail the run.
+    assert!(
+        trace_disabled_overhead < 0.02 || trace_noop_s - trace_baseline_s < 0.005,
+        "disabled recorder overhead {:.2}% exceeds the 2% ceiling \
+         (baseline {trace_baseline_s:.4}s, noop {trace_noop_s:.4}s)",
+        trace_disabled_overhead * 100.0
+    );
+
     let mut table = TextTable::new(&["stage", "naive (s)", "blocked (s)", "speedup"]);
     table.row(vec![
         format!("predict_batch x{pool}"),
@@ -133,6 +181,22 @@ fn main() {
     println!("Bench 3 — compute core ({pool} candidates, {threads} threads)\n");
     table.print();
 
+    let mut trace_table =
+        TextTable::new(&["campaign recorder", "best of 5 (s)", "overhead"]);
+    trace_table.row(vec!["none (baseline)".into(), format!("{trace_baseline_s:.4}"), "-".into()]);
+    trace_table.row(vec![
+        "noop (disabled)".into(),
+        format!("{trace_noop_s:.4}"),
+        format!("{:+.2}%", trace_disabled_overhead * 100.0),
+    ]);
+    trace_table.row(vec![
+        "trace (enabled)".into(),
+        format!("{trace_enabled_s:.4}"),
+        format!("{:+.2}%", trace_enabled_overhead * 100.0),
+    ]);
+    println!("\nTrace recorder overhead (quick campaign, {dim}^3 matmul)\n");
+    trace_table.print();
+
     let result = Bench3Result {
         pool,
         threads,
@@ -145,6 +209,11 @@ fn main() {
         blocked_train_step_s,
         train_speedup,
         bit_identical: scores_identical && trained_identical,
+        trace_baseline_s,
+        trace_noop_s,
+        trace_enabled_s,
+        trace_disabled_overhead,
+        trace_enabled_overhead,
     };
     let path = results_dir().parent().expect("workspace root").join("BENCH_3.json");
     let file = std::fs::File::create(&path).expect("create BENCH_3.json");

@@ -86,6 +86,42 @@ pub trait CostModel: Send + Sync {
         self.fit(samples, epochs)
     }
 
+    /// [`CostModel::predict_batch`] with observability: wraps inference in
+    /// a `model.predict` span and counts the scored candidates. The
+    /// recorder only observes, so the scores are bit-identical to the
+    /// untraced call at any thread count.
+    fn predict_batch_traced(
+        &self,
+        samples: &[Sample],
+        threads: usize,
+        rec: &mut dyn pruner_trace::Recorder,
+    ) -> Vec<f32> {
+        rec.span_begin("model.predict");
+        let scores = self.predict_batch(samples, threads);
+        rec.counter("model.predicted", scores.len() as u64);
+        rec.span_end("model.predict");
+        scores
+    }
+
+    /// [`CostModel::fit_batch`] with observability: wraps training in a
+    /// `model.fit` span, counts `samples × epochs` training work and
+    /// gauges the final training objective. The returned loss and the
+    /// trained weights are bit-identical to the untraced call.
+    fn fit_batch_traced(
+        &mut self,
+        samples: &[Sample],
+        epochs: usize,
+        threads: usize,
+        rec: &mut dyn pruner_trace::Recorder,
+    ) -> f64 {
+        rec.span_begin("model.fit");
+        let loss = self.fit_batch(samples, epochs, threads);
+        rec.counter("model.fit_samples", (samples.len() * epochs) as u64);
+        rec.gauge("model.fit_loss", loss);
+        rec.span_end("model.fit");
+        loss
+    }
+
     /// Clones the model behind the trait object.
     fn clone_box(&self) -> Box<dyn CostModel>;
 

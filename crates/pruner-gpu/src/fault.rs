@@ -29,6 +29,20 @@ pub enum FaultKind {
     Outlier,
 }
 
+impl FaultKind {
+    /// Stable snake_case identifier for machine-readable payloads (trace
+    /// records, artifacts). Unlike [`std::fmt::Display`], this is part of
+    /// the versioned trace schema and must not be reworded.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::CompileError => "compile_error",
+            FaultKind::Timeout => "timeout",
+            FaultKind::DeviceReset => "device_reset",
+            FaultKind::Outlier => "outlier",
+        }
+    }
+}
+
 impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -162,6 +176,16 @@ impl FaultModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_labels_are_stable() {
+        // These strings are part of the versioned trace schema; changing one
+        // is a schema break and must bump pruner-trace's SCHEMA_VERSION.
+        assert_eq!(FaultKind::CompileError.label(), "compile_error");
+        assert_eq!(FaultKind::Timeout.label(), "timeout");
+        assert_eq!(FaultKind::DeviceReset.label(), "device_reset");
+        assert_eq!(FaultKind::Outlier.label(), "outlier");
+    }
 
     #[test]
     fn draws_are_deterministic() {

@@ -254,6 +254,25 @@ impl Psa {
         scored.into_iter().map(|(_, p)| p).collect()
     }
 
+    /// [`Self::prune_par`] with observability: wraps the drafting fan-out
+    /// in a `psa.prune` span and counts the pool in and the survivors
+    /// out. Bit-identical to the untraced pruner — the recorder observes,
+    /// it never participates.
+    pub fn prune_traced(
+        &self,
+        pool: Vec<Program>,
+        size: usize,
+        threads: usize,
+        rec: &mut dyn pruner_trace::Recorder,
+    ) -> Vec<Program> {
+        rec.span_begin("psa.prune");
+        rec.counter("psa.pool_in", pool.len() as u64);
+        let out = self.prune_par(pool, size, threads);
+        rec.counter("psa.survivors", out.len() as u64);
+        rec.span_end("psa.prune");
+        out
+    }
+
     /// Samples `pool_size` random candidates for `workload` and keeps the
     /// best `size` by estimated latency — the full Algorithm 1 round.
     pub fn sample_target_space(
@@ -459,6 +478,24 @@ mod tests {
                 "prune diverged at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn prune_traced_matches_untraced_and_counts_the_funnel() {
+        use pruner_trace::TraceHandle;
+        let psa = t4_psa();
+        let mut r = rng();
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let pool: Vec<Program> =
+            (0..120).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+        let mut trace = TraceHandle::new();
+        let traced = psa.prune_traced(pool.clone(), 32, 4, &mut trace);
+        assert_eq!(traced, psa.prune_par(pool, 32, 4));
+        let jsonl = trace.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"psa.prune\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"psa.pool_in\",\"value\":120"), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"psa.survivors\",\"value\":32"), "{jsonl}");
     }
 
     #[test]

@@ -327,6 +327,49 @@ pub fn next_generation_par(
     })
 }
 
+/// [`init_population_par`] with observability: wraps the fan-out in an
+/// `evolve.init` span and counts the sampled candidates. Bit-identical to
+/// the untraced generator — the recorder never touches the RNG streams.
+#[allow(clippy::too_many_arguments)]
+pub fn init_population_traced(
+    workload: &pruner_ir::Workload,
+    size: usize,
+    limits: &HardwareLimits,
+    seed: u64,
+    round: u64,
+    threads: usize,
+    rec: &mut dyn pruner_trace::Recorder,
+) -> Vec<Program> {
+    rec.span_begin("evolve.init");
+    let out = init_population_par(workload, size, limits, seed, round, threads);
+    rec.counter("evolve.sampled", out.len() as u64);
+    rec.span_end("evolve.init");
+    out
+}
+
+/// [`next_generation_par`] with observability: wraps the fan-out in an
+/// `evolve.next` span and counts the bred offspring. Bit-identical to the
+/// untraced generator.
+///
+/// # Panics
+/// Panics if `elites` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn next_generation_traced(
+    elites: &[Program],
+    size: usize,
+    limits: &HardwareLimits,
+    seed: u64,
+    round: u64,
+    threads: usize,
+    rec: &mut dyn pruner_trace::Recorder,
+) -> Vec<Program> {
+    rec.span_begin("evolve.next");
+    let out = next_generation_par(elites, size, limits, seed, round, threads);
+    rec.counter("evolve.offspring", out.len() as u64);
+    rec.span_end("evolve.next");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +523,25 @@ mod tests {
         let other_round = next_generation_par(&elites, 64, &limits, 1, 1, 4);
         assert_ne!(a, other_seed, "seed must matter");
         assert_ne!(a, other_round, "round must matter");
+    }
+
+    #[test]
+    fn traced_generators_are_bit_identical_to_untraced() {
+        use pruner_trace::{NoopRecorder, TraceHandle};
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let mut trace = TraceHandle::new();
+        let traced = init_population_traced(&wl, 48, &limits, 3, 1, 4, &mut trace);
+        assert_eq!(traced, init_population_par(&wl, 48, &limits, 3, 1, 4));
+        let mut noop = NoopRecorder;
+        let elites: Vec<Program> = traced.iter().take(4).cloned().collect();
+        let bred = next_generation_traced(&elites, 32, &limits, 3, 2, 2, &mut trace);
+        assert_eq!(bred, next_generation_traced(&elites, 32, &limits, 3, 2, 2, &mut noop));
+        let jsonl = trace.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"evolve.init\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"evolve.next\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"evolve.sampled\",\"value\":48"), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"evolve.offspring\",\"value\":32"), "{jsonl}");
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! End-of-campaign aggregation of a collected trace.
+
+use crate::record::{Record, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated view of one campaign's trace: the draft→verify funnel, the
+/// simulated-time ledger, host wall-clock per span, fault counts and the
+/// campaign counters. Built with [`Report::from_records`] (or
+/// [`crate::TraceHandle::report`]) and rendered as a summary table with
+/// [`Report::render`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Tuning rounds observed (one `round` funnel record each).
+    pub rounds: u64,
+    /// Candidates bred by the evolutionary search, all rounds.
+    pub generated: u64,
+    /// Candidates surviving deduplication against the measured set.
+    pub deduped: u64,
+    /// Candidates kept by PSA drafting (the target space), all rounds.
+    pub psa_survivors: u64,
+    /// Candidates scored by the learned cost model, all rounds.
+    pub predicted: u64,
+    /// Programs sent to the device, all rounds.
+    pub measured: u64,
+    /// Measurements that failed permanently (quarantined), all rounds.
+    pub failed: u64,
+    /// Final best weighted latency, seconds.
+    pub best_latency_s: f64,
+    /// Simulated seconds by ledger category, from the `campaign_end`
+    /// record, in emission order.
+    pub sim_ledger: Vec<(String, f64)>,
+    /// Total simulated search seconds.
+    pub sim_total_s: f64,
+    /// Host wall-clock per span name: (spans closed, total seconds).
+    pub host_spans: BTreeMap<String, (u64, f64)>,
+    /// Fault attempts by class.
+    pub faults: BTreeMap<String, u64>,
+    /// Aggregated campaign counters.
+    pub counters: BTreeMap<String, u64>,
+}
+
+const LEDGER_KEYS: [&str; 7] = [
+    "measure_time_s",
+    "model_time_s",
+    "psa_time_s",
+    "train_time_s",
+    "evolve_time_s",
+    "retry_backoff_s",
+    "fault_time_s",
+];
+
+impl Report {
+    /// Aggregates a record stream (see the crate docs for the schema).
+    pub fn from_records(records: &[Record]) -> Report {
+        let mut report = Report::default();
+        let get_u64 =
+            |r: &Record, key: &str| r.get(key).and_then(Value::as_u64).unwrap_or(0);
+        for record in records {
+            match record.kind() {
+                "round" => {
+                    report.rounds += 1;
+                    report.generated += get_u64(record, "generated");
+                    report.deduped += get_u64(record, "deduped");
+                    report.psa_survivors += get_u64(record, "psa_survivors");
+                    report.predicted += get_u64(record, "predicted");
+                    report.measured += get_u64(record, "measured");
+                    report.failed += get_u64(record, "failed");
+                    if let Some(best) = record.get("best_latency_s").and_then(Value::as_f64) {
+                        report.best_latency_s = best;
+                    }
+                }
+                "campaign_end" => {
+                    for key in LEDGER_KEYS {
+                        if let Some(v) = record.get(key).and_then(Value::as_f64) {
+                            report.sim_ledger.push((key.to_string(), v));
+                        }
+                    }
+                    if let Some(total) = record.get("sim_total_s").and_then(Value::as_f64) {
+                        report.sim_total_s = total;
+                    }
+                    if let Some(best) = record.get("best_latency_s").and_then(Value::as_f64) {
+                        report.best_latency_s = best;
+                    }
+                }
+                "span" => {
+                    let name = record
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    let host_s =
+                        record.get("host_s").and_then(Value::as_f64).unwrap_or(0.0);
+                    let entry = report.host_spans.entry(name).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += host_s;
+                }
+                "fault" => {
+                    let kind = record
+                        .get("fault_kind")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    *report.faults.entry(kind).or_insert(0) += 1;
+                }
+                "counter" => {
+                    if let (Some(name), Some(value)) = (
+                        record.get("name").and_then(Value::as_str),
+                        record.get("value").and_then(Value::as_u64),
+                    ) {
+                        report.counters.insert(name.to_string(), value);
+                    }
+                }
+                _ => {}
+            }
+        }
+        report
+    }
+
+    /// Renders the report as the fixed-width summary table the CLI prints
+    /// on stderr under `--report`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== campaign report ===");
+        let _ = writeln!(out, "rounds               : {}", self.rounds);
+        let _ = writeln!(out, "best latency         : {:.4} ms", self.best_latency_s * 1e3);
+        let _ = writeln!(out, "--- draft -> verify funnel (all rounds) ---");
+        for (label, value) in [
+            ("generated", self.generated),
+            ("after dedup", self.deduped),
+            ("psa survivors", self.psa_survivors),
+            ("model predicted", self.predicted),
+            ("measured", self.measured),
+            ("failed", self.failed),
+        ] {
+            let _ = writeln!(out, "{label:<21}: {value}");
+        }
+        if !self.sim_ledger.is_empty() {
+            let _ = writeln!(out, "--- simulated time ledger ---");
+            for (key, value) in &self.sim_ledger {
+                let _ = writeln!(out, "{key:<21}: {value:.1} s");
+            }
+            let _ = writeln!(out, "{:<21}: {:.1} s", "total", self.sim_total_s);
+        }
+        if !self.host_spans.is_empty() {
+            let _ = writeln!(out, "--- host wall clock by span ---");
+            for (name, (count, total)) in &self.host_spans {
+                let _ = writeln!(out, "{name:<21}: {total:>9.3} s over {count} spans");
+            }
+        }
+        if !self.faults.is_empty() {
+            let _ = writeln!(out, "--- faults by class ---");
+            for (kind, count) in &self.faults {
+                let _ = writeln!(out, "{kind:<21}: {count}");
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "--- counters ---");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:<21}: {value}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_records() -> Vec<Record> {
+        vec![
+            Record::new("campaign_begin").u64("seed", 42).u64("rounds", 2),
+            Record::new("round")
+                .u64("round", 0)
+                .u64("generated", 100)
+                .u64("deduped", 90)
+                .u64("psa_survivors", 40)
+                .u64("predicted", 50)
+                .u64("measured", 4)
+                .u64("failed", 1)
+                .f64("best_latency_s", 2e-3),
+            Record::new("span").str("name", "round").u64("depth", 0).host_f64("host_s", 0.5),
+            Record::new("span").str("name", "round").u64("depth", 0).host_f64("host_s", 0.25),
+            Record::new("fault").str("fault_kind", "timeout").u64("attempt", 1),
+            Record::new("round")
+                .u64("round", 1)
+                .u64("generated", 80)
+                .u64("deduped", 70)
+                .u64("psa_survivors", 30)
+                .u64("predicted", 40)
+                .u64("measured", 4)
+                .u64("failed", 0)
+                .f64("best_latency_s", 1e-3),
+            Record::new("campaign_end")
+                .f64("measure_time_s", 30.0)
+                .f64("psa_time_s", 1.0)
+                .f64("sim_total_s", 31.0)
+                .f64("best_latency_s", 1e-3),
+            Record::new("counter").str("name", "measure.cache_hits").u64("value", 3),
+        ]
+    }
+
+    #[test]
+    fn aggregates_funnel_ledger_spans_and_faults() {
+        let report = Report::from_records(&demo_records());
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.generated, 180);
+        assert_eq!(report.deduped, 160);
+        assert_eq!(report.psa_survivors, 70);
+        assert_eq!(report.predicted, 90);
+        assert_eq!(report.measured, 8);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.best_latency_s, 1e-3);
+        assert_eq!(report.sim_total_s, 31.0);
+        assert_eq!(report.sim_ledger.len(), 2);
+        let round_span = &report.host_spans["round"];
+        assert_eq!(round_span.0, 2);
+        assert!((round_span.1 - 0.75).abs() < 1e-12);
+        assert_eq!(report.faults["timeout"], 1);
+        assert_eq!(report.counters["measure.cache_hits"], 3);
+    }
+
+    #[test]
+    fn render_mentions_every_funnel_stage() {
+        let text = Report::from_records(&demo_records()).render();
+        for needle in
+            ["generated", "psa survivors", "model predicted", "measured", "timeout", "total"]
+        {
+            assert!(text.contains(needle), "report missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panicking() {
+        let report = Report::from_records(&[]);
+        assert_eq!(report.rounds, 0);
+        assert!(report.render().contains("rounds"));
+    }
+}

@@ -45,7 +45,9 @@ mod tuner;
 
 pub use checkpoint::{Checkpoint, MeasurerCheckpoint, TaskCheckpoint};
 pub use curve::{CurvePoint, TuningCurve};
-pub use measure::{MeasureOutcome, Measurer, RetryPolicy, SearchStats, TimeModel};
+pub use measure::{
+    MeasureOutcome, Measurer, PipelineStage, RetryPolicy, SearchStats, TimeModel, WallTimings,
+};
 pub use mtl::{pretrain_pacm, Mtl};
-pub use task::{ProposeParams, TaskTuner};
+pub use task::{FunnelCounts, ProposeParams, TaskTuner};
 pub use tuner::{ModelSetup, Tuner, TunerConfig, TuningResult};

@@ -2,6 +2,7 @@
 
 use pruner_gpu::{FaultKind, Simulator};
 use pruner_sketch::Program;
+use pruner_trace::{NoopRecorder, Record, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -118,13 +119,51 @@ impl MeasureOutcome {
     }
 }
 
+/// A stage of the candidate pipeline whose host wall-clock time is
+/// tracked. Each variant corresponds to one trace span and one field of
+/// [`WallTimings`], so there is exactly one timing source per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// Candidate generation (GA init / next-generation fan-out).
+    Generate,
+    /// PSA drafting (penalized-estimate fan-out).
+    Psa,
+    /// Cost-model inference (featurize + predict fan-out).
+    Predict,
+}
+
+/// Host wall-clock seconds spent in the parallel pipeline stages.
+///
+/// These are *host* timings: they vary run to run and machine to machine,
+/// so they are excluded from [`SearchStats`] equality and serialization.
+/// They are fed exclusively from trace-span measurements
+/// ([`pruner_trace::Recorder::span_end`] returns the elapsed seconds), so
+/// when tracing is disabled the campaign performs no clock reads at all
+/// and every field here stays 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WallTimings {
+    /// Seconds in candidate generation (GA fan-out).
+    pub generate_s: f64,
+    /// Seconds in PSA drafting (estimate fan-out).
+    pub psa_s: f64,
+    /// Seconds in cost-model inference (predict fan-out).
+    pub predict_s: f64,
+}
+
+impl WallTimings {
+    /// Total host wall-clock seconds across all tracked stages.
+    pub fn total_s(&self) -> f64 {
+        self.generate_s + self.psa_s + self.predict_s
+    }
+}
+
 /// Simulated-time ledger of one tuning campaign.
 ///
 /// The `*_time_s` fields are *simulated* costs charged through
-/// [`TimeModel`] and are fully deterministic. The `*_wall_s` fields are
-/// *host* wall-clock time actually spent in the parallel pipeline stages
-/// (candidate generation, PSA drafting, cost-model inference); they vary
-/// run to run and are therefore excluded from both equality comparison and
+/// [`TimeModel`] and are fully deterministic. The `wall` field is *host*
+/// wall-clock time actually spent in the parallel pipeline stages
+/// (candidate generation, PSA drafting, cost-model inference); it varies
+/// run to run and is therefore excluded from both equality comparison and
 /// serialization.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct SearchStats {
@@ -170,15 +209,9 @@ pub struct SearchStats {
     /// recovery, discarded outlier runs).
     #[serde(default)]
     pub fault_time_s: f64,
-    /// Host wall-clock seconds in candidate generation (GA fan-out).
+    /// Host wall-clock seconds per pipeline stage, fed from trace spans.
     #[serde(skip)]
-    pub gen_wall_s: f64,
-    /// Host wall-clock seconds in PSA drafting (estimate fan-out).
-    #[serde(skip)]
-    pub psa_wall_s: f64,
-    /// Host wall-clock seconds in cost-model inference (predict fan-out).
-    #[serde(skip)]
-    pub predict_wall_s: f64,
+    pub wall: WallTimings,
 }
 
 impl PartialEq for SearchStats {
@@ -217,7 +250,7 @@ impl SearchStats {
 
     /// Total host wall-clock time spent in the parallel pipeline stages.
     pub fn pipeline_wall_s(&self) -> f64 {
-        self.gen_wall_s + self.psa_wall_s + self.predict_wall_s
+        self.wall.total_s()
     }
 }
 
@@ -325,8 +358,18 @@ impl Measurer {
     /// outcome and charge nothing — real tuners skip re-measuring too,
     /// and a quarantined kernel is never put back on the device.
     pub fn measure(&mut self, prog: &Program) -> MeasureOutcome {
+        self.measure_rec(prog, &mut NoopRecorder)
+    }
+
+    /// [`Measurer::measure`] with an explicit [`Recorder`]: identical
+    /// outcome, ledger and nonce stream, plus per-attempt `fault` records,
+    /// a `quarantine` record when the program exhausts its retries, and a
+    /// `measure.cache_hits` counter. With a [`NoopRecorder`] this *is*
+    /// `measure` — the recorder never influences the measurement.
+    pub fn measure_rec(&mut self, prog: &Program, rec: &mut dyn Recorder) -> MeasureOutcome {
         let key = prog.dedup_key();
         if let Some(&out) = self.cache.get(&key) {
+            rec.counter("measure.cache_hits", 1);
             return out;
         }
         let mut last_kind = FaultKind::CompileError;
@@ -340,16 +383,30 @@ impl Measurer {
             self.attempts += 1;
             match self.sim.try_measure(prog, nonce, self.time.repeats) {
                 Err(kind) => {
-                    self.record_fault(kind, 0.0);
+                    let charged = self.record_fault(kind, 0.0);
+                    if rec.enabled() {
+                        rec.emit(
+                            Record::new("fault")
+                                .str("fault_kind", kind.label())
+                                .u64("attempt", u64::from(attempt) + 1)
+                                .f64("charged_s", charged),
+                        );
+                    }
                     last_kind = kind;
                 }
                 Ok(m) if m.rel_std() > self.policy.outlier_rel_std => {
                     // The run "completed", so the device time was spent
                     // before the timing was rejected.
-                    self.record_fault(
-                        FaultKind::Outlier,
-                        m.mean_s * self.time.repeats as f64,
-                    );
+                    let charged =
+                        self.record_fault(FaultKind::Outlier, m.mean_s * self.time.repeats as f64);
+                    if rec.enabled() {
+                        rec.emit(
+                            Record::new("fault")
+                                .str("fault_kind", FaultKind::Outlier.label())
+                                .u64("attempt", u64::from(attempt) + 1)
+                                .f64("charged_s", charged),
+                        );
+                    }
                     last_kind = FaultKind::Outlier;
                 }
                 Ok(m) => {
@@ -365,6 +422,13 @@ impl Measurer {
             }
         }
         self.stats.quarantined += 1;
+        if rec.enabled() {
+            rec.emit(
+                Record::new("quarantine")
+                    .str("fault_kind", last_kind.label())
+                    .u64("attempts", u64::from(self.policy.max_retries) + 1),
+            );
+        }
         let out =
             MeasureOutcome::Failure { kind: last_kind, attempts: self.policy.max_retries + 1 };
         self.cache.insert(key, out);
@@ -393,7 +457,9 @@ impl Measurer {
         m.mean_s
     }
 
-    fn record_fault(&mut self, kind: FaultKind, run_s: f64) {
+    /// Accounts one failed attempt and returns the simulated device
+    /// seconds it was charged (also added to `fault_time_s`).
+    fn record_fault(&mut self, kind: FaultKind, run_s: f64) -> f64 {
         self.stats.failures += 1;
         let charged = match kind {
             FaultKind::CompileError => {
@@ -414,6 +480,7 @@ impl Measurer {
             }
         };
         self.stats.fault_time_s += charged;
+        charged
     }
 
     /// Whether a program has already been measured (or quarantined).
@@ -441,19 +508,17 @@ impl Measurer {
         self.stats.evolve_time_s += n as f64 * self.time.evolve_s;
     }
 
-    /// Records host wall-clock time spent generating candidates.
-    pub fn record_gen_wall(&mut self, seconds: f64) {
-        self.stats.gen_wall_s += seconds;
-    }
-
-    /// Records host wall-clock time spent in PSA drafting.
-    pub fn record_psa_wall(&mut self, seconds: f64) {
-        self.stats.psa_wall_s += seconds;
-    }
-
-    /// Records host wall-clock time spent in cost-model inference.
-    pub fn record_predict_wall(&mut self, seconds: f64) {
-        self.stats.predict_wall_s += seconds;
+    /// Records host wall-clock time spent in one pipeline stage. Callers
+    /// pass the elapsed seconds returned by
+    /// [`pruner_trace::Recorder::span_end`] so the stats ledger and the
+    /// trace share one clock read; with tracing disabled `span_end`
+    /// returns 0.0 and the wall ledger stays empty.
+    pub fn record_wall(&mut self, stage: PipelineStage, seconds: f64) {
+        match stage {
+            PipelineStage::Generate => self.stats.wall.generate_s += seconds,
+            PipelineStage::Psa => self.stats.wall.psa_s += seconds,
+            PipelineStage::Predict => self.stats.wall.predict_s += seconds,
+        }
     }
 }
 
@@ -634,12 +699,145 @@ mod tests {
         let mut b = measurer();
         a.measure(&prog(3));
         b.measure(&prog(3));
-        a.record_gen_wall(0.25);
-        a.record_psa_wall(0.5);
-        a.record_predict_wall(1.0);
+        a.record_wall(PipelineStage::Generate, 0.25);
+        a.record_wall(PipelineStage::Psa, 0.5);
+        a.record_wall(PipelineStage::Predict, 1.0);
         assert_eq!(a.stats(), b.stats(), "wall clock must not break determinism checks");
-        assert!(a.stats().pipeline_wall_s() > 0.0);
+        assert_eq!(a.stats().wall, WallTimings { generate_s: 0.25, psa_s: 0.5, predict_s: 1.0 });
+        assert_eq!(a.stats().pipeline_wall_s(), 1.75);
         assert_eq!(b.stats().pipeline_wall_s(), 0.0);
+    }
+
+    #[test]
+    fn zero_max_retries_fails_fast_with_no_backoff() {
+        let mut m = faulty_measurer(0.9);
+        m.set_retry_policy(RetryPolicy { max_retries: 0, ..RetryPolicy::default() });
+        for s in 0..64 {
+            let attempts_before = m.attempts();
+            if let MeasureOutcome::Failure { attempts, .. } = m.measure(&prog(s)) {
+                assert_eq!(attempts, 1, "max_retries = 0 means a single attempt");
+                assert_eq!(m.attempts() - attempts_before, 1, "no hidden extra attempts");
+                let st = m.stats();
+                assert_eq!(st.retries, 0, "fail-fast must never retry");
+                assert_eq!(st.retry_backoff_s, 0.0, "no retries means no backoff charge");
+                assert_eq!(st.quarantined, st.failures, "every failure quarantines directly");
+                return;
+            }
+        }
+        panic!("rate 0.9 never failed in 64 programs");
+    }
+
+    #[test]
+    fn no_backoff_is_charged_after_the_final_failed_attempt() {
+        // Backoff is charged *before* each retry, so a program that burns
+        // max_retries = 2 (three attempts) is charged base·mult⁰ + base·mult¹
+        // and nothing more: giving up is free. A fencepost bug that charges
+        // backoff after the last attempt would add base·mult² here.
+        let mut m = faulty_measurer(0.95);
+        m.set_retry_policy(RetryPolicy {
+            max_retries: 2,
+            backoff_base_s: 1.0,
+            backoff_mult: 3.0,
+            ..RetryPolicy::default()
+        });
+        for s in 0..64 {
+            let before = m.stats().retry_backoff_s;
+            if let MeasureOutcome::Failure { attempts, .. } = m.measure(&prog(s)) {
+                assert_eq!(attempts, 3);
+                let spent = m.stats().retry_backoff_s - before;
+                assert_eq!(spent, 1.0 + 3.0, "expected base·(1 + mult), got {spent}");
+                return;
+            }
+        }
+        panic!("rate 0.95 never exhausted retries in 64 programs");
+    }
+
+    #[test]
+    fn outlier_rejection_boundary_is_strictly_greater() {
+        // Measure once fault-free to learn the deterministic dispersion of
+        // the first attempt (nonce 0), then replay it against thresholds
+        // pinned exactly at and just below that value.
+        let mut probe = measurer();
+        let (latency, variance) = match probe.measure(&prog(0)) {
+            MeasureOutcome::Success { latency_s, variance } => (latency_s, variance),
+            MeasureOutcome::Failure { .. } => panic!("fault-free measurement failed"),
+        };
+        let rel_std = variance.sqrt() / latency;
+        assert!(rel_std > 0.0, "need nonzero dispersion to exercise the boundary");
+
+        // Threshold exactly equal to the observed rel_std: `>` is strict,
+        // so the timing is accepted.
+        let mut at = measurer();
+        at.set_retry_policy(RetryPolicy { outlier_rel_std: rel_std, ..RetryPolicy::default() });
+        let out = at.measure(&prog(0));
+        assert!(out.is_success(), "rel_std equal to the threshold must pass");
+        assert_eq!(out.latency(), Some(latency));
+        assert_eq!(at.stats().outliers, 0);
+
+        // Threshold just below: the same timing is now rejected on the
+        // first attempt (retries re-measure under fresh nonces, so only
+        // attempt 1 is pinned to the probe's dispersion).
+        let mut below = measurer();
+        below.set_retry_policy(RetryPolicy {
+            max_retries: 0,
+            outlier_rel_std: rel_std * (1.0 - 1e-12),
+            ..RetryPolicy::default()
+        });
+        let out = below.measure(&prog(0));
+        assert!(!out.is_success(), "rel_std above the threshold must be rejected");
+        assert_eq!(
+            out,
+            MeasureOutcome::Failure { kind: FaultKind::Outlier, attempts: 1 }
+        );
+        let st = below.stats();
+        assert_eq!(st.outliers, 1);
+        assert!(
+            st.fault_time_s >= latency * below.time_model().repeats as f64,
+            "a rejected outlier still pays for the device time it burned"
+        );
+    }
+
+    #[test]
+    fn measure_rec_emits_faults_and_quarantine_without_changing_outcomes() {
+        use pruner_trace::TraceHandle;
+        let mut plain = faulty_measurer(0.9);
+        let mut traced = faulty_measurer(0.9);
+        let mut trace = TraceHandle::new();
+        for s in 0..24 {
+            let p = prog(s);
+            let a = plain.measure(&p);
+            let b = traced.measure_rec(&p, &mut trace);
+            assert_eq!(a, b, "recorder must not influence outcomes");
+        }
+        assert_eq!(plain.stats(), traced.stats());
+        let st = traced.stats();
+        let records = trace.records();
+        let faults = records.iter().filter(|r| r.kind() == "fault").count() as u64;
+        let quarantines = records.iter().filter(|r| r.kind() == "quarantine").count() as u64;
+        assert_eq!(faults, st.failures, "one fault record per failed attempt");
+        assert_eq!(quarantines, st.quarantined, "one quarantine record per give-up");
+        let charged: f64 = records
+            .iter()
+            .filter(|r| r.kind() == "fault")
+            .map(|r| r.get("charged_s").and_then(pruner_trace::Value::as_f64).unwrap())
+            .sum();
+        assert_eq!(charged, st.fault_time_s, "fault records must reconcile with the ledger");
+    }
+
+    #[test]
+    fn measure_rec_counts_cache_hits() {
+        use pruner_trace::TraceHandle;
+        let mut m = measurer();
+        let mut trace = TraceHandle::new();
+        let p = prog(1);
+        m.measure_rec(&p, &mut trace);
+        m.measure_rec(&p, &mut trace);
+        m.measure_rec(&p, &mut trace);
+        let jsonl = trace.to_jsonl();
+        assert!(
+            jsonl.contains("\"name\":\"measure.cache_hits\",\"value\":2"),
+            "expected 2 cache hits in: {jsonl}"
+        );
     }
 
     #[test]

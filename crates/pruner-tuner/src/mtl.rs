@@ -57,10 +57,27 @@ impl Mtl {
     /// result is bit-identical at any thread count). Returns the
     /// fine-tuned target model, which serves as the round's predictor.
     pub fn round(&mut self, samples: &[Sample], epochs: usize, threads: usize) -> PacmModel {
+        self.round_traced(samples, epochs, threads, &mut pruner_trace::NoopRecorder)
+    }
+
+    /// [`Mtl::round`] with observability: the round runs inside an
+    /// `mtl.round` span and the target's fine-tuning goes through
+    /// [`CostModel::fit_batch_traced`] (so the training loss is gauged as
+    /// `model.fit_loss`). The returned target and the updated Siamese
+    /// weights are bit-identical to the untraced call.
+    pub fn round_traced(
+        &mut self,
+        samples: &[Sample],
+        epochs: usize,
+        threads: usize,
+        rec: &mut dyn pruner_trace::Recorder,
+    ) -> PacmModel {
+        rec.span_begin("mtl.round");
         let mut target = self.siamese.clone();
-        target.fit_batch(samples, epochs, threads);
+        target.fit_batch_traced(samples, epochs, threads, rec);
         self.siamese.momentum_update_from(&mut target, self.momentum);
         self.rounds += 1;
+        rec.span_end("mtl.round");
         target
     }
 }

@@ -1,13 +1,13 @@
 //! Per-task tuning state: candidate proposal and measurement bookkeeping.
 
-use crate::measure::Measurer;
+use crate::measure::{Measurer, PipelineStage};
 use pruner_cost::{CostModel, Sample};
 use pruner_ir::Workload;
 use pruner_psa::Psa;
 use pruner_sketch::{evolve, HardwareLimits, Program};
+use pruner_trace::{NoopRecorder, Recorder};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Number of elite (best measured) programs evolution breeds from.
 const ELITE_POOL: usize = 16;
@@ -35,6 +35,27 @@ pub struct ProposeParams {
     pub round: u64,
     /// Worker threads for generation, PSA drafting and inference.
     pub threads: usize,
+}
+
+/// Candidate-funnel counts of one proposal round: how many programs each
+/// draft-then-verify stage produced. All counts are deterministic (same at
+/// any thread count, traced or not); they feed the per-round `round`
+/// trace record and the end-of-campaign report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FunnelCounts {
+    /// Programs bred by the GA fan-out (offspring + fresh samples).
+    pub generated: usize,
+    /// Programs left after dropping duplicates and already-measured keys.
+    pub deduped: usize,
+    /// Programs PSA kept in the target space (`None` for the no-PSA
+    /// baseline, where the whole pool goes to the model).
+    pub psa_survivors: Option<usize>,
+    /// Programs re-admitted by ε-retention from the unpruned pool.
+    pub eps_extras: usize,
+    /// Programs scored by the cost model.
+    pub predicted: usize,
+    /// Programs proposed for measurement (top `n` after ranking).
+    pub proposed: usize,
 }
 
 /// Tuning state of one subgraph.
@@ -158,49 +179,75 @@ impl TaskTuner {
         params: &ProposeParams,
         rng: &mut ChaCha8Rng,
     ) -> Vec<Program> {
+        self.propose_traced(model, psa, measurer, limits, params, rng, &mut NoopRecorder).0
+    }
+
+    /// [`TaskTuner::propose`] with an explicit [`Recorder`] and the
+    /// round's [`FunnelCounts`]: identical proposals, plus stage spans
+    /// (`propose.generate` / `propose.draft` / `propose.predict`, whose
+    /// elapsed times also feed the [`SearchStats`](crate::SearchStats)
+    /// wall ledger) and per-stage counters from the traced generation,
+    /// PSA and inference wrappers. With a [`pruner_trace::NoopRecorder`]
+    /// this *is* `propose` — no clock is read and no event is built.
+    #[allow(clippy::too_many_arguments)]
+    pub fn propose_traced(
+        &mut self,
+        model: &dyn CostModel,
+        psa: Option<&Psa>,
+        measurer: &mut Measurer,
+        limits: &HardwareLimits,
+        params: &ProposeParams,
+        rng: &mut ChaCha8Rng,
+        rec: &mut dyn Recorder,
+    ) -> (Vec<Program>, FunnelCounts) {
         let threads = params.threads.max(1);
         // Distinct tasks tuned in the same round must not share candidate
         // RNG streams: fold the task id into the campaign seed.
         let gen_seed =
             params.seed ^ (self.task_id as u64).wrapping_mul(0x517C_C1B7_2722_0A95);
+        let mut funnel = FunnelCounts::default();
 
         // --- Sample pool: GA offspring + fresh random blood --------------
-        let gen_start = Instant::now();
+        rec.span_begin("propose.generate");
         let elites = self.elites();
         let pool_size = params.pool_size.max(params.space_size);
         let pool: Vec<Program> = if elites.is_empty() {
-            evolve::init_population_par(
+            evolve::init_population_traced(
                 &self.workload,
                 pool_size,
                 limits,
                 gen_seed,
                 params.round,
                 threads,
+                rec,
             )
         } else {
             // The fresh-blood tail reuses the same derived-seed generator
             // with a disjoint round tag so its streams never collide with
             // the offspring streams.
-            let mut p = evolve::next_generation_par(
+            let mut p = evolve::next_generation_traced(
                 &elites,
                 pool_size * 3 / 4,
                 limits,
                 gen_seed,
                 params.round,
                 threads,
+                rec,
             );
             let fresh = pool_size - p.len();
-            p.extend(evolve::init_population_par(
+            p.extend(evolve::init_population_traced(
                 &self.workload,
                 fresh,
                 limits,
                 gen_seed ^ 0xA076_1D64_78BD_642F,
                 params.round,
                 threads,
+                rec,
             ));
             p
         };
         let mut pool = pool;
+        funnel.generated = pool.len();
         measurer.charge_evolution(pool.len());
 
         // Drop duplicates and already-measured programs up front.
@@ -209,18 +256,20 @@ impl TaskTuner {
             let key = p.dedup_key();
             !self.measured_keys.contains(&key) && seen.insert(key)
         });
-        measurer.record_gen_wall(gen_start.elapsed().as_secs_f64());
+        funnel.deduped = pool.len();
+        measurer.record_wall(PipelineStage::Generate, rec.span_end("propose.generate"));
         if pool.is_empty() {
-            return Vec::new();
+            return (Vec::new(), funnel);
         }
 
         // --- Draft: PSA shortlist (or the whole pool for the baseline) ---
         let candidates: Vec<Program> = if let Some(psa) = psa {
-            let psa_start = Instant::now();
+            rec.span_begin("propose.draft");
             measurer.charge_psa_evals(pool.len());
             let n_random = ((params.space_size as f64) * params.epsilon).round() as usize;
             let n_target = params.space_size.saturating_sub(n_random).min(pool.len());
-            let shortlist = psa.prune_par(pool.clone(), n_target, threads);
+            let shortlist = psa.prune_traced(pool.clone(), n_target, threads, rec);
+            funnel.psa_survivors = Some(shortlist.len());
             let kept: HashSet<String> = shortlist.iter().map(|p| p.dedup_key()).collect();
             let mut c = shortlist;
             // ε-retention: random members of the original (unpruned) pool.
@@ -230,18 +279,20 @@ impl TaskTuner {
                 let pick = rand::Rng::gen_range(rng, 0..leftovers.len());
                 c.push(leftovers[pick].clone());
             }
-            measurer.record_psa_wall(psa_start.elapsed().as_secs_f64());
+            funnel.eps_extras = c.len() - funnel.psa_survivors.unwrap_or(0);
+            measurer.record_wall(PipelineStage::Psa, rec.span_end("propose.draft"));
             c
         } else {
             pool
         };
+        funnel.predicted = candidates.len();
 
         // --- Verify: cost-model ranking ----------------------------------
-        let predict_start = Instant::now();
+        rec.span_begin("propose.predict");
         let samples = featurize_par(&candidates, self.task_id, threads);
-        let scores = model.predict_batch(&samples, threads);
+        let scores = model.predict_batch_traced(&samples, threads, rec);
         measurer.charge_model_evals(candidates.len());
-        measurer.record_predict_wall(predict_start.elapsed().as_secs_f64());
+        measurer.record_wall(PipelineStage::Predict, rec.span_end("propose.predict"));
         // NaN scores (a diverged model) rank last rather than poisoning the
         // sort: the round degrades gracefully instead of crashing.
         let key = |i: usize| if scores[i].is_finite() { scores[i] } else { f32::NEG_INFINITY };
@@ -252,7 +303,8 @@ impl TaskTuner {
         // Dedup across the shortlist/ε overlap.
         let mut out_seen = HashSet::new();
         picked.retain(|p| out_seen.insert(p.dedup_key()));
-        picked
+        funnel.proposed = picked.len();
+        (picked, funnel)
     }
 
     /// Records one measurement and updates the incumbent.
@@ -384,6 +436,72 @@ mod tests {
             assert_eq!(progs, serial, "proposals diverged at {threads} threads");
             assert_eq!(stats, serial_stats, "stats diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn propose_traced_matches_untraced_and_counts_the_funnel() {
+        let psa = Psa::new(GpuSpec::t4());
+        let run = |traced: bool| {
+            let model = RandomModel::new(1);
+            let (mut task, mut m, limits, mut rng) = setup();
+            let mut trace = pruner_trace::TraceHandle::new();
+            let mut all = Vec::new();
+            let mut funnels = Vec::new();
+            for round in 0..3 {
+                let p = params(64, 256, 0.2, 6, round);
+                let (progs, funnel) = if traced {
+                    task.propose_traced(
+                        &model, Some(&psa), &mut m, &limits, &p, &mut rng, &mut trace,
+                    )
+                } else {
+                    task.propose_traced(
+                        &model,
+                        Some(&psa),
+                        &mut m,
+                        &limits,
+                        &p,
+                        &mut rng,
+                        &mut pruner_trace::NoopRecorder,
+                    )
+                };
+                for prog in &progs {
+                    task.record(prog.clone(), m.measure(prog).latency().unwrap());
+                }
+                all.extend(progs);
+                funnels.push(funnel);
+            }
+            (all, funnels, m.stats(), trace)
+        };
+        let (plain, plain_funnels, plain_stats, _) = run(false);
+        let (traced, traced_funnels, traced_stats, trace) = run(true);
+        assert_eq!(plain, traced, "recorder must not influence proposals");
+        assert_eq!(plain_funnels, traced_funnels, "funnel counts are deterministic");
+        assert_eq!(plain_stats, traced_stats);
+        for f in &traced_funnels {
+            assert!(f.generated >= f.deduped, "dedup can only shrink the pool");
+            let survivors = f.psa_survivors.expect("PSA was on");
+            assert!(survivors <= f.deduped);
+            assert_eq!(f.predicted, survivors + f.eps_extras, "model scores shortlist + ε");
+            assert!(f.proposed <= 6);
+        }
+        // Wall timings came from trace spans: traced runs have them, the
+        // NoopRecorder run performed no clock reads at all.
+        assert!(traced_stats.pipeline_wall_s() >= 0.0);
+        assert_eq!(plain_stats.pipeline_wall_s(), 0.0);
+        let records = trace.records();
+        let spans: Vec<&str> = records
+            .iter()
+            .filter(|r| r.kind() == "span")
+            .filter_map(|r| r.get("name").and_then(pruner_trace::Value::as_str))
+            .map(|s| match s {
+                "propose.generate" => "generate",
+                "propose.draft" => "draft",
+                "propose.predict" => "predict",
+                _ => "inner",
+            })
+            .collect();
+        assert!(spans.contains(&"generate") && spans.contains(&"draft"));
+        assert!(spans.contains(&"predict") && spans.contains(&"inner"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use pruner_cost::{CostModel, ModelKind, PacmModel, Sample};
 use pruner_gpu::{FaultModel, GpuSpec, Simulator};
 use pruner_ir::{Network, Workload};
 use pruner_psa::{Psa, PsaConfig};
+use pruner_trace::{NoopRecorder, Record, Recorder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -174,6 +175,7 @@ pub struct Tuner {
     checkpoint_path: Option<PathBuf>,
     start_round: usize,
     restored_curve: Option<TuningCurve>,
+    recorder: Box<dyn Recorder>,
 }
 
 impl Tuner {
@@ -223,6 +225,7 @@ impl Tuner {
             checkpoint_path: None,
             start_round: 0,
             restored_curve: None,
+            recorder: Box::new(NoopRecorder),
         }
     }
 
@@ -292,7 +295,17 @@ impl Tuner {
             checkpoint_path: None,
             start_round: ckpt.next_round,
             restored_curve: Some(ckpt.curve),
+            recorder: Box::new(NoopRecorder),
         }
+    }
+
+    /// Installs a [`Recorder`] for the campaign (e.g. a cloned
+    /// [`pruner_trace::TraceHandle`]). The recorder only *observes*: a
+    /// traced campaign produces results, checkpoints and goldens
+    /// byte-identical to an untraced one. The default is the
+    /// [`NoopRecorder`], which costs nothing.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Snapshots the complete campaign state after `next_round` rounds.
@@ -376,6 +389,24 @@ impl Tuner {
         assert!(!self.tasks.is_empty(), "add at least one task before running");
         let mut curve = self.restored_curve.take().unwrap_or_default();
 
+        self.recorder.span_begin("campaign");
+        if self.recorder.enabled() {
+            self.recorder.emit(
+                Record::new("campaign_begin")
+                    .u64("tasks", self.tasks.len() as u64)
+                    .u64("rounds", self.cfg.rounds as u64)
+                    .u64("seed", self.cfg.seed)
+                    .u64("space_size", self.cfg.space_size as u64)
+                    .u64("measure_per_round", self.cfg.measure_per_round as u64)
+                    .bool("use_psa", self.cfg.use_psa)
+                    .f64("fault_rate", self.cfg.fault_rate),
+            );
+            if self.start_round > 0 {
+                self.recorder
+                    .emit(Record::new("resume").u64("next_round", self.start_round as u64));
+            }
+        }
+
         if self.start_round == 0 {
             // Warm-up: measure every task's canonical fallback so the
             // weighted end-to-end latency is finite from the first point
@@ -383,18 +414,21 @@ impl Tuner {
             // fallback is measured *trusted* — a real campaign hand-checks
             // its seed schedule — so every task starts with a finite
             // incumbent even under heavy fault injection.
+            self.recorder.span_begin("warmup");
             for task in &mut self.tasks {
                 let fallback = pruner_sketch::Program::fallback(&task.workload);
                 let lat = self.measurer.measure_trusted(&fallback);
                 task.record(fallback, lat);
             }
+            self.recorder.span_end("warmup");
             curve.push(self.curve_point());
         }
 
         for round in self.start_round..self.cfg.rounds {
+            self.recorder.span_begin("round");
             let ti = self.pick_task();
             // Propose and measure.
-            let progs = {
+            let (progs, funnel) = {
                 let cfg = self.cfg;
                 let params = ProposeParams {
                     space_size: cfg.space_size,
@@ -406,30 +440,36 @@ impl Tuner {
                     threads: cfg.threads,
                 };
                 let task = &mut self.tasks[ti];
-                task.propose(
+                task.propose_traced(
                     self.model.as_ref(),
                     self.psa.as_ref(),
                     &mut self.measurer,
                     &self.limits,
                     &params,
                     &mut self.rng,
+                    self.recorder.as_mut(),
                 )
             };
             let mut improved = false;
+            let (mut measured, mut failed) = (0u64, 0u64);
+            self.recorder.span_begin("measure");
             for p in progs {
                 let before = self.tasks[ti].best_latency();
-                match self.measurer.measure(&p) {
+                match self.measurer.measure_rec(&p, self.recorder.as_mut()) {
                     MeasureOutcome::Success { latency_s, .. } => {
                         self.tasks[ti].record(p, latency_s);
                         improved |= latency_s < before;
+                        measured += 1;
                     }
                     MeasureOutcome::Failure { .. } => {
                         // No usable timing: never re-propose, never train
                         // on it, keep the incumbent.
                         self.tasks[ti].quarantine(&p);
+                        failed += 1;
                     }
                 }
             }
+            self.recorder.span_end("measure");
             self.tasks[ti].finish_round(improved);
 
             // Update the model on the training window.
@@ -437,18 +477,64 @@ impl Tuner {
             if samples.len() >= 2 {
                 match &mut self.mtl {
                     Some(mtl) => {
-                        let target = mtl.round(&samples, self.cfg.mtl_epochs, self.cfg.threads);
+                        let target = mtl.round_traced(
+                            &samples,
+                            self.cfg.mtl_epochs,
+                            self.cfg.threads,
+                            self.recorder.as_mut(),
+                        );
                         self.measurer.charge_training(samples.len(), self.cfg.mtl_epochs);
                         self.model = Box::new(target);
                     }
                     None => {
-                        self.model.fit_batch(&samples, self.cfg.train_epochs, self.cfg.threads);
+                        self.model.fit_batch_traced(
+                            &samples,
+                            self.cfg.train_epochs,
+                            self.cfg.threads,
+                            self.recorder.as_mut(),
+                        );
                         self.measurer.charge_training(samples.len(), self.cfg.train_epochs);
                     }
+                }
+                if self.recorder.enabled() {
+                    let epochs =
+                        if self.mtl.is_some() { self.cfg.mtl_epochs } else { self.cfg.train_epochs };
+                    self.recorder.emit(
+                        Record::new("train")
+                            .u64("round", round as u64)
+                            .u64("samples", samples.len() as u64)
+                            .u64("epochs", epochs as u64)
+                            .bool("mtl", self.mtl.is_some()),
+                    );
                 }
             }
 
             curve.push(self.curve_point());
+            if self.recorder.enabled() {
+                // The per-round funnel: how many candidates survived each
+                // draft-then-verify stage, and where the incumbent landed.
+                // Every field is deterministic (identical across thread
+                // counts and traced/untraced runs).
+                let mut record = Record::new("round")
+                    .u64("round", round as u64)
+                    .u64("task", ti as u64)
+                    .u64("generated", funnel.generated as u64)
+                    .u64("deduped", funnel.deduped as u64);
+                if let Some(survivors) = funnel.psa_survivors {
+                    record = record
+                        .u64("psa_survivors", survivors as u64)
+                        .u64("eps_extras", funnel.eps_extras as u64);
+                }
+                record = record
+                    .u64("predicted", funnel.predicted as u64)
+                    .u64("proposed", funnel.proposed as u64)
+                    .u64("measured", measured)
+                    .u64("failed", failed)
+                    .f64("best_latency_s", self.weighted_best())
+                    .f64("sim_total_s", self.measurer.stats().total_s());
+                self.recorder.emit(record);
+            }
+            self.recorder.span_end("round");
 
             let completed = round + 1;
             if let Some(path) = self.checkpoint_path.clone() {
@@ -456,12 +542,34 @@ impl Tuner {
                     self.make_checkpoint(completed, &curve)
                         .save(&path)
                         .expect("checkpoint write failed");
+                    if self.recorder.enabled() {
+                        self.recorder.emit(Record::new("checkpoint").u64("round", completed as u64));
+                    }
                 }
             }
             if self.cfg.halt_after.is_some_and(|halt| completed >= halt) {
                 break;
             }
         }
+
+        if self.recorder.enabled() {
+            let stats = self.measurer.stats();
+            self.recorder.emit(
+                Record::new("campaign_end")
+                    .u64("trials", stats.trials)
+                    .u64("quarantined", stats.quarantined)
+                    .f64("best_latency_s", self.weighted_best())
+                    .f64("measure_time_s", stats.measure_time_s)
+                    .f64("model_time_s", stats.model_time_s)
+                    .f64("psa_time_s", stats.psa_time_s)
+                    .f64("train_time_s", stats.train_time_s)
+                    .f64("evolve_time_s", stats.evolve_time_s)
+                    .f64("retry_backoff_s", stats.retry_backoff_s)
+                    .f64("fault_time_s", stats.fault_time_s)
+                    .f64("sim_total_s", stats.total_s()),
+            );
+        }
+        self.recorder.span_end("campaign");
 
         TuningResult {
             best_latency_s: self.weighted_best(),
@@ -641,6 +749,54 @@ mod tests {
         let zero = t.run();
         assert_eq!(base.curve, zero.curve);
         assert_eq!(base.stats, zero.stats);
+    }
+
+    #[test]
+    fn traced_campaign_is_bit_identical_and_funnel_covers_every_round() {
+        let plain = quick_tuner(true, ModelKind::Pacm).run();
+        let trace = pruner_trace::TraceHandle::new();
+        let mut t = quick_tuner(true, ModelKind::Pacm);
+        t.set_recorder(Box::new(trace.clone()));
+        let traced = t.run();
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap(),
+            "the recorder must only observe, never perturb"
+        );
+        let records = trace.records();
+        let rounds: Vec<&pruner_trace::Record> =
+            records.iter().filter(|r| r.kind() == "round").collect();
+        assert_eq!(
+            rounds.len(),
+            traced.curve.points().len() - 1,
+            "one funnel record per tuning round (warm-up adds the extra curve point)"
+        );
+        for (i, r) in rounds.iter().enumerate() {
+            let get = |k: &str| r.get(k).and_then(pruner_trace::Value::as_u64).unwrap();
+            assert_eq!(get("round"), i as u64);
+            assert!(get("generated") >= get("deduped"));
+            assert!(get("psa_survivors") <= get("deduped"), "PSA campaign records survivors");
+            assert_eq!(get("predicted"), get("psa_survivors") + get("eps_extras"));
+            assert_eq!(get("measured") + get("failed"), get("proposed"));
+        }
+        let last = rounds.last().unwrap();
+        assert_eq!(
+            last.get("best_latency_s").and_then(pruner_trace::Value::as_f64),
+            Some(traced.best_latency_s),
+            "the final funnel record carries the campaign's best latency"
+        );
+        assert_eq!(records.iter().filter(|r| r.kind() == "campaign_begin").count(), 1);
+        assert_eq!(records.iter().filter(|r| r.kind() == "campaign_end").count(), 1);
+        assert_eq!(records.iter().filter(|r| r.kind() == "train").count(), rounds.len());
+        let end = records.iter().find(|r| r.kind() == "campaign_end").unwrap();
+        assert_eq!(
+            end.get("sim_total_s").and_then(pruner_trace::Value::as_f64),
+            Some(traced.stats.total_s()),
+            "the campaign_end ledger must reconcile with SearchStats"
+        );
+        // Wall timings exist only because spans measured them.
+        assert!(traced.stats.pipeline_wall_s() > 0.0);
+        assert_eq!(plain.stats.pipeline_wall_s(), 0.0);
     }
 
     #[test]

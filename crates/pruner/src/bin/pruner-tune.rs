@@ -32,6 +32,8 @@ struct Args {
     halt_after: Option<usize>,
     show_schedules: usize,
     output: Option<String>,
+    trace_out: Option<String>,
+    report: bool,
 }
 
 const USAGE: &str = "\
@@ -43,7 +45,9 @@ USAGE:
                 [--fault-rate R] [--max-retries N]
                 [--checkpoint file.json] [--checkpoint-every N] [--halt-after N]
                 [--show-schedules N] [--output file.json]
+                [--trace-out file.jsonl] [--report]
     pruner-tune --resume file.json [--checkpoint file.json] [--output file.json]
+                [--trace-out file.jsonl] [--report]
 
 OPTIONS:
     --platform <p>        k80 | t4 | titanv | a100 | orin
@@ -72,6 +76,12 @@ OPTIONS:
                           run (campaign flags come from the checkpoint)
     --show-schedules N    print the N best tuned schedules as pseudo-TIR [default: 1]
     --output <file>       write the tuning result as JSON
+    --trace-out <file>    record the campaign as versioned JSONL trace events
+                          (funnel per round, spans, faults, counters) and
+                          write them atomically to <file>
+    --report              print an end-of-campaign summary table (funnel,
+                          simulated-time ledger, host wall clock, faults)
+                          to stderr
 ";
 
 fn parse_u64_list(s: &str, n: usize, flag: &str) -> Result<Vec<u64>, String> {
@@ -101,6 +111,8 @@ fn parse_args() -> Result<Args, String> {
         halt_after: None,
         show_schedules: 1,
         output: None,
+        trace_out: None,
+        report: false,
     };
     let mut it = std::env::args().skip(1);
     let mut saw_platform = false;
@@ -192,6 +204,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--show-schedules: {e}"))?
             }
             "--output" => args.output = Some(value("--output")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--report" => args.report = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -219,6 +233,10 @@ fn main() -> ExitCode {
         }
     };
 
+    // One shared trace buffer serves --trace-out and --report; the tuner
+    // gets a clone, this clone stays behind to render the results.
+    let trace = (args.trace_out.is_some() || args.report).then(pruner::trace::TraceHandle::new);
+
     let result = if let Some(ckpt) = &args.resume {
         println!("resuming : {ckpt}");
         let mut pruner = match Pruner::resume(ckpt) {
@@ -230,6 +248,9 @@ fn main() -> ExitCode {
         };
         if let Some(path) = &args.checkpoint {
             pruner.tuner_mut().set_checkpoint_path(path.clone());
+        }
+        if let Some(trace) = &trace {
+            pruner.tuner_mut().set_recorder(Box::new(trace.clone()));
         }
         pruner.tune()
     } else {
@@ -257,6 +278,9 @@ fn main() -> ExitCode {
         }
         if let Some(halt) = args.halt_after {
             builder = builder.halt_after(halt);
+        }
+        if let Some(trace) = &trace {
+            builder = builder.recorder(Box::new(trace.clone()));
         }
         if let Some(net) = &args.network {
             println!("network  : {net}");
@@ -313,6 +337,18 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(trace) = &trace {
+        if let Some(path) = &args.trace_out {
+            if let Err(e) = trace.write_atomic(std::path::Path::new(path)) {
+                eprintln!("error writing trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("trace written to {path} ({} events)", trace.len());
+        }
+        if args.report {
+            eprint!("{}", trace.report().render());
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -333,7 +369,8 @@ mod tests {
         for flag in
             ["--platform", "--network", "--matmul", "--conv2d", "--trials", "--seed", "--threads",
              "--model", "--no-psa", "--fault-rate", "--max-retries", "--checkpoint",
-             "--checkpoint-every", "--halt-after", "--resume", "--show-schedules", "--output"]
+             "--checkpoint-every", "--halt-after", "--resume", "--show-schedules", "--output",
+             "--trace-out", "--report"]
         {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }

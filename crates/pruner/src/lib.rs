@@ -54,6 +54,7 @@ pub use pruner_ir as ir;
 pub use pruner_nn as nn;
 pub use pruner_psa as psa;
 pub use pruner_sketch as sketch;
+pub use pruner_trace as trace;
 pub use pruner_tuner as tuner;
 
 use pruner_cost::{CostModel, ModelKind, PacmModel};
@@ -80,6 +81,7 @@ impl Pruner {
             setup: Setup::Fresh(ModelKind::Pacm),
             tasks: Vec::new(),
             checkpoint: None,
+            recorder: None,
         }
     }
 
@@ -117,6 +119,7 @@ pub struct PrunerBuilder {
     setup: Setup,
     tasks: Vec<(Workload, u64)>,
     checkpoint: Option<std::path::PathBuf>,
+    recorder: Option<Box<dyn pruner_trace::Recorder>>,
 }
 
 impl PrunerBuilder {
@@ -242,6 +245,16 @@ impl PrunerBuilder {
         self
     }
 
+    /// Installs a trace [`Recorder`](pruner_trace::Recorder) on the
+    /// campaign — typically a cloned [`trace::TraceHandle`], whose other
+    /// clone the caller keeps to render the JSONL trace or the
+    /// end-of-campaign report afterwards. The recorder only observes: a
+    /// traced campaign is bit-identical to an untraced one.
+    pub fn recorder(mut self, rec: Box<dyn pruner_trace::Recorder>) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
     /// Builds the tuner.
     ///
     /// # Panics
@@ -259,6 +272,9 @@ impl PrunerBuilder {
         }
         if let Some(path) = self.checkpoint {
             tuner.set_checkpoint_path(path);
+        }
+        if let Some(rec) = self.recorder {
+            tuner.set_recorder(rec);
         }
         Pruner { tuner }
     }

@@ -124,6 +124,73 @@ fn kill_and_resume_via_cli_matches_uninterrupted_run() {
 }
 
 #[test]
+fn trace_out_writes_jsonl_and_report_prints_funnel() {
+    let dir = std::env::temp_dir().join(format!("pruner-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let out_path = dir.join("result.json");
+    let trace_path = dir.join("trace.jsonl");
+    let output = Command::new(bin())
+        .args([
+            "--platform",
+            "t4",
+            "--matmul",
+            "1,256,256,256",
+            "--trials",
+            "40",
+            "--seed",
+            "1",
+            "--report",
+            "--trace-out",
+        ])
+        .arg(&trace_path)
+        .arg("--output")
+        .arg(&out_path)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let lines: Vec<&str> = trace.lines().collect();
+    assert!(!lines.is_empty(), "trace must contain events");
+    for line in &lines {
+        assert!(line.starts_with("{\"v\":"), "unversioned record: {line}");
+        assert!(line.ends_with('}'), "truncated record: {line}");
+    }
+    assert!(trace.contains("\"type\":\"campaign_begin\""));
+    assert!(trace.contains("\"type\":\"round\""));
+    assert!(trace.contains("\"type\":\"campaign_end\""));
+
+    // 40 trials at the default 10 measurements/round = 4 rounds.
+    assert_eq!(lines.iter().filter(|l| l.contains("\"type\":\"round\"")).count(), 4);
+
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("campaign report"), "report missing: {stderr}");
+    assert!(stderr.contains("draft -> verify funnel"), "funnel missing: {stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("trace written to"), "trace confirmation missing: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_to_unwritable_path_fails() {
+    let output = Command::new(bin())
+        .args([
+            "--platform",
+            "t4",
+            "--matmul",
+            "1,64,64,64",
+            "--trials",
+            "10",
+            "--trace-out",
+            "/nonexistent/dir/trace.jsonl",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("error writing trace"));
+}
+
+#[test]
 fn resume_with_missing_checkpoint_fails() {
     let output = Command::new(bin())
         .args(["--resume", "/nonexistent/pruner-ckpt.json"])

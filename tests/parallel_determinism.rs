@@ -13,6 +13,7 @@ use proptest::prelude::*;
 use pruner::cost::ModelKind;
 use pruner::gpu::GpuSpec;
 use pruner::ir::Workload;
+use pruner::trace::{mask_host_fields, TraceHandle};
 use pruner::tuner::{TunerConfig, TuningResult};
 use pruner::Pruner;
 
@@ -49,6 +50,26 @@ fn campaign(wl: &Workload, seed: u64, use_psa: bool, threads: usize) -> TuningRe
         builder = builder.without_psa();
     }
     builder.build().tune()
+}
+
+fn traced_campaign(
+    wl: &Workload,
+    seed: u64,
+    use_psa: bool,
+    threads: usize,
+) -> (TuningResult, TraceHandle) {
+    let trace = TraceHandle::new();
+    let mut builder = Pruner::builder(GpuSpec::t4())
+        .workload(wl.clone())
+        .config(tiny_config())
+        .model(ModelKind::Ansor)
+        .seed(seed)
+        .threads(threads)
+        .recorder(Box::new(trace.clone()));
+    if !use_psa {
+        builder = builder.without_psa();
+    }
+    (builder.build().tune(), trace)
 }
 
 fn assert_identical(a: &TuningResult, b: &TuningResult, threads: usize) {
@@ -93,6 +114,28 @@ proptest! {
             let run = campaign(&wl, seed, use_psa, threads);
             assert_identical(&baseline, &run, threads);
         }
+    }
+
+    // Each case runs 4 full campaigns (2 untraced + 2 traced); the recorder
+    // must be a pure observer at every thread count, and the masked trace
+    // itself must be thread-count invariant.
+    #[test]
+    fn tracing_never_perturbs_a_campaign(
+        wl in arb_workload(),
+        seed in 0u64..1000,
+        use_psa in prop_oneof![Just(true), Just(false)],
+    ) {
+        let mut masked_traces = Vec::new();
+        for threads in [1usize, 4] {
+            let plain = campaign(&wl, seed, use_psa, threads);
+            let (traced, trace) = traced_campaign(&wl, seed, use_psa, threads);
+            assert_identical(&plain, &traced, threads);
+            masked_traces.push(mask_host_fields(&trace.to_jsonl()));
+        }
+        assert_eq!(
+            masked_traces[0], masked_traces[1],
+            "masked trace diverged between 1 and 4 threads"
+        );
     }
 }
 
