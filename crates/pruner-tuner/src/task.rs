@@ -317,6 +317,14 @@ impl TaskTuner {
         self.measured.push((prog, latency));
     }
 
+    /// Whether this task has already seen the program — recorded as a
+    /// measurement (live or replayed from a record store) or quarantined.
+    /// Known programs are never re-proposed; the warm-up also consults
+    /// this so a fallback replayed from a store is not double-recorded.
+    pub fn knows(&self, prog: &Program) -> bool {
+        self.measured_keys.contains(&prog.dedup_key())
+    }
+
     /// Quarantines a program whose measurement failed permanently: it is
     /// never re-proposed (its key joins the measured set) and never enters
     /// the training data (it is not recorded as a labeled sample).

@@ -9,10 +9,12 @@ use pruner_cost::{CostModel, ModelKind, PacmModel, Sample};
 use pruner_gpu::{FaultModel, GpuSpec, Simulator};
 use pruner_ir::{Network, Workload};
 use pruner_psa::{Psa, PsaConfig};
+use pruner_store::{RecordOutcome, Store, TuningRecord};
 use pruner_trace::{NoopRecorder, Record, Recorder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 /// Seed salt separating the fault stream from measurement noise and the
@@ -176,6 +178,11 @@ pub struct Tuner {
     start_round: usize,
     restored_curve: Option<TuningCurve>,
     recorder: Box<dyn Recorder>,
+    store: Option<Store>,
+    warm_start: bool,
+    /// Cache keys pre-seeded from the store this run — distinguishes a
+    /// store hit (measurement avoided) from an ordinary cache hit.
+    store_seeded: HashSet<String>,
 }
 
 impl Tuner {
@@ -226,6 +233,9 @@ impl Tuner {
             start_round: 0,
             restored_curve: None,
             recorder: Box::new(NoopRecorder),
+            store: None,
+            warm_start: false,
+            store_seeded: HashSet::new(),
         }
     }
 
@@ -296,6 +306,9 @@ impl Tuner {
             start_round: ckpt.next_round,
             restored_curve: Some(ckpt.curve),
             recorder: Box::new(NoopRecorder),
+            store: None,
+            warm_start: false,
+            store_seeded: HashSet::new(),
         }
     }
 
@@ -306,6 +319,31 @@ impl Tuner {
     /// [`NoopRecorder`], which costs nothing.
     pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
         self.recorder = recorder;
+    }
+
+    /// Attaches a persistent tuning-record store (see `pruner-store` and
+    /// `docs/STORE_FORMAT.md`). Every fresh measurement verdict — success
+    /// or quarantine — is appended during the run and flushed atomically
+    /// at every checkpoint write and at campaign end.
+    ///
+    /// With `warm_start` set, a campaign starting from round 0 first
+    /// *replays* the store's matching records (same platform fingerprint,
+    /// same task workloads): the measurement cache, elite pools and
+    /// quarantine sets are pre-seeded and the cost model is pre-trained
+    /// from the logged successes, all free of simulated search time.
+    /// Without `warm_start` the store is record-only and the campaign is
+    /// bit-identical to a store-less run. A *resumed* campaign never
+    /// replays regardless of the flag — its checkpoint already contains
+    /// every effect of the measurements it made.
+    pub fn set_store(&mut self, store: Store, warm_start: bool) {
+        self.store = Some(store);
+        self.warm_start = warm_start;
+    }
+
+    /// The attached record store, if any (e.g. to report how many fresh
+    /// records the campaign contributed).
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// Snapshots the complete campaign state after `next_round` rounds.
@@ -407,6 +445,10 @@ impl Tuner {
             }
         }
 
+        if self.start_round == 0 && self.warm_start && self.store.is_some() {
+            self.replay_store();
+        }
+
         if self.start_round == 0 {
             // Warm-up: measure every task's canonical fallback so the
             // weighted end-to-end latency is finite from the first point
@@ -415,10 +457,19 @@ impl Tuner {
             // its seed schedule — so every task starts with a finite
             // incumbent even under heavy fault injection.
             self.recorder.span_begin("warmup");
-            for task in &mut self.tasks {
-                let fallback = pruner_sketch::Program::fallback(&task.workload);
+            for ti in 0..self.tasks.len() {
+                let fallback = pruner_sketch::Program::fallback(&self.tasks[ti].workload);
                 let lat = self.measurer.measure_trusted(&fallback);
-                task.record(fallback, lat);
+                // A store replay may already have recorded this fallback
+                // (then `measure_trusted` was a free cache hit); re-record
+                // only if the task is still without a finite incumbent —
+                // e.g. the store held a quarantine verdict for it, which
+                // the trusted warm-up measurement supersedes.
+                let task = &mut self.tasks[ti];
+                if !task.knows(&fallback) || !task.best_latency().is_finite() {
+                    task.record(fallback.clone(), lat);
+                }
+                self.record_to_store(&fallback);
             }
             self.recorder.span_end("warmup");
             curve.push(self.curve_point());
@@ -455,7 +506,9 @@ impl Tuner {
             self.recorder.span_begin("measure");
             for p in progs {
                 let before = self.tasks[ti].best_latency();
-                match self.measurer.measure_rec(&p, self.recorder.as_mut()) {
+                let outcome = self.measurer.measure_rec(&p, self.recorder.as_mut());
+                self.record_to_store(&p);
+                match outcome {
                     MeasureOutcome::Success { latency_s, .. } => {
                         self.tasks[ti].record(p, latency_s);
                         improved |= latency_s < before;
@@ -542,6 +595,11 @@ impl Tuner {
                     self.make_checkpoint(completed, &curve)
                         .save(&path)
                         .expect("checkpoint write failed");
+                    // Flush the store on the checkpoint cadence so a crash
+                    // loses at most one checkpoint interval of records.
+                    if let Some(store) = &self.store {
+                        store.flush().expect("store write failed");
+                    }
                     if self.recorder.enabled() {
                         self.recorder.emit(Record::new("checkpoint").u64("round", completed as u64));
                     }
@@ -569,6 +627,16 @@ impl Tuner {
                     .f64("sim_total_s", stats.total_s()),
             );
         }
+        if let Some(store) = &self.store {
+            store.flush().expect("store write failed");
+            if self.recorder.enabled() {
+                self.recorder.emit(
+                    Record::new("store_flush")
+                        .u64("records", store.len() as u64)
+                        .u64("appended", store.appended() as u64),
+                );
+            }
+        }
         self.recorder.span_end("campaign");
 
         TuningResult {
@@ -581,6 +649,87 @@ impl Tuner {
             best_programs: self.tasks.iter().map(|t| t.best_program().cloned()).collect(),
             stats: self.measurer.stats(),
             curve,
+        }
+    }
+
+    /// Replays the store's matching records into this campaign: pre-seeds
+    /// the measurement cache (free cache hits — fewer live measurements),
+    /// the elite pools and quarantine sets, then pre-trains the cost model
+    /// from the logged successes. No simulated search time is charged: the
+    /// replayed knowledge was paid for by an earlier campaign. Emits one
+    /// `store_replay` trace record summarizing what was used and skipped.
+    fn replay_store(&mut self) {
+        let spec_fp = self.spec.fingerprint();
+        let by_workload: HashMap<String, usize> =
+            self.tasks.iter().enumerate().map(|(i, t)| (t.workload.key(), i)).collect();
+        let workloads: HashSet<String> = by_workload.keys().cloned().collect();
+        let Some(store) = &self.store else { return };
+        let replay = store.replay(&spec_fp, &workloads);
+        let matched = replay.records.len();
+        let (spec_mismatches, workload_mismatches) =
+            (replay.spec_mismatches, replay.workload_mismatches);
+        let mut preseeded = 0u64;
+        let mut samples: Vec<Sample> = Vec::new();
+        for record in replay.records {
+            let ti = by_workload[&record.workload_fp];
+            let key = record.program.dedup_key();
+            // A verdict already in the cache (from a checkpoint) wins over
+            // the stored one.
+            if !self.measurer.preseed(key.clone(), record.outcome.into()) {
+                continue;
+            }
+            preseeded += 1;
+            self.store_seeded.insert(key);
+            match record.outcome {
+                RecordOutcome::Success { latency_s, .. } => {
+                    samples.push(Sample::labeled(&record.program, latency_s, ti));
+                    self.tasks[ti].record(record.program.clone(), latency_s);
+                }
+                RecordOutcome::Failure { .. } => {
+                    self.tasks[ti].quarantine(&record.program);
+                }
+            }
+        }
+        let pretrained = samples.len() >= 2;
+        if pretrained {
+            self.model.pretrain(
+                &samples,
+                self.cfg.train_epochs,
+                self.cfg.threads,
+                self.recorder.as_mut(),
+            );
+        }
+        if self.recorder.enabled() {
+            let file = self.store.as_ref().map(|s| s.replay_stats()).unwrap_or_default();
+            self.recorder.emit(
+                Record::new("store_replay")
+                    .u64("loaded", file.loaded as u64)
+                    .u64("skipped_lines", file.skipped() as u64)
+                    .u64("matched", matched as u64)
+                    .u64("spec_mismatches", spec_mismatches as u64)
+                    .u64("workload_mismatches", workload_mismatches as u64)
+                    .u64("preseeded", preseeded)
+                    .u64("pretrain_samples", if pretrained { samples.len() as u64 } else { 0 }),
+            );
+            self.recorder.counter("store.preseeded", preseeded);
+        }
+    }
+
+    /// Contributes one just-measured program's verdict to the attached
+    /// store (no-op without one). Counts a `store.hits` funnel counter
+    /// when the verdict was replayed from the store instead of measured
+    /// live, and `store.appended` when a genuinely fresh record is added;
+    /// the store itself dedupes, so re-encounters are free.
+    fn record_to_store(&mut self, prog: &pruner_sketch::Program) {
+        let Some(store) = self.store.as_mut() else { return };
+        let key = prog.dedup_key();
+        if self.store_seeded.contains(&key) {
+            self.recorder.counter("store.hits", 1);
+            return;
+        }
+        let Some(outcome) = self.measurer.cached_outcome(prog) else { return };
+        if store.append(TuningRecord::new(&self.spec, prog.clone(), outcome.into())) {
+            self.recorder.counter("store.appended", 1);
         }
     }
 
@@ -797,6 +946,130 @@ mod tests {
         // Wall timings exist only because spans measured them.
         assert!(traced.stats.pipeline_wall_s() > 0.0);
         assert_eq!(plain.stats.pipeline_wall_s(), 0.0);
+    }
+
+    fn store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pruner-tuner-store-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn record_only_store_is_bit_identical_and_captures_every_verdict() {
+        let dir = store_dir("recordonly");
+        let path = dir.join("records.jsonl");
+        let base = quick_tuner(true, ModelKind::Pacm).run();
+
+        let mut t = quick_tuner(true, ModelKind::Pacm);
+        t.set_store(Store::open(&path).unwrap(), false);
+        let recorded = t.run();
+        assert_eq!(
+            serde_json::to_string(&base).unwrap(),
+            serde_json::to_string(&recorded).unwrap(),
+            "a record-only store must only observe the campaign"
+        );
+        let store = Store::open(&path).unwrap();
+        assert_eq!(
+            store.len() as u64,
+            recorded.stats.trials,
+            "fault-free: one record per live measurement (warm-up included)"
+        );
+        assert_eq!(store.replay_stats().skipped(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A small multi-task campaign for warm-start tests: every task's
+    /// fallback lands in the store, so a warm rerun saves one warm-up
+    /// trial per task.
+    fn multi_task_tuner() -> Tuner {
+        let mut t =
+            Tuner::new(GpuSpec::t4(), TunerConfig::quick(), ModelSetup::Fresh(ModelKind::Pacm));
+        t.add_task(Workload::matmul(1, 512, 512, 512), 2);
+        t.add_task(Workload::reduction(1024, 256), 1);
+        t.add_task(Workload::elementwise(pruner_ir::EwKind::Relu, 1 << 18), 1);
+        t
+    }
+
+    #[test]
+    fn warm_start_measures_strictly_less_and_is_deterministic() {
+        let dir = store_dir("warm");
+        let first_path = dir.join("records.jsonl");
+        let mut first = multi_task_tuner();
+        first.set_store(Store::open(&first_path).unwrap(), false);
+        let cold = first.run();
+
+        // Re-running from the same store state twice must be
+        // byte-identical, so replay from two copies of the same file.
+        let copy_a = dir.join("a.jsonl");
+        let copy_b = dir.join("b.jsonl");
+        std::fs::copy(&first_path, &copy_a).unwrap();
+        std::fs::copy(&first_path, &copy_b).unwrap();
+
+        let mut wa = multi_task_tuner();
+        wa.set_store(Store::open(&copy_a).unwrap(), true);
+        let warm_a = wa.run();
+        let mut wb = multi_task_tuner();
+        wb.set_store(Store::open(&copy_b).unwrap(), true);
+        let warm_b = wb.run();
+
+        assert_eq!(
+            serde_json::to_string(&warm_a).unwrap(),
+            serde_json::to_string(&warm_b).unwrap(),
+            "same store state must replay to a byte-identical campaign"
+        );
+        assert!(
+            warm_a.stats.trials < cold.stats.trials,
+            "warm start must measure strictly less: {} vs {}",
+            warm_a.stats.trials,
+            cold.stats.trials
+        );
+        assert!(
+            warm_a.best_latency_s <= cold.best_latency_s,
+            "replayed elites mean the warm campaign starts from the cold one's best"
+        );
+        // The warm campaign's fresh discoveries were appended to its copy.
+        assert!(Store::open(&copy_a).unwrap().len() > Store::open(&first_path).unwrap().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stored_quarantines_replay_without_remeasuring() {
+        let dir = store_dir("quarantine");
+        let path = dir.join("records.jsonl");
+        // Fail-fast retries at a high fault rate: every failed attempt
+        // quarantines its candidate, so the store reliably collects
+        // failure verdicts.
+        let cfg =
+            TunerConfig { fault_rate: 0.5, max_retries: 0, ..TunerConfig::quick() };
+        let build = |cfg: TunerConfig| {
+            let mut t = Tuner::new(GpuSpec::t4(), cfg, ModelSetup::Fresh(ModelKind::Pacm));
+            t.add_task(Workload::matmul(1, 512, 512, 512), 1);
+            t.add_task(Workload::reduction(1024, 256), 1);
+            t
+        };
+        let mut first = build(cfg);
+        first.set_store(Store::open(&path).unwrap(), false);
+        let cold = first.run();
+        assert!(cold.stats.quarantined > 0, "rate 0.5 fail-fast must quarantine something");
+        let store = Store::open(&path).unwrap();
+        let failures =
+            store.records().iter().filter(|r| !r.outcome.is_success()).count() as u64;
+        assert_eq!(failures, cold.stats.quarantined, "quarantine verdicts are persisted too");
+
+        let trace = pruner_trace::TraceHandle::new();
+        let mut warm = build(cfg);
+        warm.set_store(Store::open(&path).unwrap(), true);
+        warm.set_recorder(Box::new(trace.clone()));
+        let warmed = warm.run();
+        assert!(warmed.stats.trials < cold.stats.trials);
+        let records = trace.records();
+        let replayed = records.iter().find(|r| r.kind() == "store_replay").unwrap();
+        let get = |k: &str| replayed.get(k).and_then(pruner_trace::Value::as_u64).unwrap();
+        assert_eq!(get("loaded"), store.len() as u64);
+        assert_eq!(get("preseeded"), get("matched"));
+        assert!(get("pretrain_samples") >= 2, "logged successes pre-train the model");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

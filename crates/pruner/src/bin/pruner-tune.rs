@@ -34,6 +34,8 @@ struct Args {
     output: Option<String>,
     trace_out: Option<String>,
     report: bool,
+    store: Option<String>,
+    warm_start: bool,
 }
 
 const USAGE: &str = "\
@@ -46,8 +48,11 @@ USAGE:
                 [--checkpoint file.json] [--checkpoint-every N] [--halt-after N]
                 [--show-schedules N] [--output file.json]
                 [--trace-out file.jsonl] [--report]
+                [--store records.jsonl] [--warm-start on|off]
     pruner-tune --resume file.json [--checkpoint file.json] [--output file.json]
-                [--trace-out file.jsonl] [--report]
+                [--trace-out file.jsonl] [--report] [--store records.jsonl]
+    pruner-tune records (stats | compact | export) --store records.jsonl
+                [--platform <p>] [--output dataset.json]
 
 OPTIONS:
     --platform <p>        k80 | t4 | titanv | a100 | orin
@@ -82,6 +87,24 @@ OPTIONS:
     --report              print an end-of-campaign summary table (funnel,
                           simulated-time ledger, host wall clock, faults)
                           to stderr
+    --store <file>        persist every measurement verdict to an append-only
+                          JSONL tuning-record store (see docs/STORE_FORMAT.md)
+                          and warm-start from records of earlier campaigns on
+                          the same platform
+    --warm-start on|off   with --store, replay matching records before round 0
+                          (pre-seed the measurement cache and pre-train the
+                          cost model); `off` records without replaying
+                          [default: on]
+
+RECORDS SUBCOMMAND (inspect a store without tuning):
+    stats                 print record counts per platform/workload/verdict
+                          plus corruption counters from loading the file
+    compact               rewrite the store atomically, dropping duplicate and
+                          damaged lines
+    export                convert successful records into a pruner-dataset
+                          JSON file (--output) for offline pre-training;
+                          --platform selects one platform when the store
+                          holds several
 ";
 
 fn parse_u64_list(s: &str, n: usize, flag: &str) -> Result<Vec<u64>, String> {
@@ -113,6 +136,8 @@ fn parse_args() -> Result<Args, String> {
         output: None,
         trace_out: None,
         report: false,
+        store: None,
+        warm_start: true,
     };
     let mut it = std::env::args().skip(1);
     let mut saw_platform = false;
@@ -206,6 +231,14 @@ fn parse_args() -> Result<Args, String> {
             "--output" => args.output = Some(value("--output")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--report" => args.report = true,
+            "--store" => args.store = Some(value("--store")?),
+            "--warm-start" => {
+                args.warm_start = match value("--warm-start")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--warm-start expects on|off, got `{other}`")),
+                }
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -224,7 +257,135 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// `pruner-tune records <mode>` — inspect/compact/export a tuning-record
+/// store without running a campaign.
+fn records_main(argv: &[String]) -> Result<(), String> {
+    use pruner::store::Store;
+
+    let mode = argv.first().map(String::as_str).unwrap_or_default();
+    if !matches!(mode, "stats" | "compact" | "export") {
+        return Err(format!("records expects stats|compact|export, got `{mode}`"));
+    }
+    let mut store_path = None;
+    let mut platform: Option<GpuSpec> = None;
+    let mut output = None;
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--store" => store_path = Some(value("--store")?),
+            "--platform" => {
+                let v = value("--platform")?;
+                platform =
+                    Some(GpuSpec::by_name(&v).ok_or_else(|| format!("unknown platform `{v}`"))?);
+            }
+            "--output" => output = Some(value("--output")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let path = store_path.ok_or("records needs --store <file>")?;
+    let store = Store::open(&path).map_err(|e| format!("cannot open store {path}: {e}"))?;
+    let stats = store.replay_stats();
+
+    match mode {
+        "stats" => {
+            println!("store    : {path}");
+            println!(
+                "records  : {} loaded from {} lines ({} skipped: {} duplicate, {} corrupt, {} unknown-version, {} fingerprint-mismatched)",
+                stats.loaded,
+                stats.total_lines,
+                stats.skipped(),
+                stats.duplicates,
+                stats.corrupt_lines,
+                stats.version_skips,
+                stats.fingerprint_mismatches
+            );
+            // Per (platform, workload) verdict counts, first-seen order.
+            let mut order: Vec<(String, String)> = Vec::new();
+            let mut counts: std::collections::HashMap<(String, String), (usize, usize)> =
+                std::collections::HashMap::new();
+            for r in store.records() {
+                let key = (r.spec.clone(), r.workload_fp.clone());
+                let entry = counts.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (0, 0)
+                });
+                if r.outcome.is_success() {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+            }
+            for key in &order {
+                let (ok, failed) = counts[key];
+                println!("  {:<14} {:<40} {ok:>6} ok {failed:>6} failed", key.0, key.1);
+            }
+        }
+        "compact" => {
+            store.flush().map_err(|e| format!("cannot rewrite {path}: {e}"))?;
+            println!(
+                "compacted {path}: kept {} records, dropped {} lines",
+                store.len(),
+                stats.skipped()
+            );
+        }
+        "export" => {
+            let out = output.ok_or("export needs --output <dataset.json>")?;
+            let wanted_fp = platform.as_ref().map(|spec| spec.fingerprint());
+            let successes: Vec<_> = store
+                .records()
+                .iter()
+                .filter(|r| wanted_fp.as_deref().is_none_or(|fp| r.spec_fp == fp))
+                .filter_map(|r| r.outcome.latency_s().map(|l| (r, l)))
+                .collect();
+            let mut platforms: Vec<&str> =
+                successes.iter().map(|(r, _)| r.spec.as_str()).collect();
+            platforms.sort_unstable();
+            platforms.dedup();
+            let name = match (platform.as_ref(), platforms.as_slice()) {
+                (Some(spec), _) => spec.name.clone(),
+                (None, [single]) => (*single).to_string(),
+                (None, []) => return Err("no successful records to export".into()),
+                (None, many) => {
+                    return Err(format!(
+                        "store holds {} platforms ({}); pick one with --platform",
+                        many.len(),
+                        many.join(", ")
+                    ))
+                }
+            };
+            let ds = pruner::dataset::Dataset::from_measurements(
+                name,
+                successes.into_iter().map(|(r, l)| (r.program.clone(), l)),
+            );
+            if ds.num_programs() == 0 {
+                return Err("no successful records to export".into());
+            }
+            ds.save_json(&out).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "exported {} programs across {} workloads to {out}",
+                ds.num_programs(),
+                ds.entries.len()
+            );
+        }
+        _ => unreachable!(),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("records") {
+        return match records_main(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -252,6 +413,17 @@ fn main() -> ExitCode {
         if let Some(trace) = &trace {
             pruner.tuner_mut().set_recorder(Box::new(trace.clone()));
         }
+        if let Some(path) = &args.store {
+            // Resumed campaigns never replay (they continue mid-search);
+            // the store keeps recording fresh verdicts.
+            match pruner::store::Store::open(path) {
+                Ok(store) => pruner.tuner_mut().set_store(store, args.warm_start),
+                Err(e) => {
+                    eprintln!("error opening store {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         pruner.tune()
     } else {
         println!("platform : {}", args.platform);
@@ -278,6 +450,10 @@ fn main() -> ExitCode {
         }
         if let Some(halt) = args.halt_after {
             builder = builder.halt_after(halt);
+        }
+        if let Some(path) = &args.store {
+            builder = builder.store(path).warm_start(args.warm_start);
+            println!("store    : {path} (warm start {})", if args.warm_start { "on" } else { "off" });
         }
         if let Some(trace) = &trace {
             builder = builder.recorder(Box::new(trace.clone()));
@@ -310,6 +486,13 @@ fn main() -> ExitCode {
             result.stats.quarantined,
             result.stats.fault_time_s + result.stats.retry_backoff_s
         );
+    }
+
+    if let Some(path) = &args.store {
+        match pruner::store::Store::open(path) {
+            Ok(store) => println!("store        : {} records in {path}", store.len()),
+            Err(e) => eprintln!("warning: cannot re-read store {path}: {e}"),
+        }
     }
 
     // Best schedules, slowest tasks first (they dominate the end-to-end).
@@ -370,7 +553,7 @@ mod tests {
             ["--platform", "--network", "--matmul", "--conv2d", "--trials", "--seed", "--threads",
              "--model", "--no-psa", "--fault-rate", "--max-retries", "--checkpoint",
              "--checkpoint-every", "--halt-after", "--resume", "--show-schedules", "--output",
-             "--trace-out", "--report"]
+             "--trace-out", "--report", "--store", "--warm-start"]
         {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }

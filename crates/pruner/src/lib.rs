@@ -54,6 +54,7 @@ pub use pruner_ir as ir;
 pub use pruner_nn as nn;
 pub use pruner_psa as psa;
 pub use pruner_sketch as sketch;
+pub use pruner_store as store;
 pub use pruner_trace as trace;
 pub use pruner_tuner as tuner;
 
@@ -82,6 +83,8 @@ impl Pruner {
             tasks: Vec::new(),
             checkpoint: None,
             recorder: None,
+            store: None,
+            warm_start: true,
         }
     }
 
@@ -120,6 +123,8 @@ pub struct PrunerBuilder {
     tasks: Vec<(Workload, u64)>,
     checkpoint: Option<std::path::PathBuf>,
     recorder: Option<Box<dyn pruner_trace::Recorder>>,
+    store: Option<std::path::PathBuf>,
+    warm_start: bool,
 }
 
 impl PrunerBuilder {
@@ -245,6 +250,28 @@ impl PrunerBuilder {
         self
     }
 
+    /// Attaches a persistent tuning-record store (append-only JSONL,
+    /// see `docs/STORE_FORMAT.md`). Every measurement verdict of the
+    /// campaign — successes and quarantined failures alike — is appended
+    /// to the file, and with warm start enabled (the default) records
+    /// from previous campaigns on the same platform pre-seed the
+    /// measurement cache and pre-train the cost model before round 0.
+    /// A missing file is created on the first flush.
+    pub fn store<P: Into<std::path::PathBuf>>(mut self, path: P) -> Self {
+        self.store = Some(path.into());
+        self
+    }
+
+    /// Toggles cross-campaign warm start for an attached [`store`]
+    /// (default `true`). With warm start off the store is record-only:
+    /// the campaign is bit-identical to one without a store.
+    ///
+    /// [`store`]: PrunerBuilder::store
+    pub fn warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
+    }
+
     /// Installs a trace [`Recorder`](pruner_trace::Recorder) on the
     /// campaign — typically a cloned [`trace::TraceHandle`], whose other
     /// clone the caller keeps to render the JSONL trace or the
@@ -258,7 +285,8 @@ impl PrunerBuilder {
     /// Builds the tuner.
     ///
     /// # Panics
-    /// Panics if no workload or network was added.
+    /// Panics if no workload or network was added, or if an attached
+    /// store file exists but cannot be read.
     pub fn build(self) -> Pruner {
         assert!(!self.tasks.is_empty(), "add a workload or network before building");
         let setup = match self.setup {
@@ -275,6 +303,11 @@ impl PrunerBuilder {
         }
         if let Some(rec) = self.recorder {
             tuner.set_recorder(rec);
+        }
+        if let Some(path) = self.store {
+            let store = store::Store::open(&path)
+                .unwrap_or_else(|e| panic!("cannot open store {}: {e}", path.display()));
+            tuner.set_store(store, self.warm_start);
         }
         Pruner { tuner }
     }
@@ -336,6 +369,31 @@ mod tests {
         assert_eq!(serial.best_latency_s, parallel.best_latency_s);
         assert_eq!(serial.curve, parallel.curve);
         assert_eq!(serial.stats, parallel.stats);
+    }
+
+    #[test]
+    fn builder_store_records_and_warm_starts() {
+        let dir = std::env::temp_dir().join(format!("pruner-facade-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let run = |warm: bool| {
+            Pruner::builder(GpuSpec::t4())
+                .workload(Workload::matmul(1, 256, 256, 256))
+                .config(TunerConfig::quick())
+                .seed(3)
+                .store(&path)
+                .warm_start(warm)
+                .build()
+                .tune()
+        };
+        let cold = run(false);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), cold.stats.trials as usize);
+        let warm = run(true);
+        assert!(warm.stats.trials <= cold.stats.trials);
+        assert!(warm.best_latency_s <= cold.best_latency_s);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

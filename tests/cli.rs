@@ -172,6 +172,161 @@ fn trace_out_writes_jsonl_and_report_prints_funnel() {
 }
 
 #[test]
+fn store_warm_start_cli_roundtrip_measures_less() {
+    let dir = std::env::temp_dir().join(format!("pruner-cli-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store_path = dir.join("records.jsonl");
+    let common = [
+        "--platform",
+        "t4",
+        "--matmul",
+        "1,128,128,128",
+        "--matmul",
+        "1,256,256,256",
+        "--trials",
+        "32",
+        "--seed",
+        "7",
+    ];
+    let run = |extra: &[&str], out: &std::path::Path| {
+        let output = Command::new(bin())
+            .args(common)
+            .args(extra)
+            .arg("--output")
+            .arg(out)
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+        String::from_utf8_lossy(&output.stdout).to_string()
+    };
+    #[derive(serde::Deserialize)]
+    struct Stats {
+        trials: u64,
+    }
+    #[derive(serde::Deserialize)]
+    struct ResultFile {
+        stats: Stats,
+    }
+    let trials = |path: &std::path::Path| -> u64 {
+        let parsed: ResultFile =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        parsed.stats.trials
+    };
+
+    let baseline_path = dir.join("baseline.json");
+    let cold_path = dir.join("cold.json");
+    let warm_path = dir.join("warm.json");
+    run(&[], &baseline_path);
+
+    // First store-backed run: the store is empty, so warm start replays
+    // nothing and the campaign must stay byte-identical to storeless.
+    let store = store_path.to_str().unwrap();
+    let cold_stdout = run(&["--store", store], &cold_path);
+    assert_eq!(
+        std::fs::read_to_string(&baseline_path).unwrap(),
+        std::fs::read_to_string(&cold_path).unwrap(),
+        "empty-store campaign must match the storeless campaign"
+    );
+    assert!(cold_stdout.contains("records in"), "store summary missing: {cold_stdout}");
+    assert!(store_path.exists(), "store file must be flushed");
+
+    // Second run warm-starts from the first run's verdicts and must hit
+    // the simulator strictly less often.
+    run(&["--store", store], &warm_path);
+    assert!(
+        trials(&warm_path) < trials(&cold_path),
+        "warm start must measure strictly less: {} vs {}",
+        trials(&warm_path),
+        trials(&cold_path)
+    );
+
+    // --warm-start off records without replaying: identical campaign again.
+    let off_path = dir.join("off.json");
+    run(&["--store", store, "--warm-start", "off"], &off_path);
+    assert_eq!(
+        std::fs::read_to_string(&baseline_path).unwrap(),
+        std::fs::read_to_string(&off_path).unwrap(),
+        "record-only campaign must match the storeless campaign"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn records_subcommand_reports_damage_compacts_and_exports() {
+    use pruner::gpu::GpuSpec;
+    use pruner::ir::Workload;
+    use pruner::sketch::Program;
+    use pruner::store::{RecordOutcome, TuningRecord, SCHEMA_VERSION};
+
+    let dir = std::env::temp_dir().join(format!("pruner-cli-records-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store_path = dir.join("records.jsonl");
+
+    // Hand-damage a log with every corruption class the format doc names:
+    // a duplicate, an unknown schema version, a mismatched fingerprint and
+    // a final line truncated mid-append.
+    let spec = GpuSpec::t4();
+    let good = |wl: &Workload, latency_s: f64| {
+        serde_json::to_string(&TuningRecord::new(
+            &spec,
+            Program::fallback(wl),
+            RecordOutcome::Success { latency_s, variance: 0.0 },
+        ))
+        .unwrap()
+    };
+    let mm = good(&Workload::matmul(1, 64, 64, 64), 1.0e-3);
+    let red = good(&Workload::reduction(1024, 256), 2.0e-3);
+    let future = format!("{{\"v\":{},\"payload\":\"opaque\"}}", SCHEMA_VERSION + 1);
+    let mut lying = TuningRecord::new(
+        &spec,
+        Program::fallback(&Workload::matmul(1, 32, 32, 32)),
+        RecordOutcome::Failure { kind: pruner::gpu::FaultKind::Timeout, attempts: 3 },
+    );
+    lying.workload_fp = "matmul_b9m9n9k9".into();
+    let lying = serde_json::to_string(&lying).unwrap();
+    let torn = &mm[..mm.len() / 2];
+    std::fs::write(
+        &store_path,
+        format!("{mm}\n{red}\n{mm}\n{future}\n{lying}\n{torn}"),
+    )
+    .expect("write damaged store");
+
+    let records = |args: &[&str]| {
+        Command::new(bin()).arg("records").args(args).output().expect("binary runs")
+    };
+    let store = store_path.to_str().unwrap();
+
+    // stats: loads the two good records, counts every skip class.
+    let stats = records(&["stats", "--store", store]);
+    assert!(stats.status.success(), "stderr: {}", String::from_utf8_lossy(&stats.stderr));
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stdout.contains("2 loaded from 6 lines"), "{stdout}");
+    assert!(stdout.contains("1 duplicate, 1 corrupt, 1 unknown-version, 1 fingerprint-mismatched"), "{stdout}");
+    assert!(stdout.contains("matmul_b1m64n64k64"), "{stdout}");
+
+    // compact: rewrites the log to just the good records.
+    let compact = records(&["compact", "--store", store]);
+    assert!(compact.status.success());
+    assert!(String::from_utf8_lossy(&compact.stdout).contains("kept 2 records, dropped 4 lines"));
+    let text = std::fs::read_to_string(&store_path).unwrap();
+    assert_eq!(text.lines().count(), 2, "compacted log keeps only valid records");
+
+    // export: successful records become an offline dataset.
+    let ds_path = dir.join("dataset.json");
+    let export =
+        records(&["export", "--store", store, "--output", ds_path.to_str().unwrap()]);
+    assert!(export.status.success(), "stderr: {}", String::from_utf8_lossy(&export.stderr));
+    let ds = pruner::dataset::Dataset::load_json(&ds_path).expect("exported dataset loads");
+    assert_eq!(ds.platform, "NVIDIA T4");
+    assert_eq!(ds.num_programs(), 2);
+
+    // Unknown mode and missing --store are flag errors, not panics.
+    assert!(!records(&["prune", "--store", store]).status.success());
+    assert!(!records(&["stats"]).status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_out_to_unwritable_path_fails() {
     let output = Command::new(bin())
         .args([
