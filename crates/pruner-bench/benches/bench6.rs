@@ -1,0 +1,215 @@
+//! Bench 6 — simulator-vs-reality fidelity study.
+//!
+//! The analytical simulator substitutes for real hardware everywhere in
+//! this reproduction, so the study quantifies the only property that
+//! substitution needs: **rank agreement**. Two granularities:
+//!
+//! * **size sweep** — across GEMM problem sizes, does the simulator order
+//!   workloads by cost the way real execution does? This must be nearly
+//!   perfect (ρ floor asserted on every run).
+//! * **schedule rank** — within one workload, over a pool of sampled
+//!   candidate schedules, how well do simulated latencies rank measured
+//!   wall times? Reported per workload (Spearman ρ, Kendall τ, top-k
+//!   overlap); the GEMM floor is asserted at full scale
+//!   (`PRUNER_BENCH_FULL=1`), where the candidate pool and timing windows
+//!   are large enough for the statistic to stabilize.
+//!
+//! The real meter is `pruner-exec`'s `CpuExec`: candidates actually run
+//! (bit-identical to a naive reference), latency is trimmed wall time.
+//! Writes machine-readable `BENCH_6.json` at the workspace root. See
+//! `docs/FIDELITY.md` for how to read the numbers.
+//!
+//! `PRUNER_BENCH_SMOKE=1` shrinks pools and timing windows so CI can
+//! exercise the harness end to end in seconds.
+
+use pruner::exec::{stats, CpuExec, CpuExecConfig, TimerConfig};
+use pruner::gpu::{Backend, GpuSpec, Simulator};
+use pruner::ir::{EwKind, Workload};
+use pruner::sketch::Program;
+use pruner_bench::{results_dir, TextTable};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct WorkloadFidelity {
+    workload: String,
+    candidates: usize,
+    spearman: f64,
+    kendall: f64,
+    top_k: usize,
+    top_k_overlap: f64,
+}
+
+#[derive(Serialize)]
+struct SizeSweep {
+    sizes: Vec<u64>,
+    sim_latency_s: Vec<f64>,
+    cpu_latency_s: Vec<f64>,
+    spearman: f64,
+    kendall: f64,
+}
+
+#[derive(Serialize)]
+struct Bench6Result {
+    smoke: bool,
+    full: bool,
+    threads: usize,
+    platform: String,
+    size_sweep: SizeSweep,
+    size_sweep_floor: f64,
+    schedule_rank: Vec<WorkloadFidelity>,
+    gemm_schedule_floor: f64,
+    gemm_schedule_floor_asserted: bool,
+}
+
+fn smoke() -> bool {
+    std::env::var("PRUNER_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+fn main() {
+    let full = pruner_bench::full_scale();
+    // Pin threads low by default: fidelity wants quiet timings, not
+    // throughput, and CI boxes are shared (CI exports PRUNER_CPU_THREADS=2).
+    let threads = std::env::var("PRUNER_CPU_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2usize);
+    let candidates = if smoke() {
+        8
+    } else if full {
+        64
+    } else {
+        24
+    };
+    let timer = TimerConfig {
+        samples: if smoke() { 2 } else { 5 },
+        min_window_s: if smoke() { 2e-5 } else { 2e-4 },
+        ..TimerConfig::default()
+    };
+
+    let spec = GpuSpec::t4();
+    let sim = Simulator::new(spec.clone());
+    let cpu = CpuExec::with_config(spec.clone(), CpuExecConfig { threads, timer });
+    let limits = spec.limits();
+
+    // --- size sweep: rank agreement across GEMM problem sizes ---
+    let sizes: Vec<u64> =
+        if smoke() { vec![32, 64, 128] } else { vec![32, 48, 64, 96, 128, 160, 192] };
+    let mut sweep_sim = Vec::new();
+    let mut sweep_cpu = Vec::new();
+    for &s in &sizes {
+        let wl = Workload::matmul(1, s, s, s);
+        // One fixed schedule per size: the fallback program, so the
+        // comparison is apples to apples across sizes.
+        let prog = Program::fallback(&wl);
+        sweep_sim.push(Backend::latency(&sim, &prog));
+        sweep_cpu.push(cpu.latency(&prog));
+    }
+    let sweep = SizeSweep {
+        spearman: stats::spearman(&sweep_sim, &sweep_cpu),
+        kendall: stats::kendall_tau(&sweep_sim, &sweep_cpu),
+        sizes,
+        sim_latency_s: sweep_sim,
+        cpu_latency_s: sweep_cpu,
+    };
+    let size_sweep_floor = 0.5;
+    assert!(
+        sweep.spearman >= size_sweep_floor,
+        "size-sweep fidelity collapsed: ρ = {:.2} < {size_sweep_floor}",
+        sweep.spearman
+    );
+
+    // --- schedule rank: candidate ordering within one workload ---
+    let zoo: Vec<Workload> = vec![
+        Workload::matmul(1, 192, 192, 192),
+        Workload::conv2d(1, 16, 28, 28, 32, 3, 1, 1),
+        Workload::dwconv2d(1, 32, 28, 28, 3, 1, 1),
+        Workload::elementwise(EwKind::Gelu, 1 << 18),
+        Workload::reduction(1024, 256),
+    ];
+    let mut schedule_rank = Vec::new();
+    for wl in &zoo {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut sim_lat = Vec::new();
+        let mut cpu_lat = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        // Distinct schedules only: duplicates would inflate agreement
+        // through tied ranks on the sim side and noise on the cpu side.
+        // The draw budget is bounded — a small workload may expose fewer
+        // distinct schedules than the pool asks for, and the stats below
+        // are well defined at any pool size.
+        for _ in 0..candidates * 64 {
+            if sim_lat.len() >= candidates {
+                break;
+            }
+            let prog = Program::sample(wl, &limits, &mut rng);
+            if !seen.insert(prog.dedup_key()) {
+                continue;
+            }
+            sim_lat.push(Backend::latency(&sim, &prog));
+            cpu_lat.push(cpu.latency(&prog));
+        }
+        let top_k = (sim_lat.len() / 4).max(3).min(sim_lat.len());
+        schedule_rank.push(WorkloadFidelity {
+            workload: wl.key(),
+            candidates: sim_lat.len(),
+            spearman: stats::spearman(&sim_lat, &cpu_lat),
+            kendall: stats::kendall_tau(&sim_lat, &cpu_lat),
+            top_k,
+            top_k_overlap: stats::top_k_overlap(&sim_lat, &cpu_lat, top_k),
+        });
+    }
+
+    // Measured ≈ 0.4-0.55 at full scale: the floor guards against losing
+    // the signal entirely, not against ordinary run-to-run variance. The
+    // tight ρ ≥ 0.5 floor lives on the size sweep above, where agreement
+    // is structural (see docs/FIDELITY.md).
+    let gemm_schedule_floor = 0.3;
+    let gemm_schedule_floor_asserted = full;
+    if gemm_schedule_floor_asserted {
+        let gemm = &schedule_rank[0];
+        assert!(
+            gemm.spearman >= gemm_schedule_floor,
+            "GEMM schedule-rank fidelity fell below the floor: ρ = {:.2} < {gemm_schedule_floor}",
+            gemm.spearman
+        );
+    }
+
+    let mut table = TextTable::new(&["workload", "n", "Spearman ρ", "Kendall τ", "top-k overlap"]);
+    for f in &schedule_rank {
+        table.row(vec![
+            f.workload.clone(),
+            f.candidates.to_string(),
+            format!("{:.3}", f.spearman),
+            format!("{:.3}", f.kendall),
+            format!("{:.2} (k={})", f.top_k_overlap, f.top_k),
+        ]);
+    }
+    println!(
+        "Bench 6 — simulator-vs-reality fidelity ({} candidates/workload, {} threads)\n",
+        candidates, threads
+    );
+    println!(
+        "size sweep (GEMM {:?}): Spearman ρ = {:.3}, Kendall τ = {:.3}\n",
+        sweep.sizes, sweep.spearman, sweep.kendall
+    );
+    table.print();
+
+    let result = Bench6Result {
+        smoke: smoke(),
+        full,
+        threads,
+        platform: spec.name.clone(),
+        size_sweep: sweep,
+        size_sweep_floor,
+        schedule_rank,
+        gemm_schedule_floor,
+        gemm_schedule_floor_asserted,
+    };
+    let path = results_dir().parent().expect("workspace root").join("BENCH_6.json");
+    let file = std::fs::File::create(&path).expect("create BENCH_6.json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &result)
+        .expect("serialize BENCH_6.json");
+    println!("\n[results written to {}]", path.display());
+}

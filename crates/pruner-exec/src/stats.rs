@@ -1,0 +1,159 @@
+//! Rank statistics for the simulator-vs-reality fidelity study.
+//!
+//! A tuner only needs the cost signal to *order* candidates usefully, so
+//! fidelity is judged on rank agreement rather than absolute error:
+//! Spearman's ρ (Pearson correlation of average ranks), Kendall's τ-b
+//! (tie-adjusted concordance), and top-k overlap (does the simulator's
+//! shortlist contain the actually-fast programs?).
+
+/// Average ranks (1-based) of `xs`, with ties sharing their mean rank.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j are tied; their shared rank is the average of
+        // the 1-based positions.
+        let shared = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = shared;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation of two equal-length samples.
+///
+/// Returns 0 for degenerate inputs (fewer than two points or a constant
+/// sample, where rank order is undefined).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Kendall's τ-b rank correlation (tie-adjusted), O(n²).
+///
+/// Returns 0 for degenerate inputs (fewer than two points or a constant
+/// sample).
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "kendall_tau: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i].total_cmp(&xs[j]);
+            let dy = ys[i].total_cmp(&ys[j]);
+            match (dx, dy) {
+                (std::cmp::Ordering::Equal, std::cmp::Ordering::Equal) => {}
+                (std::cmp::Ordering::Equal, _) => ties_x += 1,
+                (_, std::cmp::Ordering::Equal) => ties_y += 1,
+                (a, b) if a == b => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as i64;
+    let denom = (((pairs - ties_x) as f64) * ((pairs - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Fraction of the `k` smallest elements of `xs` that are also among the
+/// `k` smallest of `ys` (index overlap of the two bottom-k sets).
+pub fn top_k_overlap(xs: &[f64], ys: &[f64], k: usize) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "top_k_overlap: length mismatch");
+    let k = k.min(xs.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let bottom = |vals: &[f64]| -> Vec<usize> {
+        let mut order: Vec<usize> = (0..vals.len()).collect();
+        order.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
+        order.truncate(k);
+        order
+    };
+    let bx = bottom(xs);
+    let by = bottom(ys);
+    let hits = bx.iter().filter(|i| by.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_scores_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert_eq!(top_k_overlap(&xs, &ys, 2), 1.0);
+    }
+
+    #[test]
+    fn perfect_reversal_scores_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &ys) + 1.0).abs() < 1e-12);
+        assert_eq!(top_k_overlap(&xs, &ys, 1), 0.0);
+    }
+
+    #[test]
+    fn ties_share_average_ranks() {
+        let r = ranks(&[2.0, 1.0, 2.0, 3.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn constant_sample_is_degenerate_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&xs, &ys), 0.0);
+        assert_eq!(kendall_tau(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn monotone_but_nonlinear_is_still_rho_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+}

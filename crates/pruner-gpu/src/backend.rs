@@ -1,0 +1,180 @@
+//! The measurement-backend abstraction.
+//!
+//! Everything downstream of measurement — the measurer's retry loop, the
+//! tuner, checkpointing, the record store — only needs a handful of
+//! operations: a deterministic latency estimate, a (possibly faulting)
+//! measurement attempt, and access to the platform spec. [`Backend`]
+//! captures exactly that surface so the analytical [`Simulator`] and an
+//! executable backend (the `pruner-exec` crate's `CpuExec`) are
+//! interchangeable behind `Measurer<B: Backend>`.
+
+use crate::fault::{FaultKind, FaultModel, Measurement};
+use crate::sim::{SimConfig, Simulator};
+use crate::spec::GpuSpec;
+use pruner_sketch::Program;
+
+/// A source of program latencies: the simulator or a real executor.
+///
+/// Implementations must be cheaply cloneable (campaigns clone the backend
+/// into checkpoints and worker contexts) and deterministic *in result*:
+/// executing the same program twice must produce the same tensor output,
+/// though wall-clock backends may legitimately report different timings
+/// run to run. Only the simulator backend promises bit-identical timings.
+pub trait Backend: std::fmt::Debug + Clone + Send + 'static {
+    /// Short stable identifier, recorded in store records and checkpoints
+    /// (`"sim"`, `"cpu"`). Tags must be unique across implementations —
+    /// store dedup keys are prefixed with the tag so measurements from
+    /// different backends never collide.
+    const TAG: &'static str;
+
+    /// The tag of this instance (defaults to [`Backend::TAG`]).
+    fn tag(&self) -> &'static str {
+        Self::TAG
+    }
+
+    /// The platform this backend measures for. For the simulator this
+    /// parameterizes the analytical model; for an executable backend it
+    /// still defines the schedule-validity limits candidates are sampled
+    /// against.
+    fn spec(&self) -> &GpuSpec;
+
+    /// Best-estimate latency of a program in seconds, without measurement
+    /// noise or faults. Simulator: the analytical model. Executable
+    /// backends: a cached wall-clock measurement.
+    fn latency(&self, prog: &Program) -> f64;
+
+    /// Mean and dispersion of `repeats` measurements, bypassing the fault
+    /// model (the "trusted" path used for warm-up measurements).
+    fn measure_dist(&self, prog: &Program, nonce: u64, repeats: u32) -> Measurement;
+
+    /// One measurement attempt through the fault model, if any.
+    fn try_measure(
+        &self,
+        prog: &Program,
+        nonce: u64,
+        repeats: u32,
+    ) -> Result<Measurement, FaultKind>;
+
+    /// Installs (or clears) deterministic fault injection. Backends that
+    /// measure real hardware ignore this — their faults are real — so the
+    /// default is a no-op.
+    fn install_fault_model(&mut self, _fault: Option<FaultModel>) {}
+
+    /// The active fault model, if fault injection is supported and enabled.
+    fn fault_model(&self) -> Option<&FaultModel> {
+        None
+    }
+
+    /// Serializes the backend's configuration (not its caches) for
+    /// embedding in a campaign checkpoint.
+    fn checkpoint_config(&self) -> String;
+
+    /// Rebuilds a backend from [`Backend::checkpoint_config`] output and
+    /// the checkpointed platform spec.
+    fn from_checkpoint_config(spec: &GpuSpec, cfg: &str) -> std::io::Result<Self>;
+}
+
+/// What the simulator persists into a checkpoint: its model constants and
+/// the fault-injection setup. (The spec travels separately — every
+/// checkpoint stores it once at top level.)
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SimBackendConfig {
+    cfg: SimConfig,
+    fault: Option<FaultModel>,
+}
+
+impl Backend for Simulator {
+    const TAG: &'static str = "sim";
+
+    fn spec(&self) -> &GpuSpec {
+        Simulator::spec(self)
+    }
+
+    fn latency(&self, prog: &Program) -> f64 {
+        Simulator::latency(self, prog)
+    }
+
+    fn measure_dist(&self, prog: &Program, nonce: u64, repeats: u32) -> Measurement {
+        Simulator::measure_dist(self, prog, nonce, repeats)
+    }
+
+    fn try_measure(
+        &self,
+        prog: &Program,
+        nonce: u64,
+        repeats: u32,
+    ) -> Result<Measurement, FaultKind> {
+        Simulator::try_measure(self, prog, nonce, repeats)
+    }
+
+    fn install_fault_model(&mut self, fault: Option<FaultModel>) {
+        self.set_fault_model(fault);
+    }
+
+    fn fault_model(&self) -> Option<&FaultModel> {
+        Simulator::fault_model(self)
+    }
+
+    fn checkpoint_config(&self) -> String {
+        let state = SimBackendConfig {
+            cfg: self.config().clone(),
+            fault: Simulator::fault_model(self).cloned(),
+        };
+        serde_json::to_string(&state).expect("simulator config serializes")
+    }
+
+    fn from_checkpoint_config(spec: &GpuSpec, cfg: &str) -> std::io::Result<Simulator> {
+        let state: SimBackendConfig = serde_json::from_str(cfg).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corrupt simulator backend config: {e}"),
+            )
+        })?;
+        let mut sim = Simulator::with_config(spec.clone(), state.cfg);
+        sim.set_fault_model(state.fault);
+        Ok(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruner_sketch::HardwareLimits;
+    use rand::SeedableRng;
+
+    fn prog() -> Program {
+        let wl = pruner_ir::Workload::matmul(1, 256, 256, 256);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        Program::sample(&wl, &HardwareLimits::default(), &mut rng)
+    }
+
+    #[test]
+    fn simulator_backend_matches_inherent_methods() {
+        let sim = Simulator::new(GpuSpec::t4());
+        let p = prog();
+        assert_eq!(Backend::latency(&sim, &p), sim.latency(&p));
+        assert_eq!(Backend::measure_dist(&sim, &p, 3, 8), sim.measure_dist(&p, 3, 8));
+        assert_eq!(Backend::try_measure(&sim, &p, 3, 8), sim.try_measure(&p, 3, 8));
+        assert_eq!(sim.tag(), "sim");
+    }
+
+    #[test]
+    fn simulator_checkpoint_config_round_trips() {
+        let mut sim = Simulator::with_config(
+            GpuSpec::a100(),
+            SimConfig { quirk_amplitude: 0.11, seed: 99, ..SimConfig::default() },
+        );
+        sim.set_fault_model(Some(FaultModel::from_rate(7, 0.25)));
+        let cfg = sim.checkpoint_config();
+        let restored = Simulator::from_checkpoint_config(&GpuSpec::a100(), &cfg).unwrap();
+        assert_eq!(restored.config(), sim.config());
+        assert_eq!(Simulator::fault_model(&restored), Simulator::fault_model(&sim));
+        let p = prog();
+        assert_eq!(restored.try_measure(&p, 5, 16), sim.try_measure(&p, 5, 16));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_config_is_rejected() {
+        assert!(Simulator::from_checkpoint_config(&GpuSpec::t4(), "{not json").is_err());
+    }
+}

@@ -37,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod fault;
 mod sim;
 mod spec;
 pub mod vendor;
 
+pub use backend::Backend;
 pub use fault::{FaultDraw, FaultKind, FaultModel, Measurement};
 pub use sim::{quick_latency, SimConfig, Simulator};
 pub use spec::GpuSpec;

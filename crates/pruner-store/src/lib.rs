@@ -126,31 +126,56 @@ pub struct TuningRecord {
     /// Platform fingerprint: `GpuSpec::fingerprint()`, 16 hex digits over
     /// every architectural field. Replay matches on this, not on `spec`.
     pub spec_fp: String,
+    /// The measurement backend that produced this record (`"sim"` for the
+    /// analytical simulator, `"cpu"` for the executable CPU backend).
+    /// Records written before this field existed were all simulator
+    /// measurements, so a missing field deserializes as `"sim"`.
+    #[serde(default = "default_backend")]
+    pub backend: String,
     /// The measured program (workload + schedule instantiation).
     pub program: Program,
     /// The measurement verdict.
     pub outcome: RecordOutcome,
 }
 
+fn default_backend() -> String {
+    "sim".to_string()
+}
+
 impl TuningRecord {
-    /// Builds a record for `program` measured on `spec`, stamping the
-    /// current [`SCHEMA_VERSION`] and both fingerprints.
+    /// Builds a simulator-backend (`"sim"`) record for `program` measured
+    /// on `spec`, stamping the current [`SCHEMA_VERSION`] and both
+    /// fingerprints.
     pub fn new(spec: &GpuSpec, program: Program, outcome: RecordOutcome) -> TuningRecord {
+        TuningRecord::with_backend(spec, "sim", program, outcome)
+    }
+
+    /// Builds a record tagged with an explicit measurement `backend`
+    /// ([`pruner_gpu::Backend::TAG`] in the tuner).
+    pub fn with_backend(
+        spec: &GpuSpec,
+        backend: &str,
+        program: Program,
+        outcome: RecordOutcome,
+    ) -> TuningRecord {
         TuningRecord {
             v: SCHEMA_VERSION,
             workload_fp: program.workload.key(),
             spec: spec.name.clone(),
             spec_fp: spec.fingerprint(),
+            backend: backend.to_string(),
             program,
             outcome,
         }
     }
 
-    /// The deduplication key: platform fingerprint plus the program's own
-    /// dedup key (workload key + schedule encoding). Two records with the
-    /// same key describe the same measurement; the store keeps the first.
+    /// The deduplication key: backend tag, platform fingerprint, and the
+    /// program's own dedup key (workload key + schedule encoding). Two
+    /// records with the same key describe the same measurement; the store
+    /// keeps the first. The backend prefix guarantees the same schedule
+    /// measured by the simulator and by a real executor never collide.
     pub fn dedup_key(&self) -> String {
-        format!("{}|{}", self.spec_fp, self.program.dedup_key())
+        format!("{}|{}|{}", self.backend, self.spec_fp, self.program.dedup_key())
     }
 }
 
@@ -189,7 +214,10 @@ impl ReplayStats {
 pub struct Replay<'a> {
     /// Matching records, in file order (the order they were measured).
     pub records: Vec<&'a TuningRecord>,
-    /// Loaded records skipped because they were taken on a different
+    /// Loaded records skipped because they were measured by a different
+    /// backend (their `backend` tag doesn't match).
+    pub backend_mismatches: usize,
+    /// Same-backend records skipped because they were taken on a different
     /// platform (their `spec_fp` doesn't match).
     pub spec_mismatches: usize,
     /// Same-platform records skipped because their workload is not among
@@ -329,15 +357,34 @@ impl Store {
         true
     }
 
-    /// Filters the live records down to one campaign: records taken on
-    /// the platform fingerprinted by `spec_fp` whose workload is in
-    /// `workload_fps`. Non-matching records are counted, not errors —
-    /// a store may interleave many platforms and workloads.
+    /// Filters the live records down to one simulator campaign: shorthand
+    /// for [`Store::replay_backend`] with the `"sim"` backend tag.
     pub fn replay<'a>(&'a self, spec_fp: &str, workload_fps: &HashSet<String>) -> Replay<'a> {
-        let mut replay =
-            Replay { records: Vec::new(), spec_mismatches: 0, workload_mismatches: 0 };
+        self.replay_backend("sim", spec_fp, workload_fps)
+    }
+
+    /// Filters the live records down to one campaign: records measured by
+    /// `backend` on the platform fingerprinted by `spec_fp` whose workload
+    /// is in `workload_fps`. Non-matching records are counted, not errors —
+    /// a store may interleave many backends, platforms and workloads.
+    /// Cross-backend latencies are never comparable (an analytical estimate
+    /// vs. wall time on a different machine), so replay never mixes them.
+    pub fn replay_backend<'a>(
+        &'a self,
+        backend: &str,
+        spec_fp: &str,
+        workload_fps: &HashSet<String>,
+    ) -> Replay<'a> {
+        let mut replay = Replay {
+            records: Vec::new(),
+            backend_mismatches: 0,
+            spec_mismatches: 0,
+            workload_mismatches: 0,
+        };
         for record in &self.records {
-            if record.spec_fp != spec_fp {
+            if record.backend != backend {
+                replay.backend_mismatches += 1;
+            } else if record.spec_fp != spec_fp {
                 replay.spec_mismatches += 1;
             } else if !workload_fps.contains(&record.workload_fp) {
                 replay.workload_mismatches += 1;
@@ -522,8 +569,57 @@ mod tests {
         let replay = store.replay(&t4.fingerprint(), &campaign);
         assert_eq!(replay.records.len(), 1);
         assert_eq!(replay.records[0].spec_fp, t4.fingerprint());
+        assert_eq!(replay.backend_mismatches, 0);
         assert_eq!(replay.spec_mismatches, 1);
         assert_eq!(replay.workload_mismatches, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn backends_never_collide_and_replay_never_mixes_them() {
+        let path = tmp_path("backends");
+        let spec = GpuSpec::t4();
+        let mm = Workload::matmul(1, 64, 64, 64);
+        let mut store = Store::open(&path).unwrap();
+        // The same schedule measured by two backends is two records...
+        assert!(store.append(success(&spec, &mm, 1.0e-3)));
+        assert!(store.append(TuningRecord::with_backend(
+            &spec,
+            "cpu",
+            Program::fallback(&mm),
+            RecordOutcome::Success { latency_s: 4.0e-3, variance: 0.0 },
+        )));
+        assert_eq!(store.len(), 2);
+
+        // ...and replay only ever surfaces one backend's records.
+        let campaign: HashSet<String> = [mm.key()].into_iter().collect();
+        let sim = store.replay(&spec.fingerprint(), &campaign);
+        assert_eq!(sim.records.len(), 1);
+        assert_eq!(sim.records[0].backend, "sim");
+        assert_eq!(sim.backend_mismatches, 1);
+        let cpu = store.replay_backend("cpu", &spec.fingerprint(), &campaign);
+        assert_eq!(cpu.records.len(), 1);
+        assert_eq!(cpu.records[0].outcome.latency_s(), Some(4.0e-3));
+        assert_eq!(cpu.backend_mismatches, 1);
+        cleanup(&path);
+    }
+
+    /// A pre-backend-field record (written before the `backend` tag
+    /// existed) must load as a simulator record.
+    #[test]
+    fn legacy_records_without_backend_field_default_to_sim() {
+        let path = tmp_path("legacy");
+        let spec = GpuSpec::t4();
+        let record = success(&spec, &Workload::matmul(1, 64, 64, 64), 1e-3);
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(json.contains("\"backend\":\"sim\","), "expected serialized backend field");
+        let legacy = json.replace("\"backend\":\"sim\",", "");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, format!("{legacy}\n")).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.records()[0].backend, "sim");
+        assert_eq!(store.records()[0], record, "legacy line loads as an equal sim record");
         cleanup(&path);
     }
 

@@ -17,7 +17,7 @@ use crate::curve::TuningCurve;
 use crate::measure::{MeasureOutcome, RetryPolicy, SearchStats, TimeModel};
 use crate::mtl::Mtl;
 use pruner_cost::ModelSnapshot;
-use pruner_gpu::{FaultModel, GpuSpec, SimConfig};
+use pruner_gpu::GpuSpec;
 use pruner_ir::Workload;
 use pruner_psa::PsaConfig;
 use pruner_sketch::Program;
@@ -53,10 +53,13 @@ pub struct MeasurerCheckpoint {
     pub time: TimeModel,
     /// Retry/backoff policy.
     pub policy: RetryPolicy,
-    /// Simulator model constants (noise seed included).
-    pub sim: SimConfig,
-    /// The fault model installed on the simulator, if any.
-    pub fault: Option<FaultModel>,
+    /// Tag of the backend that wrote this checkpoint
+    /// ([`pruner_gpu::Backend::TAG`]); a resume must use the same backend.
+    pub backend_tag: String,
+    /// The backend's own serialized configuration
+    /// ([`pruner_gpu::Backend::checkpoint_config`]) — for the simulator,
+    /// its model constants and fault-injection setup.
+    pub backend_cfg: String,
     /// Measurement cache in sorted-key order.
     pub cache: Vec<(String, MeasureOutcome)>,
     /// The simulated-time ledger.
@@ -93,8 +96,10 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Current checkpoint format version.
-    pub const VERSION: u32 = 1;
+    /// Current checkpoint format version. Version 2 replaced the
+    /// measurer's inline simulator fields with a backend-tagged
+    /// configuration string, making checkpoints backend-generic.
+    pub const VERSION: u32 = 2;
 
     /// Serializes and atomically writes the checkpoint to `path`.
     pub fn save(&self, path: &Path) -> io::Result<()> {
@@ -130,7 +135,7 @@ impl Checkpoint {
 mod tests {
     use super::*;
     use crate::measure::Measurer;
-    use pruner_gpu::Simulator;
+    use pruner_gpu::{Backend, FaultModel, Simulator};
     use pruner_sketch::HardwareLimits;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -160,8 +165,12 @@ mod tests {
             measurer: MeasurerCheckpoint {
                 time: TimeModel::default(),
                 policy: RetryPolicy::default(),
-                sim: SimConfig::default(),
-                fault: Some(FaultModel::from_rate(9, 0.25)),
+                backend_tag: Simulator::TAG.to_string(),
+                backend_cfg: {
+                    let mut sim = Simulator::new(GpuSpec::t4());
+                    sim.set_fault_model(Some(FaultModel::from_rate(9, 0.25)));
+                    sim.checkpoint_config()
+                },
                 cache: measurer.cache_entries(),
                 stats: measurer.stats(),
                 attempts: 1,
@@ -181,7 +190,11 @@ mod tests {
         assert_eq!(back.next_round, 3);
         assert_eq!(back.tasks[0].quarantined, vec!["some-key".to_string()]);
         assert_eq!(back.measurer.stats, ckpt.measurer.stats);
-        assert_eq!(back.measurer.fault, ckpt.measurer.fault);
+        assert_eq!(back.measurer.backend_tag, "sim");
+        assert_eq!(back.measurer.backend_cfg, ckpt.measurer.backend_cfg);
+        let sim =
+            Simulator::from_checkpoint_config(&back.spec, &back.measurer.backend_cfg).unwrap();
+        assert_eq!(Simulator::fault_model(&sim), Some(&FaultModel::from_rate(9, 0.25)));
     }
 
     #[test]

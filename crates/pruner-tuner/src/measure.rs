@@ -1,6 +1,6 @@
 //! Measurement with caching, fault handling, and search-time accounting.
 
-use pruner_gpu::{FaultKind, Simulator};
+use pruner_gpu::{Backend, FaultKind, Simulator};
 use pruner_sketch::Program;
 use pruner_trace::{NoopRecorder, Record, Recorder};
 use serde::{Deserialize, Serialize};
@@ -283,12 +283,12 @@ impl SearchStats {
     }
 }
 
-/// Measures programs on the simulator, deduplicating repeats, retrying
-/// injected failures per [`RetryPolicy`], and accounting simulated search
-/// time.
+/// Measures programs on a [`Backend`] (the analytical simulator by
+/// default), deduplicating repeats, retrying injected failures per
+/// [`RetryPolicy`], and accounting simulated search time.
 #[derive(Debug, Clone)]
-pub struct Measurer {
-    sim: Simulator,
+pub struct Measurer<B: Backend = Simulator> {
+    backend: B,
     time: TimeModel,
     policy: RetryPolicy,
     cache: HashMap<String, MeasureOutcome>,
@@ -300,16 +300,28 @@ pub struct Measurer {
     attempts: u64,
 }
 
-impl Measurer {
-    /// Wraps a simulator with the default time model.
-    pub fn new(sim: Simulator) -> Measurer {
-        Measurer::with_time_model(sim, TimeModel::default())
+impl Measurer<Simulator> {
+    /// The underlying simulator (simulator-backed measurers only).
+    pub fn simulator(&self) -> &Simulator {
+        &self.backend
     }
 
-    /// Wraps a simulator with an explicit time model.
-    pub fn with_time_model(sim: Simulator, time: TimeModel) -> Measurer {
+    /// Mutable access to the simulator (e.g. to install a fault model).
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.backend
+    }
+}
+
+impl<B: Backend> Measurer<B> {
+    /// Wraps a measurement backend with the default time model.
+    pub fn new(backend: B) -> Measurer<B> {
+        Measurer::with_time_model(backend, TimeModel::default())
+    }
+
+    /// Wraps a measurement backend with an explicit time model.
+    pub fn with_time_model(backend: B, time: TimeModel) -> Measurer<B> {
         Measurer {
-            sim,
+            backend,
             time,
             policy: RetryPolicy::default(),
             cache: HashMap::new(),
@@ -320,24 +332,24 @@ impl Measurer {
 
     /// Rebuilds a measurer from checkpointed state.
     pub(crate) fn from_parts(
-        sim: Simulator,
+        backend: B,
         time: TimeModel,
         policy: RetryPolicy,
         cache: Vec<(String, MeasureOutcome)>,
         stats: SearchStats,
         attempts: u64,
-    ) -> Measurer {
-        Measurer { sim, time, policy, cache: cache.into_iter().collect(), stats, attempts }
+    ) -> Measurer<B> {
+        Measurer { backend, time, policy, cache: cache.into_iter().collect(), stats, attempts }
     }
 
-    /// The underlying simulator.
-    pub fn simulator(&self) -> &Simulator {
-        &self.sim
+    /// The measurement backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
-    /// Mutable access to the simulator (e.g. to install a fault model).
-    pub fn simulator_mut(&mut self) -> &mut Simulator {
-        &mut self.sim
+    /// Mutable access to the measurement backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// The time-cost constants in use.
@@ -410,7 +422,7 @@ impl Measurer {
             }
             let nonce = self.attempts;
             self.attempts += 1;
-            match self.sim.try_measure(prog, nonce, self.time.repeats) {
+            match self.backend.try_measure(prog, nonce, self.time.repeats) {
                 Err(kind) => {
                     let charged = self.record_fault(kind, 0.0);
                     if rec.enabled() {
@@ -477,7 +489,7 @@ impl Measurer {
         }
         let nonce = self.attempts;
         self.attempts += 1;
-        let m = self.sim.measure_dist(prog, nonce, self.time.repeats);
+        let m = self.backend.measure_dist(prog, nonce, self.time.repeats);
         self.stats.trials += 1;
         self.stats.measure_time_s +=
             self.time.compile_s + self.time.measure_overhead_s + m.mean_s * self.time.repeats as f64;

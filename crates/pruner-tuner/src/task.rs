@@ -170,11 +170,11 @@ impl TaskTuner {
     /// inference all fan out over `params.threads` workers; `rng` is only
     /// consumed by the (cheap, sequential) ε-retention draw, so the
     /// proposal is bit-identical at any thread count.
-    pub fn propose(
+    pub fn propose<B: pruner_gpu::Backend>(
         &mut self,
         model: &dyn CostModel,
         psa: Option<&Psa>,
-        measurer: &mut Measurer,
+        measurer: &mut Measurer<B>,
         limits: &HardwareLimits,
         params: &ProposeParams,
         rng: &mut ChaCha8Rng,
@@ -190,11 +190,11 @@ impl TaskTuner {
     /// PSA and inference wrappers. With a [`pruner_trace::NoopRecorder`]
     /// this *is* `propose` — no clock is read and no event is built.
     #[allow(clippy::too_many_arguments)]
-    pub fn propose_traced(
+    pub fn propose_traced<B: pruner_gpu::Backend>(
         &mut self,
         model: &dyn CostModel,
         psa: Option<&Psa>,
-        measurer: &mut Measurer,
+        measurer: &mut Measurer<B>,
         limits: &HardwareLimits,
         params: &ProposeParams,
         rng: &mut ChaCha8Rng,

@@ -6,7 +6,7 @@ use crate::measure::{MeasureOutcome, Measurer, RetryPolicy, SearchStats, TimeMod
 use crate::mtl::Mtl;
 use crate::task::{ProposeParams, TaskTuner};
 use pruner_cost::{CostModel, ModelKind, PacmModel, Sample};
-use pruner_gpu::{FaultModel, GpuSpec, Simulator};
+use pruner_gpu::{Backend, FaultModel, GpuSpec, Simulator};
 use pruner_ir::{Network, Workload};
 use pruner_psa::{Psa, PsaConfig};
 use pruner_store::{RecordOutcome, Store, TuningRecord};
@@ -163,11 +163,15 @@ pub struct TuningResult {
 /// from its (optionally PSA-pruned) space, the best-scored candidates are
 /// measured, and the cost model is updated — by plain fitting, or by an MTL
 /// round when configured.
-pub struct Tuner {
+///
+/// The tuner is generic over the measurement [`Backend`]; the default is
+/// the analytical [`Simulator`], and every constructor without an explicit
+/// backend builds a simulator-backed campaign.
+pub struct Tuner<B: Backend = Simulator> {
     cfg: TunerConfig,
     spec: GpuSpec,
     psa_cfg: PsaConfig,
-    measurer: Measurer,
+    measurer: Measurer<B>,
     psa: Option<Psa>,
     limits: pruner_sketch::HardwareLimits,
     tasks: Vec<TaskTuner>,
@@ -186,21 +190,56 @@ pub struct Tuner {
 }
 
 impl Tuner {
-    /// Creates a tuner for one platform.
+    /// Creates a simulator-backed tuner for one platform.
     pub fn new(spec: GpuSpec, cfg: TunerConfig, setup: ModelSetup) -> Tuner {
         Self::with_psa_config(spec, cfg, setup, PsaConfig::default())
     }
 
-    /// Creates a tuner with explicit PSA penalty toggles (ablations).
+    /// Creates a simulator-backed tuner with explicit PSA penalty toggles
+    /// (ablations).
     pub fn with_psa_config(
         spec: GpuSpec,
         cfg: TunerConfig,
         setup: ModelSetup,
         psa_cfg: PsaConfig,
     ) -> Tuner {
-        let mut sim = Simulator::new(spec.clone());
+        let sim = Simulator::new(spec.clone());
+        Tuner::with_backend(spec, cfg, setup, psa_cfg, sim)
+    }
+
+    /// Restores a simulator-backed campaign from a checkpoint file. The
+    /// resumed campaign continues from the first unfinished round and
+    /// produces a byte-identical [`TuningResult`] to the uninterrupted run.
+    pub fn resume<P: AsRef<Path>>(path: P) -> std::io::Result<Tuner> {
+        Tuner::resume_backend(path)
+    }
+
+    /// Rebuilds a simulator-backed tuner from an in-memory checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint was written by a different backend or its
+    /// backend configuration is corrupt; [`Tuner::from_checkpoint_backend`]
+    /// is the fallible form.
+    pub fn from_checkpoint(ckpt: Checkpoint) -> Tuner {
+        Tuner::from_checkpoint_backend(ckpt).expect("checkpoint backend mismatch")
+    }
+}
+
+impl<B: Backend> Tuner<B> {
+    /// Creates a tuner measuring through an explicit [`Backend`].
+    ///
+    /// `cfg.fault_rate` is installed through
+    /// [`Backend::install_fault_model`]; backends that measure real
+    /// hardware ignore it (their faults are real, not injected).
+    pub fn with_backend(
+        spec: GpuSpec,
+        cfg: TunerConfig,
+        setup: ModelSetup,
+        psa_cfg: PsaConfig,
+        mut backend: B,
+    ) -> Tuner<B> {
         if cfg.fault_rate > 0.0 {
-            sim.set_fault_model(Some(FaultModel::from_rate(
+            backend.install_fault_model(Some(FaultModel::from_rate(
                 cfg.seed ^ FAULT_SEED_SALT,
                 cfg.fault_rate,
             )));
@@ -215,7 +254,7 @@ impl Tuner {
                 (Box::new(pretrained), Some(mtl))
             }
         };
-        let mut measurer = Measurer::new(sim);
+        let mut measurer = Measurer::new(backend);
         measurer
             .set_retry_policy(RetryPolicy { max_retries: cfg.max_retries, ..RetryPolicy::default() });
         Tuner {
@@ -251,24 +290,35 @@ impl Tuner {
         self.checkpoint_path = Some(path.into());
     }
 
-    /// Restores a campaign from a checkpoint file. The resumed campaign
-    /// continues from the first unfinished round and produces a
-    /// byte-identical [`TuningResult`] to the uninterrupted run.
-    pub fn resume<P: AsRef<Path>>(path: P) -> std::io::Result<Tuner> {
+    /// Restores a campaign from a checkpoint file, rebuilding this
+    /// backend type from the checkpoint's embedded backend configuration.
+    /// Fails if the checkpoint was written by a different backend.
+    pub fn resume_backend<P: AsRef<Path>>(path: P) -> std::io::Result<Tuner<B>> {
         let ckpt = Checkpoint::load(path.as_ref())?;
-        Ok(Tuner::from_checkpoint(ckpt))
+        Tuner::from_checkpoint_backend(ckpt)
     }
 
-    /// Rebuilds a tuner from an in-memory checkpoint.
-    pub fn from_checkpoint(ckpt: Checkpoint) -> Tuner {
+    /// Rebuilds a tuner from an in-memory checkpoint. Fails if the
+    /// checkpoint's backend tag does not match `B` or its backend
+    /// configuration does not parse.
+    pub fn from_checkpoint_backend(ckpt: Checkpoint) -> std::io::Result<Tuner<B>> {
+        if ckpt.measurer.backend_tag != B::TAG {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint was written by backend `{}`, not `{}`",
+                    ckpt.measurer.backend_tag,
+                    B::TAG
+                ),
+            ));
+        }
+        let backend = B::from_checkpoint_config(&ckpt.spec, &ckpt.measurer.backend_cfg)?;
         let cfg = ckpt.config;
-        let mut sim = Simulator::with_config(ckpt.spec.clone(), ckpt.measurer.sim.clone());
-        sim.set_fault_model(ckpt.measurer.fault);
         let limits = ckpt.spec.limits();
         let psa =
             cfg.use_psa.then(|| Psa::with_config(ckpt.spec.clone(), ckpt.psa_cfg));
         let measurer = Measurer::from_parts(
-            sim,
+            backend,
             ckpt.measurer.time,
             ckpt.measurer.policy,
             ckpt.measurer.cache,
@@ -291,7 +341,7 @@ impl Tuner {
             .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         rng.set_word_offset(ckpt.rng_word_offset);
-        Tuner {
+        Ok(Tuner {
             cfg,
             spec: ckpt.spec,
             psa_cfg: ckpt.psa_cfg,
@@ -309,7 +359,7 @@ impl Tuner {
             store: None,
             warm_start: false,
             store_seeded: HashSet::new(),
-        }
+        })
     }
 
     /// Installs a [`Recorder`] for the campaign (e.g. a cloned
@@ -377,8 +427,8 @@ impl Tuner {
             measurer: MeasurerCheckpoint {
                 time: *self.measurer.time_model(),
                 policy: *self.measurer.retry_policy(),
-                sim: self.measurer.simulator().config().clone(),
-                fault: self.measurer.simulator().fault_model().copied(),
+                backend_tag: B::TAG.to_string(),
+                backend_cfg: self.measurer.backend().checkpoint_config(),
                 cache: self.measurer.cache_entries(),
                 stats: self.measurer.stats(),
                 attempts: self.measurer.attempts(),
@@ -429,16 +479,21 @@ impl Tuner {
 
         self.recorder.span_begin("campaign");
         if self.recorder.enabled() {
-            self.recorder.emit(
-                Record::new("campaign_begin")
-                    .u64("tasks", self.tasks.len() as u64)
-                    .u64("rounds", self.cfg.rounds as u64)
-                    .u64("seed", self.cfg.seed)
-                    .u64("space_size", self.cfg.space_size as u64)
-                    .u64("measure_per_round", self.cfg.measure_per_round as u64)
-                    .bool("use_psa", self.cfg.use_psa)
-                    .f64("fault_rate", self.cfg.fault_rate),
-            );
+            let mut begin = Record::new("campaign_begin")
+                .u64("tasks", self.tasks.len() as u64)
+                .u64("rounds", self.cfg.rounds as u64)
+                .u64("seed", self.cfg.seed)
+                .u64("space_size", self.cfg.space_size as u64)
+                .u64("measure_per_round", self.cfg.measure_per_round as u64)
+                .bool("use_psa", self.cfg.use_psa)
+                .f64("fault_rate", self.cfg.fault_rate);
+            // Simulator campaigns keep the historical record shape (the
+            // trace golden pins it byte for byte); other backends announce
+            // themselves.
+            if B::TAG != "sim" {
+                begin = begin.str("backend", B::TAG);
+            }
+            self.recorder.emit(begin);
             if self.start_round > 0 {
                 self.recorder
                     .emit(Record::new("resume").u64("next_round", self.start_round as u64));
@@ -664,7 +719,7 @@ impl Tuner {
             self.tasks.iter().enumerate().map(|(i, t)| (t.workload.key(), i)).collect();
         let workloads: HashSet<String> = by_workload.keys().cloned().collect();
         let Some(store) = &self.store else { return };
-        let replay = store.replay(&spec_fp, &workloads);
+        let replay = store.replay_backend(B::TAG, &spec_fp, &workloads);
         let matched = replay.records.len();
         let (spec_mismatches, workload_mismatches) =
             (replay.spec_mismatches, replay.workload_mismatches);
@@ -728,7 +783,8 @@ impl Tuner {
             return;
         }
         let Some(outcome) = self.measurer.cached_outcome(prog) else { return };
-        if store.append(TuningRecord::new(&self.spec, prog.clone(), outcome.into())) {
+        if store.append(TuningRecord::with_backend(&self.spec, B::TAG, prog.clone(), outcome.into()))
+        {
             self.recorder.counter("store.appended", 1);
         }
     }

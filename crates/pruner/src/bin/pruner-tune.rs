@@ -15,8 +15,19 @@ use pruner::tuner::TunerConfig;
 use pruner::Pruner;
 use std::process::ExitCode;
 
+/// Which measurement backend a campaign runs on.
+#[derive(Clone, Copy, PartialEq)]
+enum BackendChoice {
+    /// The analytical GPU simulator (default).
+    Sim,
+    /// The executable CPU backend: candidates actually run, latency is
+    /// wall-clock time.
+    Cpu,
+}
+
 struct Args {
     platform: GpuSpec,
+    backend: BackendChoice,
     network: Option<Network>,
     workloads: Vec<Workload>,
     trials: usize,
@@ -43,6 +54,7 @@ pruner-tune: tune tensor programs on a simulated GPU
 
 USAGE:
     pruner-tune --platform <p> (--network <name> | --matmul B,M,N,K | --conv2d N,C,H,W,CO,K,S,P)...
+                [--backend sim|cpu]
                 [--trials N] [--seed N] [--threads N] [--model <m>] [--no-psa]
                 [--fault-rate R] [--max-retries N]
                 [--checkpoint file.json] [--checkpoint-every N] [--halt-after N]
@@ -56,6 +68,12 @@ USAGE:
 
 OPTIONS:
     --platform <p>        k80 | t4 | titanv | a100 | orin
+    --backend <b>         sim | cpu [default: sim]. `sim` measures on the
+                          analytical GPU simulator; `cpu` actually executes
+                          every candidate on the host CPU and reports wall
+                          time (see docs/FIDELITY.md; worker threads come
+                          from PRUNER_CPU_THREADS). --fault-rate only
+                          applies to `sim`
     --network <name>      R-50 WR-50 I-V3 D-121 MB-V2 ViT DL-V3 DeTR B-base B-tiny R3D-18
     --matmul B,M,N,K      add a matmul task (repeatable)
     --conv2d N,C,H,W,CO,K,S,P  add a conv2d task (repeatable)
@@ -119,6 +137,7 @@ fn parse_u64_list(s: &str, n: usize, flag: &str) -> Result<Vec<u64>, String> {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         platform: GpuSpec::t4(),
+        backend: BackendChoice::Sim,
         network: None,
         workloads: Vec::new(),
         trials: 800,
@@ -151,6 +170,13 @@ fn parse_args() -> Result<Args, String> {
                 args.platform =
                     GpuSpec::by_name(&v).ok_or_else(|| format!("unknown platform `{v}`"))?;
                 saw_platform = true;
+            }
+            "--backend" => {
+                args.backend = match value("--backend")?.as_str() {
+                    "sim" => BackendChoice::Sim,
+                    "cpu" => BackendChoice::Cpu,
+                    other => return Err(format!("--backend expects sim|cpu, got `{other}`")),
+                }
             }
             "--network" => {
                 let v = value("--network")?;
@@ -254,7 +280,33 @@ fn parse_args() -> Result<Args, String> {
             return Err("give --network or at least one --matmul/--conv2d".into());
         }
     }
+    if args.backend == BackendChoice::Cpu && args.fault_rate > 0.0 {
+        return Err("--fault-rate applies only to --backend sim (cpu faults are real)".into());
+    }
     Ok(args)
+}
+
+/// Applies the resume-time flags (new checkpoint path, trace recorder,
+/// record store) and runs a restored campaign, for either backend.
+fn run_resumed<B: pruner::gpu::Backend>(
+    mut pruner: Pruner<B>,
+    args: &Args,
+    trace: &Option<pruner::trace::TraceHandle>,
+) -> Result<pruner::tuner::TuningResult, String> {
+    if let Some(path) = &args.checkpoint {
+        pruner.tuner_mut().set_checkpoint_path(path.clone());
+    }
+    if let Some(trace) = trace {
+        pruner.tuner_mut().set_recorder(Box::new(trace.clone()));
+    }
+    if let Some(path) = &args.store {
+        // Resumed campaigns never replay (they continue mid-search);
+        // the store keeps recording fresh verdicts.
+        let store = pruner::store::Store::open(path)
+            .map_err(|e| format!("error opening store {path}: {e}"))?;
+        pruner.tuner_mut().set_store(store, args.warm_start);
+    }
+    Ok(pruner.tune())
 }
 
 /// `pruner-tune records <mode>` — inspect/compact/export a tuning-record
@@ -400,33 +452,28 @@ fn main() -> ExitCode {
 
     let result = if let Some(ckpt) = &args.resume {
         println!("resuming : {ckpt}");
-        let mut pruner = match Pruner::resume(ckpt) {
-            Ok(p) => p,
+        // The checkpoint embeds its backend tag; resuming with the wrong
+        // --backend fails cleanly instead of silently switching meters.
+        let run = match args.backend {
+            BackendChoice::Sim => Pruner::resume(ckpt)
+                .map_err(|e| format!("error resuming from {ckpt}: {e}"))
+                .and_then(|p| run_resumed(p, &args, &trace)),
+            BackendChoice::Cpu => Pruner::resume_cpu(ckpt)
+                .map_err(|e| format!("error resuming from {ckpt}: {e}"))
+                .and_then(|p| run_resumed(p, &args, &trace)),
+        };
+        match run {
+            Ok(result) => result,
             Err(e) => {
-                eprintln!("error resuming from {ckpt}: {e}");
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
-        };
-        if let Some(path) = &args.checkpoint {
-            pruner.tuner_mut().set_checkpoint_path(path.clone());
         }
-        if let Some(trace) = &trace {
-            pruner.tuner_mut().set_recorder(Box::new(trace.clone()));
-        }
-        if let Some(path) = &args.store {
-            // Resumed campaigns never replay (they continue mid-search);
-            // the store keeps recording fresh verdicts.
-            match pruner::store::Store::open(path) {
-                Ok(store) => pruner.tuner_mut().set_store(store, args.warm_start),
-                Err(e) => {
-                    eprintln!("error opening store {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        pruner.tune()
     } else {
         println!("platform : {}", args.platform);
+        if args.backend == BackendChoice::Cpu {
+            println!("backend  : cpu (executable; latencies are host wall time)");
+        }
         let mut builder = Pruner::builder(args.platform.clone())
             .config(TunerConfig::default())
             .model(args.model)
@@ -466,7 +513,10 @@ fn main() -> ExitCode {
             println!("workload : {wl}");
             builder = builder.workload(wl.clone());
         }
-        builder.build().tune()
+        match args.backend {
+            BackendChoice::Sim => builder.build().tune(),
+            BackendChoice::Cpu => builder.build_cpu().tune(),
+        }
     };
     println!(
         "\nbest latency : {:.4} ms   ({} trials, {:.0} simulated search seconds)",
@@ -550,7 +600,8 @@ mod tests {
     #[test]
     fn usage_mentions_every_flag() {
         for flag in
-            ["--platform", "--network", "--matmul", "--conv2d", "--trials", "--seed", "--threads",
+            ["--platform", "--backend", "--network", "--matmul", "--conv2d", "--trials", "--seed",
+             "--threads",
              "--model", "--no-psa", "--fault-rate", "--max-retries", "--checkpoint",
              "--checkpoint-every", "--halt-after", "--resume", "--show-schedules", "--output",
              "--trace-out", "--report", "--store", "--warm-start"]

@@ -48,6 +48,7 @@ pub mod model_io;
 
 pub use pruner_cost as cost;
 pub use pruner_dataset as dataset;
+pub use pruner_exec as exec;
 pub use pruner_features as features;
 pub use pruner_gpu as gpu;
 pub use pruner_ir as ir;
@@ -59,7 +60,8 @@ pub use pruner_trace as trace;
 pub use pruner_tuner as tuner;
 
 use pruner_cost::{CostModel, ModelKind, PacmModel};
-use pruner_gpu::GpuSpec;
+use pruner_exec::CpuExec;
+use pruner_gpu::{Backend, GpuSpec, Simulator};
 use pruner_ir::{Network, Workload};
 use pruner_psa::PsaConfig;
 use pruner_tuner::{ModelSetup, Tuner, TunerConfig, TuningResult};
@@ -67,9 +69,12 @@ use pruner_tuner::{ModelSetup, Tuner, TunerConfig, TuningResult};
 /// High-level entry point: configure a tuning campaign fluently.
 ///
 /// Wraps [`tuner::Tuner`] with the paper's defaults (PSA pruning on,
-/// PaCM trained online, 2,000 trials).
-pub struct Pruner {
-    tuner: Tuner,
+/// PaCM trained online, 2,000 trials). Campaigns measure through the
+/// analytical simulator by default; [`PrunerBuilder::build_cpu`] swaps in
+/// the executable CPU backend ([`exec::CpuExec`]) with no other change to
+/// the pipeline.
+pub struct Pruner<B: Backend = Simulator> {
+    tuner: Tuner<B>,
 }
 
 impl Pruner {
@@ -88,21 +93,32 @@ impl Pruner {
         }
     }
 
-    /// Restores a campaign from a checkpoint file written during a
-    /// previous (interrupted) run. The resumed campaign continues from
-    /// the first unfinished round and produces a byte-identical result to
-    /// the uninterrupted run.
+    /// Restores a simulator-backed campaign from a checkpoint file written
+    /// during a previous (interrupted) run. The resumed campaign continues
+    /// from the first unfinished round and produces a byte-identical result
+    /// to the uninterrupted run.
     pub fn resume<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Pruner> {
         Ok(Pruner { tuner: Tuner::resume(path)? })
     }
+}
 
+impl Pruner<CpuExec> {
+    /// Restores a campaign checkpointed by the executable CPU backend.
+    /// Fails with `InvalidData` if the checkpoint was written by a
+    /// different backend.
+    pub fn resume_cpu<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Pruner<CpuExec>> {
+        Ok(Pruner { tuner: Tuner::resume_backend(path)? })
+    }
+}
+
+impl<B: Backend> Pruner<B> {
     /// Runs the campaign.
     pub fn tune(mut self) -> TuningResult {
         self.tuner.run()
     }
 
     /// Access to the underlying tuner (advanced instrumentation).
-    pub fn tuner_mut(&mut self) -> &mut Tuner {
+    pub fn tuner_mut(&mut self) -> &mut Tuner<B> {
         &mut self.tuner
     }
 }
@@ -282,19 +298,46 @@ impl PrunerBuilder {
         self
     }
 
-    /// Builds the tuner.
+    /// Builds a simulator-backed tuner.
     ///
     /// # Panics
     /// Panics if no workload or network was added, or if an attached
     /// store file exists but cannot be read.
     pub fn build(self) -> Pruner {
+        let backend = Simulator::new(self.spec.clone());
+        self.build_with(backend)
+    }
+
+    /// Builds a tuner measuring on the executable CPU backend: candidate
+    /// programs are actually run (see [`exec::CpuExec`]) and latency is
+    /// wall-clock time, while sampling, PSA pruning, the cost model and
+    /// the store/checkpoint plumbing stay exactly as in [`build`].
+    ///
+    /// [`build`]: PrunerBuilder::build
+    ///
+    /// # Panics
+    /// Same conditions as [`build`](PrunerBuilder::build).
+    pub fn build_cpu(self) -> Pruner<CpuExec> {
+        let backend = CpuExec::new(self.spec.clone());
+        self.build_with(backend)
+    }
+
+    /// [`build_cpu`](PrunerBuilder::build_cpu) with explicit executor
+    /// configuration (thread cap, timer settings).
+    pub fn build_cpu_config(self, cfg: pruner_exec::CpuExecConfig) -> Pruner<CpuExec> {
+        let backend = CpuExec::with_config(self.spec.clone(), cfg);
+        self.build_with(backend)
+    }
+
+    fn build_with<B: Backend>(self, backend: B) -> Pruner<B> {
         assert!(!self.tasks.is_empty(), "add a workload or network before building");
         let setup = match self.setup {
             Setup::Fresh(kind) => ModelSetup::Fresh(kind),
             Setup::Offline(model) => ModelSetup::Offline(model),
             Setup::Mtl { pretrained, momentum } => ModelSetup::Mtl { pretrained, momentum },
         };
-        let mut tuner = Tuner::with_psa_config(self.spec, self.config, setup, self.psa_config);
+        let mut tuner =
+            Tuner::with_backend(self.spec, self.config, setup, self.psa_config, backend);
         for (wl, weight) in self.tasks {
             tuner.add_task(wl, weight);
         }
@@ -394,6 +437,31 @@ mod tests {
         assert!(warm.stats.trials <= cold.stats.trials);
         assert!(warm.best_latency_s <= cold.best_latency_s);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_cpu_runs_a_tiny_campaign() {
+        let cfg = exec::CpuExecConfig {
+            threads: 2,
+            timer: exec::TimerConfig {
+                samples: 2,
+                min_window_s: 1e-5,
+                ..exec::TimerConfig::default()
+            },
+        };
+        let result = Pruner::builder(GpuSpec::t4())
+            .workload(Workload::matmul(1, 48, 48, 48))
+            .config(TunerConfig { rounds: 2, ..TunerConfig::quick() })
+            .seed(7)
+            .build_cpu_config(cfg)
+            .tune();
+        assert!(result.best_latency_s > 0.0, "wall-clock latency must be positive");
+        // 2 rounds x 4 measures, plus the per-task warm-up measurement.
+        assert!(
+            result.stats.trials >= 1 && result.stats.trials <= 9,
+            "trial count out of range: {}",
+            result.stats.trials
+        );
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Helpers shared by the repo-root integration suites. Each `[[test]]`
+//! target compiles this module independently, so not every suite uses
+//! every helper.
+#![allow(dead_code)]
+
+use pruner::gpu::Backend;
+use pruner::ir::Workload;
+use pruner::sketch::Program;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Best latency over `samples` sampled programs (plus the fallback) for
+/// one workload on any measurement backend — the cheap stand-in for a
+/// tuned latency that the physical-sanity and differential suites use.
+pub fn best_of<B: Backend>(backend: &B, wl: &Workload, samples: usize, seed: u64) -> f64 {
+    let limits = backend.spec().limits();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| backend.latency(&Program::sample(wl, &limits, &mut rng)))
+        .fold(backend.latency(&Program::fallback(wl)), f64::min)
+}
