@@ -41,9 +41,11 @@ mod backend;
 mod fault;
 mod sim;
 mod spec;
+mod stall;
 pub mod vendor;
 
 pub use backend::Backend;
 pub use fault::{FaultDraw, FaultKind, FaultModel, Measurement};
 pub use sim::{quick_latency, SimConfig, Simulator};
 pub use spec::GpuSpec;
+pub use stall::{StallBackend, StallControl};

@@ -1,0 +1,211 @@
+//! A hang-injecting backend wrapper for watchdog testing.
+//!
+//! [`StallBackend`] decorates any [`Backend`] and, exactly once, blocks a
+//! configured measurement call for a configured host duration — modeling
+//! a hung RPC measurement worker, the one failure class the retry loop
+//! cannot see (no error returns; the call simply never ends). The
+//! *values* produced are untouched: once the stall finishes (or is never
+//! armed), every measurement is the inner backend's, so a campaign
+//! stalled and restarted by a supervisor is byte-identical to one that
+//! never stalled.
+
+use crate::backend::Backend;
+use crate::fault::{FaultKind, FaultModel, Measurement};
+use crate::spec::GpuSpec;
+use pruner_sketch::Program;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct StallState {
+    /// 0-based index of the measurement call to stall on (`u64::MAX`
+    /// disarms).
+    at_call: AtomicU64,
+    /// How long the stalled call sleeps, milliseconds.
+    stall_ms: AtomicU64,
+    /// Set once the stall has fired; it never fires twice.
+    fired: AtomicBool,
+    /// Measurement calls seen so far.
+    calls: AtomicU64,
+}
+
+/// Shared remote control of a [`StallBackend`]: the test (or supervisor
+/// harness) keeps one clone while the backend — possibly moved into a
+/// worker thread — carries another.
+#[derive(Debug, Clone, Default)]
+pub struct StallControl {
+    state: Arc<StallState>,
+}
+
+impl StallControl {
+    /// Arms a one-shot stall: the `at_call`-th measurement call (0-based,
+    /// counting both trusted and faultable attempts) sleeps for `stall`
+    /// before proceeding.
+    pub fn new(at_call: u64, stall: Duration) -> StallControl {
+        let control = StallControl::default();
+        control.state.at_call.store(at_call, Ordering::SeqCst);
+        control.state.stall_ms.store(stall.as_millis() as u64, Ordering::SeqCst);
+        control
+    }
+
+    /// A control that never stalls (what a checkpoint restore gets: the
+    /// hang is a host-side event, not campaign state).
+    pub fn disarmed() -> StallControl {
+        StallControl::new(u64::MAX, Duration::ZERO)
+    }
+
+    /// Whether the stall has fired.
+    pub fn fired(&self) -> bool {
+        self.state.fired.load(Ordering::SeqCst)
+    }
+
+    /// Measurement calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.state.calls.load(Ordering::SeqCst)
+    }
+
+    /// Counts one measurement call and blocks it if it is the armed one.
+    fn maybe_stall(&self) {
+        let call = self.state.calls.fetch_add(1, Ordering::SeqCst);
+        if call == self.state.at_call.load(Ordering::SeqCst)
+            && !self.state.fired.swap(true, Ordering::SeqCst)
+        {
+            std::thread::sleep(Duration::from_millis(self.state.stall_ms.load(Ordering::SeqCst)));
+        }
+    }
+}
+
+/// A [`Backend`] decorator that injects one host-time hang; see the
+/// module docs. Shares [`Backend::TAG`] with the inner backend — the
+/// measurements *are* the inner backend's, so store records and
+/// checkpoints stay in the same namespace and a stalled campaign's
+/// checkpoint resumes on the plain backend.
+#[derive(Debug, Clone)]
+pub struct StallBackend<B: Backend> {
+    inner: B,
+    control: StallControl,
+}
+
+impl<B: Backend> StallBackend<B> {
+    /// Wraps `inner`, stalling per `control`.
+    pub fn new(inner: B, control: StallControl) -> StallBackend<B> {
+        StallBackend { inner, control }
+    }
+
+    /// The shared stall control.
+    pub fn control(&self) -> &StallControl {
+        &self.control
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: Backend> Backend for StallBackend<B> {
+    // Measurements are value-identical to the inner backend's, so they
+    // share its tag (and therefore its store/checkpoint namespace).
+    const TAG: &'static str = B::TAG;
+
+    fn spec(&self) -> &GpuSpec {
+        self.inner.spec()
+    }
+
+    fn latency(&self, prog: &Program) -> f64 {
+        self.inner.latency(prog)
+    }
+
+    fn measure_dist(&self, prog: &Program, nonce: u64, repeats: u32) -> Measurement {
+        self.control.maybe_stall();
+        self.inner.measure_dist(prog, nonce, repeats)
+    }
+
+    fn try_measure(
+        &self,
+        prog: &Program,
+        nonce: u64,
+        repeats: u32,
+    ) -> Result<Measurement, FaultKind> {
+        self.control.maybe_stall();
+        self.inner.try_measure(prog, nonce, repeats)
+    }
+
+    fn install_fault_model(&mut self, fault: Option<FaultModel>) {
+        self.inner.install_fault_model(fault);
+    }
+
+    fn fault_model(&self) -> Option<&FaultModel> {
+        self.inner.fault_model()
+    }
+
+    fn checkpoint_config(&self) -> String {
+        self.inner.checkpoint_config()
+    }
+
+    fn from_checkpoint_config(spec: &GpuSpec, cfg: &str) -> std::io::Result<Self> {
+        // The stall is host-side test apparatus, not campaign state: a
+        // restored backend never re-stalls.
+        Ok(StallBackend { inner: B::from_checkpoint_config(spec, cfg)?, control: StallControl::disarmed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use pruner_sketch::HardwareLimits;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    fn prog() -> Program {
+        let wl = pruner_ir::Workload::matmul(1, 256, 256, 256);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        Program::sample(&wl, &HardwareLimits::default(), &mut rng)
+    }
+
+    #[test]
+    fn measurements_are_value_identical_to_the_inner_backend() {
+        let sim = Simulator::new(GpuSpec::t4());
+        let wrapped = StallBackend::new(sim.clone(), StallControl::disarmed());
+        let p = prog();
+        assert_eq!(Backend::try_measure(&wrapped, &p, 3, 8), sim.try_measure(&p, 3, 8));
+        assert_eq!(Backend::measure_dist(&wrapped, &p, 4, 8), sim.measure_dist(&p, 4, 8));
+        assert_eq!(Backend::latency(&wrapped, &p), sim.latency(&p));
+        assert_eq!(wrapped.tag(), "sim", "a stalled sim is still a sim");
+        assert_eq!(wrapped.control().calls(), 2, "both measurement paths are counted");
+        assert!(!wrapped.control().fired());
+    }
+
+    #[test]
+    fn stall_fires_exactly_once_at_the_armed_call() {
+        let control = StallControl::new(1, Duration::from_millis(120));
+        let wrapped = StallBackend::new(Simulator::new(GpuSpec::t4()), control.clone());
+        let p = prog();
+        let quick = Instant::now();
+        let _ = Backend::try_measure(&wrapped, &p, 0, 4);
+        assert!(quick.elapsed() < Duration::from_millis(100), "call 0 is not armed");
+        let slow = Instant::now();
+        let _ = Backend::try_measure(&wrapped, &p, 1, 4);
+        assert!(slow.elapsed() >= Duration::from_millis(120), "call 1 must hang");
+        assert!(control.fired());
+        let again = Instant::now();
+        let _ = Backend::try_measure(&wrapped, &p, 2, 4);
+        assert!(again.elapsed() < Duration::from_millis(100), "the stall is one-shot");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_disarms_the_stall() {
+        let wrapped = StallBackend::new(
+            Simulator::new(GpuSpec::t4()),
+            StallControl::new(0, Duration::from_secs(60)),
+        );
+        let cfg = wrapped.checkpoint_config();
+        let restored: StallBackend<Simulator> =
+            StallBackend::from_checkpoint_config(&GpuSpec::t4(), &cfg).unwrap();
+        let start = Instant::now();
+        let _ = Backend::try_measure(&restored, &prog(), 0, 4);
+        assert!(start.elapsed() < Duration::from_secs(1), "restored backends never stall");
+    }
+}

@@ -59,6 +59,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod iofault;
+
+pub use iofault::{write_atomic_durable, IoFaultKind, IoFaultModel, IoFaults};
+
 use pruner_gpu::{FaultKind, GpuSpec};
 use pruner_sketch::Program;
 use serde::{Deserialize, Serialize};
@@ -239,6 +243,7 @@ pub struct Store {
     keys: HashSet<String>,
     replay: ReplayStats,
     appended: usize,
+    io_faults: Option<IoFaults>,
 }
 
 /// Minimal probe used to classify lines that fail to parse as a full
@@ -253,14 +258,18 @@ impl Store {
     /// Opens the store at `path`, loading every valid record. A missing
     /// file yields an empty store (it is created on first [`Store::flush`]).
     ///
-    /// Damaged content is never fatal: unparseable lines, unknown schema
-    /// versions, internally inconsistent fingerprints and duplicate keys
-    /// are skipped and counted in [`Store::replay_stats`]. Only real I/O
-    /// errors (e.g. permissions) are returned as `Err`.
+    /// Damaged content is never fatal: unparseable lines, invalid UTF-8,
+    /// unknown schema versions, internally inconsistent fingerprints and
+    /// duplicate keys are skipped and counted in [`Store::replay_stats`].
+    /// Only real I/O errors (e.g. permissions) are returned as `Err`.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
         let path = path.as_ref().to_path_buf();
-        let text = match fs::read_to_string(&path) {
-            Ok(text) => text,
+        let text = match fs::read(&path) {
+            // Lossy decoding: a flipped byte must damage one line, not
+            // render the whole log unreadable. The replacement character
+            // it introduces fails JSON parsing below and is counted as a
+            // corrupt line like any other damage.
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
             Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
         };
@@ -270,6 +279,7 @@ impl Store {
             keys: HashSet::new(),
             replay: ReplayStats::default(),
             appended: 0,
+            io_faults: None,
         };
         for line in text.lines() {
             let line = line.trim();
@@ -395,18 +405,22 @@ impl Store {
         replay
     }
 
-    /// Persists the full deduplicated log atomically: renders every live
-    /// record as one JSON line into a `.tmp` sibling, then renames it over
-    /// `path` — the same tmp+rename discipline as campaign checkpoints and
-    /// the trace sink. Re-flushing an opened store also *compacts* it:
+    /// Installs a seeded I/O fault injector: every subsequent
+    /// [`Store::flush`] draws from it and may fail with a typed, injected
+    /// error that leaves the on-disk log intact. Chaos harnesses use this
+    /// to prove the supervisor recovers from persistence failures.
+    pub fn set_io_faults(&mut self, faults: Option<IoFaults>) {
+        self.io_faults = faults;
+    }
+
+    /// Persists the full deduplicated log atomically and durably via
+    /// [`write_atomic_durable`]: renders every live record as one JSON
+    /// line into a `.tmp` sibling, fsyncs it, renames it over `path`, and
+    /// fsyncs the parent directory — the same discipline as campaign
+    /// checkpoints. Re-flushing an opened store also *compacts* it:
     /// duplicates and damaged lines that were skipped on load are not
     /// rewritten.
     pub fn flush(&self) -> io::Result<()> {
-        if let Some(parent) = self.path.parent() {
-            if !parent.as_os_str().is_empty() {
-                fs::create_dir_all(parent)?;
-            }
-        }
         let mut text = String::new();
         for record in &self.records {
             let line = serde_json::to_string(record)
@@ -414,9 +428,7 @@ impl Store {
             text.push_str(&line);
             text.push('\n');
         }
-        let tmp = self.path.with_extension("jsonl.tmp");
-        fs::write(&tmp, text)?;
-        fs::rename(&tmp, &self.path)
+        write_atomic_durable(&self.path, &text, self.io_faults.as_ref())
     }
 }
 

@@ -1,0 +1,129 @@
+//! Property tests: a damaged store log never takes the campaign down.
+//!
+//! The store is the only file the stack appends to across campaigns, so
+//! it is the file most exposed to crashes: a kill mid-append leaves a
+//! truncated tail, a disk error can flip bytes anywhere. [`Store::open`]
+//! must degrade — recover every record whose line survived intact, count
+//! the damage in [`ReplayStats`], and never return an error for a file
+//! that merely lost data.
+
+use proptest::prelude::*;
+use pruner_gpu::GpuSpec;
+use pruner_ir::Workload;
+use pruner_sketch::Program;
+use pruner_store::{RecordOutcome, Store, TuningRecord};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir()
+        .join(format!("pruner-store-corruption-{}-{tag}", std::process::id()))
+        .join("records.jsonl")
+}
+
+/// Writes a clean `n`-record log (distinct workloads → distinct dedup
+/// keys) and returns its records.
+fn seed_store(path: &PathBuf, n: usize) -> Vec<TuningRecord> {
+    let _ = fs::remove_file(path);
+    let spec = GpuSpec::t4();
+    let mut store = Store::open(path).expect("store opens");
+    for i in 0..n {
+        let wl = Workload::matmul(1, 32 + 8 * i as u64, 32, 32);
+        let appended = store.append(TuningRecord::new(
+            &spec,
+            Program::fallback(&wl),
+            RecordOutcome::Success { latency_s: 1e-3 * (i + 1) as f64, variance: 0.0 },
+        ));
+        assert!(appended, "distinct workloads never dedupe");
+    }
+    store.flush().expect("clean flush");
+    store.records().to_vec()
+}
+
+proptest! {
+    /// Truncating the log at *any* byte offset — the exact shape a crash
+    /// mid-append leaves behind — recovers every record whose line is
+    /// fully intact and counts the torn tail as damage, never an error.
+    #[test]
+    fn truncation_at_any_offset_recovers_the_intact_prefix(
+        n in 2usize..10,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let path = tmp_path("truncate");
+        let originals = seed_store(&path, n);
+        let bytes = fs::read(&path).expect("log readable");
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        fs::write(&path, &bytes[..cut]).expect("truncate");
+
+        let intact = bytes[..cut].iter().filter(|&&b| b == b'\n').count();
+        let torn_tail = usize::from(!bytes[..cut].ends_with(b"\n") && cut > 0);
+
+        let reopened = Store::open(&path).expect("a truncated log must still open");
+        let stats = reopened.replay_stats();
+        prop_assert_eq!(stats.loaded, intact, "every fully-written record is recovered");
+        prop_assert_eq!(stats.corrupt_lines, torn_tail, "the torn tail is counted as damage");
+        prop_assert_eq!(stats.total_lines, intact + torn_tail);
+        prop_assert_eq!(stats.loaded + stats.skipped(), stats.total_lines);
+        prop_assert_eq!(reopened.records(), &originals[..intact]);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// Overwriting one byte anywhere in the log damages at most the
+    /// line(s) that byte touches: opening still succeeds, at least
+    /// `n - 2` records survive (two can merge when the byte was a
+    /// newline), the damage accounting balances, and one flush restores
+    /// a fully clean log.
+    #[test]
+    fn single_byte_corruption_is_contained_and_self_healing(
+        n in 2usize..10,
+        offset_frac in 0.0f64..1.0,
+        junk in 0u8..=255u8,
+    ) {
+        let path = tmp_path("flip");
+        seed_store(&path, n);
+        let mut bytes = fs::read(&path).expect("log readable");
+        let offset = ((bytes.len().saturating_sub(1)) as f64 * offset_frac) as usize;
+        bytes[offset] = junk;
+        fs::write(&path, &bytes).expect("corrupt");
+
+        let reopened = Store::open(&path).expect("a corrupted log must still open");
+        let stats = reopened.replay_stats();
+        prop_assert!(
+            stats.loaded >= n - 2,
+            "one flipped byte must damage at most two records (loaded {} of {n})",
+            stats.loaded
+        );
+        prop_assert_eq!(stats.loaded + stats.skipped(), stats.total_lines);
+
+        // Self-healing: flushing rewrites only the surviving records;
+        // the next open sees a clean log.
+        reopened.flush().expect("flush heals the log");
+        let healed = Store::open(&path).expect("healed log opens");
+        prop_assert_eq!(healed.replay_stats().skipped(), 0);
+        prop_assert_eq!(healed.records(), reopened.records());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+}
+
+/// A deterministic spot-check of the crash-mid-append shape, pinned
+/// outside proptest so the counters are exact in one readable example.
+#[test]
+fn torn_final_line_is_counted_and_earlier_records_survive() {
+    let path = tmp_path("torn-example");
+    let originals = seed_store(&path, 3);
+    let text = fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    // Keep two full lines plus half of the third, no trailing newline.
+    let torn =
+        format!("{}\n{}\n{}", lines[0], lines[1], &lines[2][..lines[2].len() / 2]);
+    fs::write(&path, torn).unwrap();
+
+    let reopened = Store::open(&path).expect("torn log opens");
+    let stats = reopened.replay_stats();
+    assert_eq!(stats.loaded, 2);
+    assert_eq!(stats.corrupt_lines, 1);
+    assert_eq!(stats.total_lines, 3);
+    assert_eq!(reopened.records(), &originals[..2]);
+    let _ = fs::remove_dir_all(path.parent().unwrap());
+}

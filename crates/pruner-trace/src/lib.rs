@@ -54,7 +54,7 @@ mod report;
 mod sink;
 
 pub use record::{mask_host_fields, Record, Value};
-pub use report::Report;
+pub use report::{Report, StoreActivity, SupervisorActivity};
 pub use sink::TraceHandle;
 
 /// Version stamped into every JSONL record as the leading `"v"` field.
@@ -100,6 +100,16 @@ pub trait Recorder: Send {
 
     /// Emits one structured record verbatim.
     fn emit(&mut self, _record: Record) {}
+
+    /// A second handle onto the *same* underlying trace, when the
+    /// recorder supports sharing (a [`TraceHandle`] clone writing into
+    /// the same buffer). The supervisor uses this to hand a restarted
+    /// campaign the recorder of its predecessor, so one trace covers
+    /// every incarnation. `None` (the default) means the recorder cannot
+    /// be shared — callers fall back to a [`NoopRecorder`].
+    fn fork(&self) -> Option<Box<dyn Recorder>> {
+        None
+    }
 }
 
 /// The do-nothing recorder installed wherever tracing is off. Every

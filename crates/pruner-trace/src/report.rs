@@ -41,6 +41,9 @@ pub struct Report {
     /// Persistent tuning-record store activity, present when the campaign
     /// ran with a store attached (`store_replay`/`store_flush` records).
     pub store: Option<StoreActivity>,
+    /// Supervision activity, present when the campaign ran under a
+    /// supervisor (`supervisor.*` records).
+    pub supervisor: Option<SupervisorActivity>,
 }
 
 /// What a campaign's attached tuning-record store did: the warm-start
@@ -60,6 +63,24 @@ pub struct StoreActivity {
     pub records: u64,
     /// Fresh records appended by this campaign.
     pub appended: u64,
+}
+
+/// What the crash-safe supervisor did across one campaign's incarnations:
+/// detected faults by class, restarts performed, and how the supervision
+/// ended.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisorActivity {
+    /// Faults detected, by class label (`stalled`, `panicked`, `io`,
+    /// `checkpoint_unreadable`).
+    pub faults: BTreeMap<String, u64>,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Whether the campaign was quarantined (gave up after too many
+    /// faults).
+    pub quarantined: bool,
+    /// Final outcome label from the `supervisor.done` record
+    /// (`completed`, `wall_deadline`, `sim_deadline`, `quarantined`).
+    pub outcome: String,
 }
 
 const LEDGER_KEYS: [&str; 7] = [
@@ -137,6 +158,35 @@ impl Report {
                     store.records = get_u64(record, "records");
                     store.appended = get_u64(record, "appended");
                 }
+                "supervisor.start" => {
+                    report.supervisor.get_or_insert_with(SupervisorActivity::default);
+                }
+                "supervisor.fault" => {
+                    let sup =
+                        report.supervisor.get_or_insert_with(SupervisorActivity::default);
+                    let label = record
+                        .get("fault")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    *sup.faults.entry(label).or_insert(0) += 1;
+                }
+                "supervisor.quarantine" => {
+                    report
+                        .supervisor
+                        .get_or_insert_with(SupervisorActivity::default)
+                        .quarantined = true;
+                }
+                "supervisor.done" => {
+                    let sup =
+                        report.supervisor.get_or_insert_with(SupervisorActivity::default);
+                    sup.restarts = get_u64(record, "restarts");
+                    sup.outcome = record
+                        .get("outcome")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                }
                 "counter" => {
                     if let (Some(name), Some(value)) = (
                         record.get("name").and_then(Value::as_str),
@@ -205,6 +255,17 @@ impl Report {
                 "{:<21}: {} records ({} new this run)",
                 "flushed", store.records, store.appended
             );
+        }
+        if let Some(sup) = &self.supervisor {
+            let _ = writeln!(out, "--- supervisor ---");
+            let _ = writeln!(out, "{:<21}: {}", "outcome", sup.outcome);
+            let _ = writeln!(out, "{:<21}: {}", "restarts", sup.restarts);
+            for (label, count) in &sup.faults {
+                let _ = writeln!(out, "fault {label:<15}: {count}");
+            }
+            if sup.quarantined {
+                let _ = writeln!(out, "{:<21}: campaign gave up after repeated faults", "quarantined");
+            }
         }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "--- counters ---");
@@ -308,6 +369,64 @@ mod tests {
         assert!(text.contains("20 records (8 new this run)"));
         // A storeless campaign renders no store section.
         assert!(!Report::from_records(&demo_records()).render().contains("store"));
+    }
+
+    #[test]
+    fn supervisor_records_aggregate_and_render() {
+        let mut records = demo_records();
+        records.push(
+            Record::new("supervisor.start")
+                .u64("max_restarts", 3)
+                .f64("watchdog_timeout_s", 0.5),
+        );
+        records.push(
+            Record::new("supervisor.fault")
+                .str("fault", "stalled")
+                .u64("attempt", 1)
+                .host_f64("host_idle_s", 0.61),
+        );
+        records.push(
+            Record::new("supervisor.restart").u64("restart", 1).f64("backoff_s", 0.01),
+        );
+        records.push(
+            Record::new("supervisor.fault")
+                .str("fault", "io")
+                .u64("attempt", 2)
+                .str("message", "checkpoint write failed"),
+        );
+        records.push(Record::new("supervisor.restart").u64("restart", 2).f64("backoff_s", 0.02));
+        records.push(
+            Record::new("supervisor.done").str("outcome", "completed").u64("restarts", 2),
+        );
+        let report = Report::from_records(&records);
+        let sup =
+            report.supervisor.clone().expect("supervisor activity must be aggregated");
+        assert_eq!(sup.restarts, 2);
+        assert_eq!(sup.outcome, "completed");
+        assert_eq!(sup.faults["stalled"], 1);
+        assert_eq!(sup.faults["io"], 1);
+        assert!(!sup.quarantined);
+        let text = report.render();
+        assert!(text.contains("--- supervisor ---"), "missing section:\n{text}");
+        assert!(text.contains("completed"));
+        assert!(text.contains("fault stalled"));
+        // An unsupervised campaign renders no supervisor section.
+        assert!(!Report::from_records(&demo_records()).render().contains("supervisor"));
+    }
+
+    #[test]
+    fn quarantine_renders_in_the_supervisor_section() {
+        let records = vec![
+            Record::new("supervisor.start").u64("max_restarts", 1),
+            Record::new("supervisor.fault").str("fault", "panicked").u64("attempt", 1),
+            Record::new("supervisor.quarantine").u64("faults", 2),
+            Record::new("supervisor.done").str("outcome", "quarantined").u64("restarts", 1),
+        ];
+        let report = Report::from_records(&records);
+        let sup = report.supervisor.as_ref().unwrap();
+        assert!(sup.quarantined);
+        assert_eq!(sup.outcome, "quarantined");
+        assert!(report.render().contains("gave up after repeated faults"));
     }
 
     #[test]

@@ -135,6 +135,10 @@ impl Recorder for TraceHandle {
         let mut buf = self.inner.lock().expect("trace lock");
         buf.records.push(record);
     }
+
+    fn fork(&self) -> Option<Box<dyn Recorder>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +192,16 @@ mod tests {
         b.counter("shared", 1);
         assert_eq!(a.len(), 2);
         assert_eq!(a.records().len(), 3);
+    }
+
+    #[test]
+    fn fork_shares_the_same_buffer() {
+        let a = TraceHandle::new();
+        let mut forked = Recorder::fork(&a).expect("TraceHandle is shareable");
+        assert!(forked.enabled());
+        forked.emit(Record::new("from_fork"));
+        assert_eq!(a.len(), 1, "a forked recorder writes into the original trace");
+        assert!(crate::NoopRecorder.fork().is_none(), "the noop recorder cannot be shared");
     }
 
     #[test]

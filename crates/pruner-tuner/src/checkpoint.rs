@@ -9,18 +9,23 @@
 //! produces a byte-identical [`crate::TuningResult`] to the uninterrupted
 //! run — checked by the `checkpoint` integration suite.
 //!
-//! Writes are atomic: the JSON is written to a `.tmp` sibling and
-//! `rename`d over the destination, so a crash mid-write leaves either the
-//! previous checkpoint or the new one, never a torn file.
+//! Writes are atomic *and durable*: the JSON goes through
+//! [`pruner_store::write_atomic_durable`] — write to a `.tmp` sibling,
+//! fsync it, rename over the destination, fsync the parent directory —
+//! so a crash at any point leaves either the previous checkpoint or the
+//! new one, never a torn file, and the rename itself survives a power
+//! cut.
 
 use crate::curve::TuningCurve;
 use crate::measure::{MeasureOutcome, RetryPolicy, SearchStats, TimeModel};
 use crate::mtl::Mtl;
+use crate::state::CampaignPhase;
 use pruner_cost::ModelSnapshot;
 use pruner_gpu::GpuSpec;
 use pruner_ir::Workload;
 use pruner_psa::PsaConfig;
 use pruner_sketch::Program;
+use pruner_store::{write_atomic_durable, IoFaults};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
@@ -80,7 +85,13 @@ pub struct Checkpoint {
     /// PSA penalty toggles (used only when `config.use_psa`).
     pub psa_cfg: PsaConfig,
     /// The next round to execute (rounds `0..next_round` are complete).
+    /// Derived from `phase` at save time; kept as its own field for
+    /// human inspection of checkpoint files.
     pub next_round: usize,
+    /// The exact campaign phase captured — including mid-round phases
+    /// like [`CampaignPhase::Measuring`], which is what lets a park at
+    /// *any* step resume byte-identically.
+    pub phase: CampaignPhase,
     /// Best-so-far trajectory up to `next_round`.
     pub curve: TuningCurve,
     /// Per-task state.
@@ -99,17 +110,23 @@ impl Checkpoint {
     /// Current checkpoint format version. Version 2 replaced the
     /// measurer's inline simulator fields with a backend-tagged
     /// configuration string, making checkpoints backend-generic.
-    pub const VERSION: u32 = 2;
+    /// Version 3 embeds the [`CampaignPhase`], making mid-round
+    /// checkpoints (and therefore park/resume at any step) possible.
+    pub const VERSION: u32 = 3;
 
-    /// Serializes and atomically writes the checkpoint to `path`.
+    /// Serializes and atomically, durably writes the checkpoint to
+    /// `path` (tmp + fsync + rename + parent-directory fsync).
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_with(path, None)
+    }
+
+    /// [`Checkpoint::save`] with an optional seeded I/O fault injector —
+    /// the hook the chaos harness uses to prove a failed checkpoint
+    /// write never corrupts the previous checkpoint.
+    pub fn save_with(&self, path: &Path, faults: Option<&IoFaults>) -> io::Result<()> {
         let json = serde_json::to_string(self)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut tmp = path.as_os_str().to_os_string();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        fs::write(&tmp, json)?;
-        fs::rename(&tmp, path)
+        write_atomic_durable(path, &json, faults)
     }
 
     /// Loads and validates a checkpoint from `path`.
@@ -153,6 +170,7 @@ mod tests {
             spec: GpuSpec::t4(),
             psa_cfg: PsaConfig::default(),
             next_round: 3,
+            phase: CampaignPhase::Proposing { round: 3 },
             curve: TuningCurve::new(),
             tasks: vec![TaskCheckpoint {
                 workload: wl,

@@ -40,6 +40,8 @@ mod checkpoint;
 mod curve;
 mod measure;
 mod mtl;
+mod state;
+mod supervisor;
 mod task;
 mod tuner;
 
@@ -49,5 +51,9 @@ pub use measure::{
     MeasureOutcome, Measurer, PipelineStage, RetryPolicy, SearchStats, TimeModel, WallTimings,
 };
 pub use mtl::{pretrain_pacm, Mtl};
+pub use state::{CampaignPhase, CampaignStatus};
+pub use supervisor::{
+    CampaignFault, CampaignOutcome, SupervisedRun, Supervisor, SupervisorConfig,
+};
 pub use task::{FunnelCounts, ProposeParams, TaskTuner};
 pub use tuner::{ModelSetup, Tuner, TunerConfig, TuningResult};

@@ -3,6 +3,8 @@
 use pruner_gpu::{Backend, FaultKind, Simulator};
 use pruner_sketch::Program;
 use pruner_trace::{NoopRecorder, Record, Recorder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -70,6 +72,18 @@ pub struct RetryPolicy {
     /// Relative standard deviation (σ / mean) above which a timing is
     /// rejected as an outlier and the attempt retried.
     pub outlier_rel_std: f64,
+    /// Relative jitter on each charged backoff: a value `j > 0` scales
+    /// the exponential backoff by a factor drawn uniformly from
+    /// `[1 - j, 1 + j]`, so simultaneous retries across a fleet don't
+    /// synchronize into thundering herds. `0.0` (the default) charges
+    /// the exact exponential schedule — the historical ledger.
+    #[serde(default)]
+    pub backoff_jitter: f64,
+    /// Seed of the jitter stream. Each draw is a pure function of
+    /// `(jitter_seed, attempt nonce)`, so the jittered ledger is as
+    /// deterministic and resume-stable as the unjittered one.
+    #[serde(default)]
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -81,7 +95,32 @@ impl Default for RetryPolicy {
             timeout_s: 10.0,
             reset_penalty_s: 30.0,
             outlier_rel_std: 0.5,
+            backoff_jitter: 0.0,
+            jitter_seed: 0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The simulated backoff charged before retry `attempt` (1-based):
+    /// the exponential base `backoff_base_s * backoff_mult^(attempt-1)`,
+    /// scaled by the seeded jitter factor for `nonce` (the attempt nonce
+    /// about to be consumed) when `backoff_jitter > 0`.
+    pub fn backoff_s(&self, attempt: u32, nonce: u64) -> f64 {
+        debug_assert!(attempt >= 1, "backoff is only charged before retries");
+        let base = self.backoff_base_s * self.backoff_mult.powi(attempt as i32 - 1);
+        if self.backoff_jitter <= 0.0 {
+            return base;
+        }
+        // Same idiom as the measurement fault stream: hash the identity
+        // of the draw, seed a private ChaCha8, take one uniform.
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.jitter_seed.hash(&mut hasher);
+        nonce.hash(&mut hasher);
+        let mut rng = ChaCha8Rng::seed_from_u64(hasher.finish());
+        let u: f64 = rng.gen();
+        base * (1.0 + self.backoff_jitter * (2.0 * u - 1.0))
     }
 }
 
@@ -417,8 +456,9 @@ impl<B: Backend> Measurer<B> {
         for attempt in 0..=self.policy.max_retries {
             if attempt > 0 {
                 self.stats.retries += 1;
-                self.stats.retry_backoff_s +=
-                    self.policy.backoff_base_s * self.policy.backoff_mult.powi(attempt as i32 - 1);
+                // `self.attempts` is the nonce the upcoming attempt will
+                // consume — a stable identity for the jitter draw.
+                self.stats.retry_backoff_s += self.policy.backoff_s(attempt, self.attempts);
             }
             let nonce = self.attempts;
             self.attempts += 1;
@@ -811,6 +851,74 @@ mod tests {
             }
         }
         panic!("rate 0.95 never exhausted retries in 64 programs");
+    }
+
+    /// Runs `m` until a program exhausts its retries and returns the
+    /// backoff charged for it.
+    fn first_exhausted_backoff<B: Backend>(m: &mut Measurer<B>) -> f64 {
+        for s in 0..64 {
+            let before = m.stats().retry_backoff_s;
+            if let MeasureOutcome::Failure { .. } = m.measure(&prog(s)) {
+                return m.stats().retry_backoff_s - before;
+            }
+        }
+        panic!("fault rate never exhausted retries in 64 programs");
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_deterministic_and_seed_sensitive() {
+        let policy = |jitter_seed: u64| RetryPolicy {
+            max_retries: 3,
+            backoff_base_s: 1.0,
+            backoff_mult: 2.0,
+            backoff_jitter: 0.25,
+            jitter_seed,
+            ..RetryPolicy::default()
+        };
+        let mut a = faulty_measurer(0.9);
+        a.set_retry_policy(policy(7));
+        let spent_a = first_exhausted_backoff(&mut a);
+        // Bounds: 3 retries of base 1+2+4, each within ±25%.
+        assert!(spent_a > 7.0 * 0.75 && spent_a < 7.0 * 1.25, "jitter out of bounds: {spent_a}");
+        assert_ne!(spent_a, 7.0, "jitter 0.25 must perturb the exact schedule");
+
+        let mut b = faulty_measurer(0.9);
+        b.set_retry_policy(policy(7));
+        assert_eq!(spent_a, first_exhausted_backoff(&mut b), "same seed, same ledger — bit-for-bit");
+
+        let mut c = faulty_measurer(0.9);
+        c.set_retry_policy(policy(8));
+        assert_ne!(
+            spent_a,
+            first_exhausted_backoff(&mut c),
+            "a different jitter seed must de-synchronize the retries"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_draw_is_pinned_to_the_documented_formula() {
+        let policy = RetryPolicy {
+            backoff_base_s: 1.0,
+            backoff_mult: 2.0,
+            backoff_jitter: 0.25,
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        };
+        // The charge for retry `attempt` at nonce `n` is exactly
+        // base·mult^(attempt-1) · (1 + j·(2u-1)) with u drawn from a
+        // ChaCha8 seeded by hashing (jitter_seed, nonce).
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        42u64.hash(&mut hasher);
+        9u64.hash(&mut hasher);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(hasher.finish());
+        let u: f64 = rng.gen();
+        let expected = 2.0 * (1.0 + 0.25 * (2.0 * u - 1.0));
+        assert_eq!(policy.backoff_s(2, 9), expected);
+        // And jitter 0 is the exact historical schedule.
+        let exact = RetryPolicy { backoff_jitter: 0.0, ..policy };
+        assert_eq!(exact.backoff_s(2, 9), 1.0 * 2.0);
+        assert_eq!(exact.backoff_s(1, 123), 1.0);
     }
 
     #[test]

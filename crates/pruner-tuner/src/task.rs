@@ -41,7 +41,7 @@ pub struct ProposeParams {
 /// draft-then-verify stage produced. All counts are deterministic (same at
 /// any thread count, traced or not); they feed the per-round `round`
 /// trace record and the end-of-campaign report.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FunnelCounts {
     /// Programs bred by the GA fan-out (offspring + fresh samples).
     pub generated: usize,

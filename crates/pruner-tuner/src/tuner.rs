@@ -4,12 +4,13 @@ use crate::checkpoint::{Checkpoint, MeasurerCheckpoint, TaskCheckpoint};
 use crate::curve::{CurvePoint, TuningCurve};
 use crate::measure::{MeasureOutcome, Measurer, RetryPolicy, SearchStats, TimeModel};
 use crate::mtl::Mtl;
+use crate::state::{CampaignPhase, CampaignStatus};
 use crate::task::{ProposeParams, TaskTuner};
 use pruner_cost::{CostModel, ModelKind, PacmModel, Sample};
 use pruner_gpu::{Backend, FaultModel, GpuSpec, Simulator};
 use pruner_ir::{Network, Workload};
 use pruner_psa::{Psa, PsaConfig};
-use pruner_store::{RecordOutcome, Store, TuningRecord};
+use pruner_store::{IoFaults, RecordOutcome, Store, TuningRecord};
 use pruner_trace::{NoopRecorder, Record, Recorder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -20,6 +21,10 @@ use std::path::{Path, PathBuf};
 /// Seed salt separating the fault stream from measurement noise and the
 /// campaign RNG.
 const FAULT_SEED_SALT: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// Seed salt deriving the retry-backoff jitter stream from the campaign
+/// seed (distinct from the fault and candidate streams).
+const JITTER_SEED_SALT: u64 = 0x0B4C_0FF0_0B4C_0FF0;
 
 /// How the tuner obtains and updates its cost model.
 #[allow(clippy::large_enum_variant)] // configuration object, built once per campaign
@@ -80,6 +85,12 @@ pub struct TunerConfig {
     /// the candidate is quarantined.
     #[serde(default = "default_max_retries")]
     pub max_retries: u32,
+    /// Relative jitter on the retry backoff (`0.25` spreads each charged
+    /// backoff uniformly within ±25% of its exponential base, drawn from
+    /// a seeded stream so campaigns stay deterministic). `0.0` — the
+    /// default — reproduces the exact historical backoff ledger.
+    #[serde(default)]
+    pub backoff_jitter: f64,
     /// Rounds between checkpoint writes (0 disables periodic writes;
     /// checkpoints are only written when a path is configured).
     #[serde(default = "default_checkpoint_every")]
@@ -121,6 +132,7 @@ impl Default for TunerConfig {
             threads: default_threads(),
             fault_rate: 0.0,
             max_retries: default_max_retries(),
+            backoff_jitter: 0.0,
             checkpoint_every: default_checkpoint_every(),
             halt_after: None,
         }
@@ -179,14 +191,25 @@ pub struct Tuner<B: Backend = Simulator> {
     mtl: Option<Mtl>,
     rng: ChaCha8Rng,
     checkpoint_path: Option<PathBuf>,
-    start_round: usize,
-    restored_curve: Option<TuningCurve>,
     recorder: Box<dyn Recorder>,
     store: Option<Store>,
     warm_start: bool,
     /// Cache keys pre-seeded from the store this run — distinguishes a
     /// store hit (measurement avoided) from an ordinary cache hit.
     store_seeded: HashSet<String>,
+    /// The campaign state machine's current phase — exactly what a
+    /// checkpoint captures.
+    phase: CampaignPhase,
+    /// Best-so-far trajectory; grows one point per warm-up/round.
+    curve: TuningCurve,
+    /// Whether [`Tuner::start`] has opened the campaign span/records.
+    started: bool,
+    /// Whether this tuner was rebuilt from a checkpoint (emits a `resume`
+    /// record and skips any phase already completed).
+    resumed: bool,
+    /// Optional seeded fault injector for *checkpoint* writes (the store
+    /// carries its own); chaos harnesses only.
+    io_faults: Option<IoFaults>,
 }
 
 impl Tuner {
@@ -255,8 +278,12 @@ impl<B: Backend> Tuner<B> {
             }
         };
         let mut measurer = Measurer::new(backend);
-        measurer
-            .set_retry_policy(RetryPolicy { max_retries: cfg.max_retries, ..RetryPolicy::default() });
+        measurer.set_retry_policy(RetryPolicy {
+            max_retries: cfg.max_retries,
+            backoff_jitter: cfg.backoff_jitter,
+            jitter_seed: cfg.seed ^ JITTER_SEED_SALT,
+            ..RetryPolicy::default()
+        });
         Tuner {
             cfg,
             spec,
@@ -269,12 +296,15 @@ impl<B: Backend> Tuner<B> {
             mtl,
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             checkpoint_path: None,
-            start_round: 0,
-            restored_curve: None,
             recorder: Box::new(NoopRecorder),
             store: None,
             warm_start: false,
             store_seeded: HashSet::new(),
+            phase: CampaignPhase::Init,
+            curve: TuningCurve::new(),
+            started: false,
+            resumed: false,
+            io_faults: None,
         }
     }
 
@@ -353,12 +383,15 @@ impl<B: Backend> Tuner<B> {
             mtl: ckpt.mtl,
             rng,
             checkpoint_path: None,
-            start_round: ckpt.next_round,
-            restored_curve: Some(ckpt.curve),
             recorder: Box::new(NoopRecorder),
             store: None,
             warm_start: false,
             store_seeded: HashSet::new(),
+            phase: ckpt.phase,
+            curve: ckpt.curve,
+            started: false,
+            resumed: true,
+            io_faults: None,
         })
     }
 
@@ -396,13 +429,14 @@ impl<B: Backend> Tuner<B> {
         self.store.as_ref()
     }
 
-    /// Snapshots the complete campaign state after `next_round` rounds.
+    /// Snapshots the complete campaign state at `phase`.
     ///
     /// # Panics
     /// Panics if the cost model does not support snapshotting (a custom
     /// [`ModelSetup::Offline`] model without
     /// [`CostModel::snapshot`]).
-    fn make_checkpoint(&self, next_round: usize, curve: &TuningCurve) -> Checkpoint {
+    fn make_checkpoint(&self, phase: CampaignPhase) -> Checkpoint {
+        let next_round = phase.round().min(self.cfg.rounds);
         Checkpoint {
             version: Checkpoint::VERSION,
             // `halt_after` models the kill in kill-and-resume testing; a
@@ -411,7 +445,8 @@ impl<B: Backend> Tuner<B> {
             spec: self.spec.clone(),
             psa_cfg: self.psa_cfg,
             next_round,
-            curve: curve.clone(),
+            phase,
+            curve: self.curve.clone(),
             tasks: self
                 .tasks
                 .iter()
@@ -462,7 +497,9 @@ impl<B: Backend> Tuner<B> {
         self.tasks.len()
     }
 
-    /// Runs the campaign and returns the result.
+    /// Runs the campaign to completion and returns the result: exactly
+    /// [`Tuner::start`] followed by [`Tuner::step`] until the state
+    /// machine reports done.
     ///
     /// Failed measurements (injected hardware faults that survive the
     /// retry budget) quarantine the candidate: it is excluded from the
@@ -471,12 +508,34 @@ impl<B: Backend> Tuner<B> {
     /// incumbent forward.
     ///
     /// # Panics
-    /// Panics if no tasks were added, or if a configured checkpoint
-    /// cannot be written.
+    /// Panics if no tasks were added, or if a configured checkpoint or
+    /// store cannot be written (a supervisor catches the same conditions
+    /// as typed faults via [`CampaignStatus::Failed`] instead).
     pub fn run(&mut self) -> TuningResult {
         assert!(!self.tasks.is_empty(), "add at least one task before running");
-        let mut curve = self.restored_curve.take().unwrap_or_default();
+        self.start();
+        loop {
+            match self.step() {
+                CampaignStatus::Running => {}
+                CampaignStatus::Done => return self.result(),
+                CampaignStatus::Failed(reason) => panic!("{reason}"),
+            }
+        }
+    }
 
+    /// Opens the campaign: emits the `campaign` span, the
+    /// `campaign_begin` record and — for a tuner rebuilt from a
+    /// checkpoint — the `resume` record, re-opening any span the parked
+    /// phase was inside. Idempotent; [`Tuner::step`] requires it.
+    ///
+    /// # Panics
+    /// Panics if no tasks were added.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        assert!(!self.tasks.is_empty(), "add at least one task before running");
+        self.started = true;
         self.recorder.span_begin("campaign");
         if self.recorder.enabled() {
             let mut begin = Record::new("campaign_begin")
@@ -494,177 +553,279 @@ impl<B: Backend> Tuner<B> {
                 begin = begin.str("backend", B::TAG);
             }
             self.recorder.emit(begin);
-            if self.start_round > 0 {
+            if self.resumed {
                 self.recorder
-                    .emit(Record::new("resume").u64("next_round", self.start_round as u64));
+                    .emit(Record::new("resume").u64("next_round", self.phase.round() as u64));
             }
         }
-
-        if self.start_round == 0 && self.warm_start && self.store.is_some() {
-            self.replay_store();
+        // A campaign parked mid-round resumes *inside* spans its original
+        // incarnation opened; re-open them so every span_end pairs up.
+        match &self.phase {
+            CampaignPhase::Measuring { .. } => {
+                self.recorder.span_begin("round");
+                self.recorder.span_begin("measure");
+            }
+            CampaignPhase::Training { .. } => {
+                self.recorder.span_begin("round");
+            }
+            _ => {}
         }
+    }
 
-        if self.start_round == 0 {
-            // Warm-up: measure every task's canonical fallback so the
-            // weighted end-to-end latency is finite from the first point
-            // (TVM measures a default schedule for the same reason). The
-            // fallback is measured *trusted* — a real campaign hand-checks
-            // its seed schedule — so every task starts with a finite
-            // incumbent even under heavy fault injection.
-            self.recorder.span_begin("warmup");
-            for ti in 0..self.tasks.len() {
-                let fallback = pruner_sketch::Program::fallback(&self.tasks[ti].workload);
-                let lat = self.measurer.measure_trusted(&fallback);
-                // A store replay may already have recorded this fallback
-                // (then `measure_trusted` was a free cache hit); re-record
-                // only if the task is still without a finite incumbent —
-                // e.g. the store held a quarantine verdict for it, which
-                // the trusted warm-up measurement supersedes.
-                let task = &mut self.tasks[ti];
-                if !task.knows(&fallback) || !task.best_latency().is_finite() {
-                    task.record(fallback.clone(), lat);
+    /// Advances the campaign by exactly one state-machine transition
+    /// (one phase hand-off; in [`CampaignPhase::Measuring`], one single
+    /// measurement) and reports whether more work remains. The sequence
+    /// of measurements, RNG draws, trace records and simulated-time
+    /// charges across steps is identical to the historical monolithic
+    /// loop — goldens pinned before the state machine still hold.
+    ///
+    /// # Panics
+    /// Panics if [`Tuner::start`] has not run.
+    pub fn step(&mut self) -> CampaignStatus {
+        assert!(self.started, "call start() before step()");
+        // The in-flight phase owns round state (e.g. the pending
+        // programs), so take it by value; `advance` returns its successor.
+        let phase = std::mem::replace(&mut self.phase, CampaignPhase::Done);
+        self.phase = self.advance(phase);
+        match &self.phase {
+            CampaignPhase::Done => CampaignStatus::Done,
+            CampaignPhase::Failed { reason } => CampaignStatus::Failed(reason.clone()),
+            _ => CampaignStatus::Running,
+        }
+    }
+
+    /// One phase transition of the campaign state machine.
+    fn advance(&mut self, phase: CampaignPhase) -> CampaignPhase {
+        match phase {
+            CampaignPhase::Init => {
+                if self.warm_start && self.store.is_some() {
+                    self.replay_store();
                 }
-                self.record_to_store(&fallback);
+                // Warm-up: measure every task's canonical fallback so the
+                // weighted end-to-end latency is finite from the first point
+                // (TVM measures a default schedule for the same reason). The
+                // fallback is measured *trusted* — a real campaign hand-checks
+                // its seed schedule — so every task starts with a finite
+                // incumbent even under heavy fault injection.
+                self.recorder.span_begin("warmup");
+                for ti in 0..self.tasks.len() {
+                    let fallback = pruner_sketch::Program::fallback(&self.tasks[ti].workload);
+                    let lat = self.measurer.measure_trusted(&fallback);
+                    // A store replay may already have recorded this fallback
+                    // (then `measure_trusted` was a free cache hit); re-record
+                    // only if the task is still without a finite incumbent —
+                    // e.g. the store held a quarantine verdict for it, which
+                    // the trusted warm-up measurement supersedes.
+                    let task = &mut self.tasks[ti];
+                    if !task.knows(&fallback) || !task.best_latency().is_finite() {
+                        task.record(fallback.clone(), lat);
+                    }
+                    self.record_to_store(&fallback);
+                }
+                self.recorder.span_end("warmup");
+                self.curve.push(self.curve_point());
+                CampaignPhase::Proposing { round: 0 }
             }
-            self.recorder.span_end("warmup");
-            curve.push(self.curve_point());
-        }
-
-        for round in self.start_round..self.cfg.rounds {
-            self.recorder.span_begin("round");
-            let ti = self.pick_task();
-            // Propose and measure.
-            let (progs, funnel) = {
-                let cfg = self.cfg;
-                let params = ProposeParams {
-                    space_size: cfg.space_size,
-                    pool_size: cfg.target_pool,
-                    epsilon: cfg.epsilon,
-                    n: cfg.measure_per_round,
-                    seed: cfg.seed,
-                    round: round as u64,
-                    threads: cfg.threads,
+            CampaignPhase::Proposing { round } => {
+                if round >= self.cfg.rounds {
+                    return self.finish();
+                }
+                self.recorder.span_begin("round");
+                let ti = self.pick_task();
+                let (progs, funnel) = {
+                    let cfg = self.cfg;
+                    let params = ProposeParams {
+                        space_size: cfg.space_size,
+                        pool_size: cfg.target_pool,
+                        epsilon: cfg.epsilon,
+                        n: cfg.measure_per_round,
+                        seed: cfg.seed,
+                        round: round as u64,
+                        threads: cfg.threads,
+                    };
+                    let task = &mut self.tasks[ti];
+                    task.propose_traced(
+                        self.model.as_ref(),
+                        self.psa.as_ref(),
+                        &mut self.measurer,
+                        &self.limits,
+                        &params,
+                        &mut self.rng,
+                        self.recorder.as_mut(),
+                    )
                 };
-                let task = &mut self.tasks[ti];
-                task.propose_traced(
-                    self.model.as_ref(),
-                    self.psa.as_ref(),
-                    &mut self.measurer,
-                    &self.limits,
-                    &params,
-                    &mut self.rng,
-                    self.recorder.as_mut(),
-                )
-            };
-            let mut improved = false;
-            let (mut measured, mut failed) = (0u64, 0u64);
-            self.recorder.span_begin("measure");
-            for p in progs {
-                let before = self.tasks[ti].best_latency();
-                let outcome = self.measurer.measure_rec(&p, self.recorder.as_mut());
-                self.record_to_store(&p);
-                match outcome {
-                    MeasureOutcome::Success { latency_s, .. } => {
-                        self.tasks[ti].record(p, latency_s);
-                        improved |= latency_s < before;
-                        measured += 1;
-                    }
-                    MeasureOutcome::Failure { .. } => {
-                        // No usable timing: never re-propose, never train
-                        // on it, keep the incumbent.
-                        self.tasks[ti].quarantine(&p);
-                        failed += 1;
-                    }
+                self.recorder.span_begin("measure");
+                CampaignPhase::Measuring {
+                    round,
+                    task: ti,
+                    pending: progs,
+                    next: 0,
+                    measured: 0,
+                    failed: 0,
+                    improved: false,
+                    funnel,
                 }
             }
-            self.recorder.span_end("measure");
-            self.tasks[ti].finish_round(improved);
-
-            // Update the model on the training window.
-            let samples = self.training_window();
-            if samples.len() >= 2 {
-                match &mut self.mtl {
-                    Some(mtl) => {
-                        let target = mtl.round_traced(
-                            &samples,
-                            self.cfg.mtl_epochs,
-                            self.cfg.threads,
-                            self.recorder.as_mut(),
-                        );
-                        self.measurer.charge_training(samples.len(), self.cfg.mtl_epochs);
-                        self.model = Box::new(target);
+            CampaignPhase::Measuring {
+                round,
+                task,
+                pending,
+                mut next,
+                mut measured,
+                mut failed,
+                mut improved,
+                funnel,
+            } => {
+                if next < pending.len() {
+                    let p = &pending[next];
+                    let before = self.tasks[task].best_latency();
+                    let outcome = self.measurer.measure_rec(p, self.recorder.as_mut());
+                    self.record_to_store(p);
+                    match outcome {
+                        MeasureOutcome::Success { latency_s, .. } => {
+                            self.tasks[task].record(p.clone(), latency_s);
+                            improved |= latency_s < before;
+                            measured += 1;
+                        }
+                        MeasureOutcome::Failure { .. } => {
+                            // No usable timing: never re-propose, never train
+                            // on it, keep the incumbent.
+                            self.tasks[task].quarantine(p);
+                            failed += 1;
+                        }
                     }
-                    None => {
-                        self.model.fit_batch_traced(
-                            &samples,
-                            self.cfg.train_epochs,
-                            self.cfg.threads,
-                            self.recorder.as_mut(),
-                        );
-                        self.measurer.charge_training(samples.len(), self.cfg.train_epochs);
+                    next += 1;
+                    CampaignPhase::Measuring {
+                        round,
+                        task,
+                        pending,
+                        next,
+                        measured,
+                        failed,
+                        improved,
+                        funnel,
                     }
-                }
-                if self.recorder.enabled() {
-                    let epochs =
-                        if self.mtl.is_some() { self.cfg.mtl_epochs } else { self.cfg.train_epochs };
-                    self.recorder.emit(
-                        Record::new("train")
-                            .u64("round", round as u64)
-                            .u64("samples", samples.len() as u64)
-                            .u64("epochs", epochs as u64)
-                            .bool("mtl", self.mtl.is_some()),
-                    );
+                } else {
+                    self.recorder.span_end("measure");
+                    self.tasks[task].finish_round(improved);
+                    CampaignPhase::Training { round, task, measured, failed, funnel }
                 }
             }
-
-            curve.push(self.curve_point());
-            if self.recorder.enabled() {
-                // The per-round funnel: how many candidates survived each
-                // draft-then-verify stage, and where the incumbent landed.
-                // Every field is deterministic (identical across thread
-                // counts and traced/untraced runs).
-                let mut record = Record::new("round")
-                    .u64("round", round as u64)
-                    .u64("task", ti as u64)
-                    .u64("generated", funnel.generated as u64)
-                    .u64("deduped", funnel.deduped as u64);
-                if let Some(survivors) = funnel.psa_survivors {
-                    record = record
-                        .u64("psa_survivors", survivors as u64)
-                        .u64("eps_extras", funnel.eps_extras as u64);
-                }
-                record = record
-                    .u64("predicted", funnel.predicted as u64)
-                    .u64("proposed", funnel.proposed as u64)
-                    .u64("measured", measured)
-                    .u64("failed", failed)
-                    .f64("best_latency_s", self.weighted_best())
-                    .f64("sim_total_s", self.measurer.stats().total_s());
-                self.recorder.emit(record);
-            }
-            self.recorder.span_end("round");
-
-            let completed = round + 1;
-            if let Some(path) = self.checkpoint_path.clone() {
-                if self.cfg.checkpoint_every > 0 && completed % self.cfg.checkpoint_every == 0 {
-                    self.make_checkpoint(completed, &curve)
-                        .save(&path)
-                        .expect("checkpoint write failed");
-                    // Flush the store on the checkpoint cadence so a crash
-                    // loses at most one checkpoint interval of records.
-                    if let Some(store) = &self.store {
-                        store.flush().expect("store write failed");
+            CampaignPhase::Training { round, task, measured, failed, funnel } => {
+                // Update the model on the training window.
+                let samples = self.training_window();
+                if samples.len() >= 2 {
+                    match &mut self.mtl {
+                        Some(mtl) => {
+                            let target = mtl.round_traced(
+                                &samples,
+                                self.cfg.mtl_epochs,
+                                self.cfg.threads,
+                                self.recorder.as_mut(),
+                            );
+                            self.measurer.charge_training(samples.len(), self.cfg.mtl_epochs);
+                            self.model = Box::new(target);
+                        }
+                        None => {
+                            self.model.fit_batch_traced(
+                                &samples,
+                                self.cfg.train_epochs,
+                                self.cfg.threads,
+                                self.recorder.as_mut(),
+                            );
+                            self.measurer.charge_training(samples.len(), self.cfg.train_epochs);
+                        }
                     }
                     if self.recorder.enabled() {
-                        self.recorder.emit(Record::new("checkpoint").u64("round", completed as u64));
+                        let epochs = if self.mtl.is_some() {
+                            self.cfg.mtl_epochs
+                        } else {
+                            self.cfg.train_epochs
+                        };
+                        self.recorder.emit(
+                            Record::new("train")
+                                .u64("round", round as u64)
+                                .u64("samples", samples.len() as u64)
+                                .u64("epochs", epochs as u64)
+                                .bool("mtl", self.mtl.is_some()),
+                        );
                     }
                 }
-            }
-            if self.cfg.halt_after.is_some_and(|halt| completed >= halt) {
-                break;
-            }
-        }
 
+                self.curve.push(self.curve_point());
+                if self.recorder.enabled() {
+                    // The per-round funnel: how many candidates survived each
+                    // draft-then-verify stage, and where the incumbent landed.
+                    // Every field is deterministic (identical across thread
+                    // counts and traced/untraced runs).
+                    let mut record = Record::new("round")
+                        .u64("round", round as u64)
+                        .u64("task", task as u64)
+                        .u64("generated", funnel.generated as u64)
+                        .u64("deduped", funnel.deduped as u64);
+                    if let Some(survivors) = funnel.psa_survivors {
+                        record = record
+                            .u64("psa_survivors", survivors as u64)
+                            .u64("eps_extras", funnel.eps_extras as u64);
+                    }
+                    record = record
+                        .u64("predicted", funnel.predicted as u64)
+                        .u64("proposed", funnel.proposed as u64)
+                        .u64("measured", measured)
+                        .u64("failed", failed)
+                        .f64("best_latency_s", self.weighted_best())
+                        .f64("sim_total_s", self.measurer.stats().total_s());
+                    self.recorder.emit(record);
+                }
+                self.recorder.span_end("round");
+                CampaignPhase::CheckpointDue { round: round + 1 }
+            }
+            CampaignPhase::CheckpointDue { round: completed } => {
+                if let Some(path) = self.checkpoint_path.clone() {
+                    if self.cfg.checkpoint_every > 0 && completed % self.cfg.checkpoint_every == 0
+                    {
+                        // Flush the store *before* saving the checkpoint:
+                        // once a checkpoint lands, the measurements behind
+                        // it live only in its cache and are never re-run,
+                        // so a store flush that failed after the save would
+                        // lose those records forever. Failing before the
+                        // save restarts from the previous checkpoint and
+                        // re-measures (and re-appends) the interval.
+                        if let Some(store) = &self.store {
+                            if let Err(e) = store.flush() {
+                                return CampaignPhase::Failed {
+                                    reason: format!("store write failed: {e}"),
+                                };
+                            }
+                        }
+                        // A cadence checkpoint parks the campaign at the next
+                        // round boundary.
+                        let ckpt =
+                            self.make_checkpoint(CampaignPhase::Proposing { round: completed });
+                        if let Err(e) = ckpt.save_with(&path, self.io_faults.as_ref()) {
+                            return CampaignPhase::Failed {
+                                reason: format!("checkpoint write failed: {e}"),
+                            };
+                        }
+                        if self.recorder.enabled() {
+                            self.recorder
+                                .emit(Record::new("checkpoint").u64("round", completed as u64));
+                        }
+                    }
+                }
+                if self.cfg.halt_after.is_some_and(|halt| completed >= halt) {
+                    return self.finish();
+                }
+                CampaignPhase::Proposing { round: completed }
+            }
+            CampaignPhase::Done => CampaignPhase::Done,
+            CampaignPhase::Failed { reason } => CampaignPhase::Failed { reason },
+        }
+    }
+
+    /// Closes the campaign: end-of-campaign records, final store flush,
+    /// campaign span end.
+    fn finish(&mut self) -> CampaignPhase {
         if self.recorder.enabled() {
             let stats = self.measurer.stats();
             self.recorder.emit(
@@ -683,7 +844,9 @@ impl<B: Backend> Tuner<B> {
             );
         }
         if let Some(store) = &self.store {
-            store.flush().expect("store write failed");
+            if let Err(e) = store.flush() {
+                return CampaignPhase::Failed { reason: format!("store write failed: {e}") };
+            }
             if self.recorder.enabled() {
                 self.recorder.emit(
                     Record::new("store_flush")
@@ -693,7 +856,13 @@ impl<B: Backend> Tuner<B> {
             }
         }
         self.recorder.span_end("campaign");
+        CampaignPhase::Done
+    }
 
+    /// The campaign outcome assembled from the current state: final after
+    /// [`CampaignStatus::Done`], a live snapshot mid-campaign (e.g. when a
+    /// supervisor parks the campaign on a deadline).
+    pub fn result(&self) -> TuningResult {
         TuningResult {
             best_latency_s: self.weighted_best(),
             per_task_best: self
@@ -703,8 +872,52 @@ impl<B: Backend> Tuner<B> {
                 .collect(),
             best_programs: self.tasks.iter().map(|t| t.best_program().cloned()).collect(),
             stats: self.measurer.stats(),
-            curve,
+            curve: self.curve.clone(),
         }
+    }
+
+    /// The campaign's current phase.
+    pub fn phase(&self) -> &CampaignPhase {
+        &self.phase
+    }
+
+    /// The simulated-time ledger so far (a supervisor polls this for
+    /// measurement-budget deadlines).
+    pub fn stats(&self) -> SearchStats {
+        self.measurer.stats()
+    }
+
+    /// Snapshots the campaign exactly where it stands — including
+    /// mid-round — as a [`Checkpoint`]. Resuming the parked checkpoint
+    /// continues byte-identically to a campaign that never stopped.
+    ///
+    /// # Panics
+    /// Panics if the cost model does not support snapshotting.
+    pub fn park(&self) -> Checkpoint {
+        self.make_checkpoint(self.phase.clone())
+    }
+
+    /// [`Tuner::park`] straight to disk: saves the checkpoint (through
+    /// the optional checkpoint fault injector) and flushes the store so
+    /// no measurement record is lost at the park point.
+    pub fn park_to(&self, path: &Path) -> std::io::Result<()> {
+        // Store first, checkpoint second — same ordering as the cadence
+        // path, so no published checkpoint ever references measurements
+        // the store has not durably recorded.
+        if let Some(store) = &self.store {
+            store.flush()?;
+        }
+        self.park().save_with(path, self.io_faults.as_ref())
+    }
+
+    /// Installs a seeded fault injector on *checkpoint* writes (cadence
+    /// checkpoints and [`Tuner::park_to`]); the chaos harness uses this
+    /// to prove a failed checkpoint write surfaces as
+    /// [`CampaignStatus::Failed`] without corrupting the previous
+    /// checkpoint. Store writes carry their own injector
+    /// ([`Store::set_io_faults`]).
+    pub fn set_checkpoint_io_faults(&mut self, faults: Option<IoFaults>) {
+        self.io_faults = faults;
     }
 
     /// Replays the store's matching records into this campaign: pre-seeds

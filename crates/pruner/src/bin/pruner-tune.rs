@@ -41,6 +41,9 @@ struct Args {
     checkpoint_every: Option<usize>,
     resume: Option<String>,
     halt_after: Option<usize>,
+    deadline: Option<f64>,
+    watchdog_secs: Option<f64>,
+    max_restarts: Option<u32>,
     show_schedules: usize,
     output: Option<String>,
     trace_out: Option<String>,
@@ -58,6 +61,7 @@ USAGE:
                 [--trials N] [--seed N] [--threads N] [--model <m>] [--no-psa]
                 [--fault-rate R] [--max-retries N]
                 [--checkpoint file.json] [--checkpoint-every N] [--halt-after N]
+                [--deadline S] [--watchdog-secs S] [--max-restarts N]
                 [--show-schedules N] [--output file.json]
                 [--trace-out file.jsonl] [--report]
                 [--store records.jsonl] [--warm-start on|off]
@@ -97,6 +101,14 @@ OPTIONS:
     --resume <file>       continue an interrupted campaign from a checkpoint;
                           the result is byte-identical to an uninterrupted
                           run (campaign flags come from the checkpoint)
+    --deadline S          run under the crash-safe supervisor with a wall-clock
+                          budget of S host seconds; on expiry the campaign is
+                          parked (checkpointed) and the exit code is 3
+    --watchdog-secs S     supervisor watchdog: restart the campaign from its
+                          last checkpoint if a round makes no progress for S
+                          host seconds [default: 30]
+    --max-restarts N      supervised restarts allowed before the campaign is
+                          quarantined (exit code 4) [default: 3]
     --show-schedules N    print the N best tuned schedules as pseudo-TIR [default: 1]
     --output <file>       write the tuning result as JSON
     --trace-out <file>    record the campaign as versioned JSONL trace events
@@ -113,6 +125,12 @@ OPTIONS:
                           (pre-seed the measurement cache and pre-train the
                           cost model); `off` records without replaying
                           [default: on]
+
+EXIT CODES:
+    0                     campaign completed
+    1                     usage or I/O error
+    3                     supervised campaign hit --deadline and was parked
+    4                     supervised campaign was quarantined (too many faults)
 
 RECORDS SUBCOMMAND (inspect a store without tuning):
     stats                 print record counts per platform/workload/verdict
@@ -151,6 +169,9 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every: None,
         resume: None,
         halt_after: None,
+        deadline: None,
+        watchdog_secs: None,
+        max_restarts: None,
         show_schedules: 1,
         output: None,
         trace_out: None,
@@ -249,6 +270,30 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--halt-after: {e}"))?,
                 )
             }
+            "--deadline" => {
+                let s: f64 =
+                    value("--deadline")?.parse().map_err(|e| format!("--deadline: {e}"))?;
+                if s <= 0.0 {
+                    return Err("--deadline must be positive".into());
+                }
+                args.deadline = Some(s);
+            }
+            "--watchdog-secs" => {
+                let s: f64 = value("--watchdog-secs")?
+                    .parse()
+                    .map_err(|e| format!("--watchdog-secs: {e}"))?;
+                if s <= 0.0 {
+                    return Err("--watchdog-secs must be positive".into());
+                }
+                args.watchdog_secs = Some(s);
+            }
+            "--max-restarts" => {
+                args.max_restarts = Some(
+                    value("--max-restarts")?
+                        .parse()
+                        .map_err(|e| format!("--max-restarts: {e}"))?,
+                )
+            }
             "--show-schedules" => {
                 args.show_schedules = value("--show-schedules")?
                     .parse()
@@ -283,6 +328,15 @@ fn parse_args() -> Result<Args, String> {
     if args.backend == BackendChoice::Cpu && args.fault_rate > 0.0 {
         return Err("--fault-rate applies only to --backend sim (cpu faults are real)".into());
     }
+    let supervised =
+        args.deadline.is_some() || args.watchdog_secs.is_some() || args.max_restarts.is_some();
+    if supervised && args.resume.is_some() {
+        return Err(
+            "supervision flags do not combine with --resume; point --checkpoint at the \
+             file instead (the supervisor resumes from it automatically)"
+                .into(),
+        );
+    }
     Ok(args)
 }
 
@@ -307,6 +361,156 @@ fn run_resumed<B: pruner::gpu::Backend>(
         pruner.tuner_mut().set_store(store, args.warm_start);
     }
     Ok(pruner.tune())
+}
+
+/// Builds the campaign from the parsed flags — shared by the plain and
+/// supervised paths (the supervisor calls it again on a restart that
+/// found no checkpoint on disk yet).
+fn make_builder(
+    args: &Args,
+    trace: &Option<pruner::trace::TraceHandle>,
+) -> pruner::PrunerBuilder {
+    let mut builder = Pruner::builder(args.platform.clone())
+        .config(TunerConfig::default())
+        .model(args.model)
+        .seed(args.seed)
+        .trials(args.trials)
+        .fault_rate(args.fault_rate);
+    if let Some(threads) = args.threads {
+        builder = builder.threads(threads);
+    }
+    if !args.use_psa {
+        builder = builder.without_psa();
+    }
+    if let Some(retries) = args.max_retries {
+        builder = builder.max_retries(retries);
+    }
+    if let Some(path) = &args.checkpoint {
+        builder = builder.checkpoint(path);
+    }
+    if let Some(every) = args.checkpoint_every {
+        builder = builder.checkpoint_every(every);
+    }
+    if let Some(halt) = args.halt_after {
+        builder = builder.halt_after(halt);
+    }
+    if let Some(path) = &args.store {
+        builder = builder.store(path).warm_start(args.warm_start);
+    }
+    if let Some(trace) = trace {
+        builder = builder.recorder(Box::new(trace.clone()));
+    }
+    if let Some(net) = &args.network {
+        builder = builder.network(net);
+    }
+    for wl in &args.workloads {
+        builder = builder.workload(wl.clone());
+    }
+    builder
+}
+
+/// Runs a campaign under the crash-safe supervisor (`--deadline` /
+/// `--watchdog-secs` / `--max-restarts`). Returns the result on
+/// completion, or the process exit code on a deadline park (3) or
+/// quarantine (4).
+fn run_supervised<B, F>(
+    args: &Args,
+    trace: &Option<pruner::trace::TraceHandle>,
+    make_fresh: F,
+) -> Result<pruner::tuner::TuningResult, ExitCode>
+where
+    B: pruner::gpu::Backend,
+    F: Fn(&Args, &Option<pruner::trace::TraceHandle>) -> Pruner<B>,
+{
+    use pruner::tuner::{CampaignOutcome, Supervisor, SupervisorConfig, Tuner};
+    let cfg = SupervisorConfig {
+        wall_deadline_s: args.deadline,
+        watchdog_timeout_s: args.watchdog_secs.unwrap_or(30.0),
+        max_restarts: args.max_restarts.unwrap_or(3),
+        seed: args.seed,
+        checkpoint: args.checkpoint.as_ref().map(std::path::PathBuf::from),
+        ..SupervisorConfig::default()
+    };
+    let mut supervisor = Supervisor::new(cfg);
+    if let Some(trace) = trace {
+        supervisor.set_recorder(Box::new(trace.clone()));
+    }
+    // Re-attach what a checkpoint does not carry — the checkpoint path,
+    // the trace recorder and the record store (a resumed campaign
+    // records without replaying).
+    let attach = |mut tuner: Tuner<B>| -> std::io::Result<Tuner<B>> {
+        if let Some(path) = &args.checkpoint {
+            tuner.set_checkpoint_path(path.clone());
+        }
+        if let Some(tr) = trace {
+            tuner.set_recorder(Box::new(tr.clone()));
+        }
+        if let Some(path) = &args.store {
+            let store = pruner::store::Store::open(path)
+                .map_err(|e| std::io::Error::new(e.kind(), format!("store {path}: {e}")))?;
+            tuner.set_store(store, args.warm_start);
+        }
+        Ok(tuner)
+    };
+    let run = supervisor.run(|ckpt| match ckpt {
+        // A restart: rebuild from the checkpoint the supervisor loaded.
+        Some(ckpt) => attach(Tuner::<B>::from_checkpoint_backend(ckpt)?),
+        // First attempt: pick up a previously parked campaign if the
+        // checkpoint file already exists (this is how a deadline-parked
+        // run is continued), otherwise start fresh.
+        None => match args.checkpoint.as_deref().filter(|p| std::path::Path::new(p).exists()) {
+            Some(path) => attach(Tuner::<B>::resume_backend(path)?),
+            None => Ok(make_fresh(args, trace).into_tuner()),
+        },
+    });
+    for fault in &run.faults {
+        eprintln!("supervisor: fault: {fault}");
+    }
+    if run.restarts > 0 {
+        eprintln!("supervisor: recovered through {} restart(s)", run.restarts);
+    }
+    match run.outcome {
+        CampaignOutcome::Completed => Ok(run.result.expect("completed campaigns carry a result")),
+        CampaignOutcome::WallDeadlineExceeded | CampaignOutcome::SimDeadlineExceeded => {
+            match &run.result {
+                Some(result) => println!(
+                    "deadline exceeded: campaign parked at best {:.4} ms after {} trials{}",
+                    result.best_latency_s * 1e3,
+                    result.stats.trials,
+                    args.checkpoint
+                        .as_deref()
+                        .map(|p| format!(" (resume from {p})"))
+                        .unwrap_or_default(),
+                ),
+                None => eprintln!("deadline exceeded: campaign could not be parked"),
+            }
+            Err(ExitCode::from(3))
+        }
+        CampaignOutcome::Quarantined => {
+            eprintln!(
+                "supervisor: campaign quarantined after {} fault(s)",
+                run.faults.len()
+            );
+            Err(ExitCode::from(4))
+        }
+    }
+}
+
+/// Writes `--trace-out` and prints `--report`; returns `false` when the
+/// trace write failed.
+fn finish_trace(args: &Args, trace: &Option<pruner::trace::TraceHandle>) -> bool {
+    let Some(trace) = trace else { return true };
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = trace.write_atomic(std::path::Path::new(path)) {
+            eprintln!("error writing trace {path}: {e}");
+            return false;
+        }
+        println!("trace written to {path} ({} events)", trace.len());
+    }
+    if args.report {
+        eprint!("{}", trace.report().render());
+    }
+    true
 }
 
 /// `pruner-tune records <mode>` — inspect/compact/export a tuning-record
@@ -474,48 +678,42 @@ fn main() -> ExitCode {
         if args.backend == BackendChoice::Cpu {
             println!("backend  : cpu (executable; latencies are host wall time)");
         }
-        let mut builder = Pruner::builder(args.platform.clone())
-            .config(TunerConfig::default())
-            .model(args.model)
-            .seed(args.seed)
-            .trials(args.trials)
-            .fault_rate(args.fault_rate);
-        if let Some(threads) = args.threads {
-            builder = builder.threads(threads);
-        }
-        if !args.use_psa {
-            builder = builder.without_psa();
-        }
-        if let Some(retries) = args.max_retries {
-            builder = builder.max_retries(retries);
-        }
-        if let Some(path) = &args.checkpoint {
-            builder = builder.checkpoint(path);
-        }
-        if let Some(every) = args.checkpoint_every {
-            builder = builder.checkpoint_every(every);
-        }
-        if let Some(halt) = args.halt_after {
-            builder = builder.halt_after(halt);
-        }
         if let Some(path) = &args.store {
-            builder = builder.store(path).warm_start(args.warm_start);
             println!("store    : {path} (warm start {})", if args.warm_start { "on" } else { "off" });
-        }
-        if let Some(trace) = &trace {
-            builder = builder.recorder(Box::new(trace.clone()));
         }
         if let Some(net) = &args.network {
             println!("network  : {net}");
-            builder = builder.network(net);
         }
         for wl in &args.workloads {
             println!("workload : {wl}");
-            builder = builder.workload(wl.clone());
         }
-        match args.backend {
-            BackendChoice::Sim => builder.build().tune(),
-            BackendChoice::Cpu => builder.build_cpu().tune(),
+        let supervised = args.deadline.is_some()
+            || args.watchdog_secs.is_some()
+            || args.max_restarts.is_some();
+        if supervised {
+            let run = match args.backend {
+                BackendChoice::Sim => {
+                    run_supervised(&args, &trace, |a, t| make_builder(a, t).build())
+                }
+                BackendChoice::Cpu => {
+                    run_supervised(&args, &trace, |a, t| make_builder(a, t).build_cpu())
+                }
+            };
+            match run {
+                Ok(result) => result,
+                Err(code) => {
+                    // Deadline parks and quarantines still flush the
+                    // trace — the supervisor.* records are the evidence.
+                    finish_trace(&args, &trace);
+                    return code;
+                }
+            }
+        } else {
+            let builder = make_builder(&args, &trace);
+            match args.backend {
+                BackendChoice::Sim => builder.build().tune(),
+                BackendChoice::Cpu => builder.build_cpu().tune(),
+            }
         }
     };
     println!(
@@ -570,17 +768,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Some(trace) = &trace {
-        if let Some(path) = &args.trace_out {
-            if let Err(e) = trace.write_atomic(std::path::Path::new(path)) {
-                eprintln!("error writing trace {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!("trace written to {path} ({} events)", trace.len());
-        }
-        if args.report {
-            eprint!("{}", trace.report().render());
-        }
+    if !finish_trace(&args, &trace) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -603,7 +792,8 @@ mod tests {
             ["--platform", "--backend", "--network", "--matmul", "--conv2d", "--trials", "--seed",
              "--threads",
              "--model", "--no-psa", "--fault-rate", "--max-retries", "--checkpoint",
-             "--checkpoint-every", "--halt-after", "--resume", "--show-schedules", "--output",
+             "--checkpoint-every", "--halt-after", "--resume", "--deadline", "--watchdog-secs",
+             "--max-restarts", "--show-schedules", "--output",
              "--trace-out", "--report", "--store", "--warm-start"]
         {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");

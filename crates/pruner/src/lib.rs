@@ -121,6 +121,13 @@ impl<B: Backend> Pruner<B> {
     pub fn tuner_mut(&mut self) -> &mut Tuner<B> {
         &mut self.tuner
     }
+
+    /// Unwraps the underlying tuner — what a
+    /// [`Supervisor`](tuner::Supervisor) factory hands to its worker
+    /// thread to drive the campaign step by step.
+    pub fn into_tuner(self) -> Tuner<B> {
+        self.tuner
+    }
 }
 
 #[allow(clippy::large_enum_variant)] // built once per campaign

@@ -354,3 +354,67 @@ fn resume_with_missing_checkpoint_fails() {
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("error resuming"));
 }
+
+#[test]
+fn supervision_flags_reject_resume() {
+    let output = Command::new(bin())
+        .args(["--resume", "ckpt.json", "--deadline", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("supervision flags do not combine with --resume"), "{stderr}");
+}
+
+#[test]
+fn supervision_flags_must_be_positive() {
+    for flag in ["--deadline", "--watchdog-secs"] {
+        let output = Command::new(bin())
+            .args(["--platform", "t4", "--matmul", "1,8,8,8", flag, "0"])
+            .output()
+            .expect("binary runs");
+        assert!(!output.status.success(), "{flag} 0 must be rejected");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("must be positive"),
+            "{flag}"
+        );
+    }
+}
+
+#[test]
+fn supervised_campaign_matches_unsupervised_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("pruner-cli-supervised-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let plain_path = dir.join("plain.json");
+    let supervised_path = dir.join("supervised.json");
+    let common =
+        ["--platform", "t4", "--matmul", "1,128,128,128", "--trials", "24", "--seed", "3"];
+
+    let plain = Command::new(bin())
+        .args(common)
+        .arg("--output")
+        .arg(&plain_path)
+        .output()
+        .expect("binary runs");
+    assert!(plain.status.success(), "stderr: {}", String::from_utf8_lossy(&plain.stderr));
+
+    // Any supervision flag routes the campaign through the supervisor.
+    let supervised = Command::new(bin())
+        .args(common)
+        .args(["--max-restarts", "2", "--output"])
+        .arg(&supervised_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        supervised.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&supervised.stderr)
+    );
+
+    assert_eq!(
+        std::fs::read_to_string(&plain_path).expect("plain result"),
+        std::fs::read_to_string(&supervised_path).expect("supervised result"),
+        "a healthy supervised campaign must be byte-identical to an unsupervised one"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
