@@ -4,17 +4,21 @@
 //! Measures the verifier's hot path (`predict_batch` over a
 //! 2,048-candidate pool) and one online training step, in both kernel
 //! modes, asserting the scores are **bit-identical** before reporting
-//! any speedup. Writes machine-readable `BENCH_3.json` at the
-//! workspace root.
+//! any speedup. Also pushes a full million-candidate exploration round
+//! (generate→dedup→PSA→featurize→predict) through the struct-of-arrays
+//! candidate arena and holds it to a 1M candidates/second floor, after
+//! asserting the round is bit-identical at 1 and 4 threads. Writes
+//! machine-readable `BENCH_3.json` at the workspace root.
 //!
 //! `PRUNER_BENCH_SMOKE=1` shrinks the pool so CI can exercise the whole
 //! harness in seconds (the speedup assertion is relaxed accordingly).
 
-use pruner::cost::{ModelKind, Sample};
+use pruner::cost::{CostModel, ModelKind, Sample};
 use pruner::gpu::{GpuSpec, Simulator};
 use pruner::ir::Workload;
 use pruner::nn::set_reference_kernels;
-use pruner::sketch::{HardwareLimits, Program};
+use pruner::psa::Psa;
+use pruner::sketch::{evolve, GeneBuf, HardwareLimits, Program, WorkloadCtx};
 use pruner::trace::{NoopRecorder, Recorder, TraceHandle};
 use pruner::tuner::{TunerConfig, TuningResult};
 use pruner::Pruner;
@@ -22,6 +26,8 @@ use pruner_bench::{results_dir, TextTable};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
+use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -37,6 +43,11 @@ struct Bench3Result {
     blocked_train_step_s: f64,
     train_speedup: f64,
     bit_identical: bool,
+    arena_pool: usize,
+    arena_round_s: f64,
+    arena_cands_per_s: f64,
+    arena_unique: usize,
+    arena_bit_identical: bool,
     trace_baseline_s: f64,
     trace_noop_s: f64,
     trace_enabled_s: f64,
@@ -62,6 +73,47 @@ fn candidate_pool(n: usize) -> Vec<Sample> {
             Sample::labeled(&p, lat, 0)
         })
         .collect()
+}
+
+/// One exploration round through the struct-of-arrays candidate arena:
+/// GA offspring (3/4) + fresh random blood (1/4) → fingerprint dedup →
+/// deferred stats fill → PSA shortlist to 2,048 → featurize → predict.
+/// Mirrors the shape of `Task::propose` without the measure boundary.
+/// Returns `(unique, picked fingerprints, predicted scores)` so callers
+/// can compare runs for bit-identity.
+#[allow(clippy::too_many_arguments)]
+fn arena_round(
+    ctx: &Arc<WorkloadCtx>,
+    elites: &[GeneBuf],
+    limits: &HardwareLimits,
+    psa: &Psa,
+    model: &dyn CostModel,
+    n: usize,
+    seed: u64,
+    round: u64,
+    threads: usize,
+) -> (usize, Vec<u64>, Vec<f32>) {
+    let ga = n * 3 / 4;
+    let mut arena =
+        evolve::next_generation_arena_par(ctx, elites, ga, limits, seed, round, threads);
+    let fresh = evolve::init_arena_par(
+        ctx,
+        n - ga,
+        limits,
+        seed ^ 0xA076_1D64_78BD_642F,
+        round,
+        threads,
+    );
+    arena.append(&fresh);
+    let mut seen = HashSet::new();
+    arena.retain_with(|_, fp| seen.insert(fp));
+    arena.ensure_stats();
+    let picks = psa.prune_arena(&arena, 2048, threads);
+    let fps: Vec<u64> = picks.iter().map(|&i| arena.fingerprint(i)).collect();
+    let samples: Vec<Sample> =
+        picks.iter().map(|&i| Sample::from_arena(&arena, i, 0)).collect();
+    let scores = model.predict_batch(&samples, threads);
+    (arena.len(), fps, scores)
 }
 
 /// Best-of-`repeats` wall time for `f`, with the result of the last run.
@@ -125,6 +177,45 @@ fn main() {
     let predict_speedup = naive_predict_s / blocked_predict_s;
     let train_speedup = naive_train_step_s / blocked_train_step_s;
 
+    // --- million-candidate arena round ---
+    // The whole generate→dedup→PSA→featurize→predict pipeline through the
+    // struct-of-arrays arena, at the pool size one desktop-CPU exploration
+    // round actually sees. Bit-identity across thread counts is asserted
+    // first (same seed, threads 1 vs 4), then the throughput run is timed
+    // at the host's parallelism with warm pages (best-of-`repeats` after a
+    // warm-up round, so first-touch page faults don't bill the arena).
+    let arena_pool = if smoke() { 4096 } else { 1 << 20 };
+    let wl = Workload::matmul(1, 512, 512, 512);
+    let ctx = Arc::new(WorkloadCtx::new(&wl));
+    let limits = HardwareLimits::default();
+    let mut elite_rng = ChaCha8Rng::seed_from_u64(9);
+    let elites: Vec<GeneBuf> =
+        (0..16).map(|_| ctx.sample_genes(&limits, &mut elite_rng)).collect();
+    let psa = Psa::new(GpuSpec::t4());
+    let arena_model = ModelKind::Pacm.build(3);
+
+    let run = |seed: u64, t: usize| {
+        arena_round(&ctx, &elites, &limits, &psa, &*arena_model, arena_pool, seed, 1, t)
+    };
+    let (u1, fps1, s1) = run(2, 1);
+    let (u4, fps4, s4) = run(2, 4);
+    let arena_bit_identical = u1 == u4
+        && fps1 == fps4
+        && s1.len() == s4.len()
+        && s1.iter().zip(&s4).all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(arena_bit_identical, "arena round differs between 1 and 4 threads");
+
+    let _warm = run(3, threads); // page in the arena columns before timing
+    let mut arena_round_s = f64::INFINITY;
+    let mut arena_unique = 0;
+    for r in 0..repeats as u64 {
+        let t0 = Instant::now();
+        let (uniq, _, _) = run(4 + r, threads);
+        arena_round_s = arena_round_s.min(t0.elapsed().as_secs_f64());
+        arena_unique = uniq;
+    }
+    let arena_cands_per_s = arena_pool as f64 / arena_round_s;
+
     // --- trace recorder overhead: observability must be free when off ---
     // Three variants of the same quick campaign: no recorder installed (the
     // default no-op), an explicitly installed `NoopRecorder` (the "disabled"
@@ -181,6 +272,18 @@ fn main() {
     println!("Bench 3 — compute core ({pool} candidates, {threads} threads)\n");
     table.print();
 
+    let mut arena_table =
+        TextTable::new(&["arena round", "pool", "unique", "best (s)", "cand/s"]);
+    arena_table.row(vec![
+        "generate→dedup→PSA→featurize→predict".into(),
+        format!("{arena_pool}"),
+        format!("{arena_unique}"),
+        format!("{arena_round_s:.3}"),
+        format!("{arena_cands_per_s:.0}"),
+    ]);
+    println!("\nMillion-candidate arena round ({threads} threads, bit-identical across 1/4 threads: {arena_bit_identical})\n");
+    arena_table.print();
+
     let mut trace_table =
         TextTable::new(&["campaign recorder", "best of 5 (s)", "overhead"]);
     trace_table.row(vec!["none (baseline)".into(), format!("{trace_baseline_s:.4}"), "-".into()]);
@@ -209,6 +312,11 @@ fn main() {
         blocked_train_step_s,
         train_speedup,
         bit_identical: scores_identical && trained_identical,
+        arena_pool,
+        arena_round_s,
+        arena_cands_per_s,
+        arena_unique,
+        arena_bit_identical,
         trace_baseline_s,
         trace_noop_s,
         trace_enabled_s,
@@ -227,6 +335,11 @@ fn main() {
         assert!(
             predict_speedup >= 3.0,
             "predict_batch speedup {predict_speedup:.2}x fell below the 3x floor"
+        );
+        assert!(
+            arena_cands_per_s >= 1_000_000.0,
+            "arena round throughput {arena_cands_per_s:.0} cand/s fell below the \
+             1M/s floor (pool {arena_pool}, {arena_round_s:.3}s)"
         );
     }
 }

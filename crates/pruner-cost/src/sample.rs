@@ -53,6 +53,20 @@ impl Sample {
     pub fn is_labeled(&self) -> bool {
         self.latency.is_finite()
     }
+
+    /// Featurizes arena candidate `i` without materializing a [`Program`] —
+    /// bit-identical to [`Sample::unlabeled`] on the materialized program.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn from_arena(
+        arena: &pruner_sketch::CandidateArena,
+        i: usize,
+        task_id: usize,
+    ) -> Sample {
+        let (stmt, flow, tokens) = pruner_features::features_arena_row(arena, i);
+        Sample { stmt, flow, tokens, latency: f64::NAN, task_id }
+    }
 }
 
 /// Groups sample indices by task id (sorted by task for determinism).
@@ -217,6 +231,35 @@ mod tests {
         assert_eq!(s.flow.len(), MAX_FLOW * FLOW_DIM);
         assert_eq!(s.tokens.len(), MAX_TOKENS * TLP_DIM);
         assert!(s.is_labeled());
+    }
+
+    #[test]
+    fn from_arena_matches_unlabeled_bitwise() {
+        for wl in [
+            Workload::matmul(1, 256, 256, 256),
+            Workload::elementwise(pruner_ir::EwKind::Gelu, 1 << 16),
+            Workload::reduction(1024, 512),
+        ] {
+            let ctx = std::sync::Arc::new(pruner_sketch::WorkloadCtx::new(&wl));
+            let mut arena = pruner_sketch::evolve::init_arena_par(
+                &ctx,
+                13,
+                &HardwareLimits::default(),
+                5,
+                0,
+                1,
+            );
+            arena.ensure_stats();
+            for i in 0..arena.len() {
+                let via_arena = Sample::from_arena(&arena, i, 3);
+                let legacy = Sample::unlabeled(&arena.program(i), 3);
+                assert_eq!(via_arena.stmt, legacy.stmt);
+                assert_eq!(via_arena.flow, legacy.flow);
+                assert_eq!(via_arena.tokens, legacy.tokens);
+                assert_eq!(via_arena.task_id, 3);
+                assert!(!via_arena.is_labeled());
+            }
+        }
     }
 
     #[test]

@@ -22,10 +22,17 @@
 //! (padded/truncated to [`MAX_STMTS`], [`MAX_FLOW`], [`MAX_TOKENS`]) so
 //! batches can be stacked into rectangular tensors.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+
 use pruner_sketch::{MemLevel, Program, ProgramStats, Schedule, StmtKind};
+
+pub use arena::{
+    features_arena_row, flow_features_arena, reference_features, set_reference_features,
+    stmt_features_arena, tlp_tokens_arena,
+};
 
 /// Dimensions of one statement-level feature vector.
 pub const STMT_DIM: usize = 32;
@@ -43,7 +50,7 @@ pub const MAX_TOKENS: usize = 12;
 /// Scale applied after `ln(1+x)` so typical magnitudes land near 1.
 const LOG_SCALE: f32 = 1.0 / 10.0;
 
-fn lg(x: f64) -> f32 {
+pub(crate) fn lg(x: f64) -> f32 {
     ((x.max(0.0) + 1.0).ln() as f32) * LOG_SCALE
 }
 
@@ -106,7 +113,7 @@ pub fn stmt_features(stats: &ProgramStats) -> Vec<[f32; STMT_DIM]> {
     out
 }
 
-fn level_idx(level: MemLevel) -> usize {
+pub(crate) fn level_idx(level: MemLevel) -> usize {
     match level {
         MemLevel::Global => 0,
         MemLevel::Shared => 1,
@@ -199,26 +206,32 @@ pub fn tlp_tokens(prog: &Program) -> Vec<[f32; TLP_DIM]> {
         }
     }
     // Append a global-workload token so shape information is available.
-    let mut f = [0.0f32; TLP_DIM];
-    f[9] = 1.0;
-    f[10] = lg(prog.workload.flops()) * 2.0;
-    f[11] = lg(prog.workload.output_elems() as f64) * 2.0;
-    f[12] = prog.workload.num_operands() as f32 / 4.0;
-    f[13] = lg(prog.workload.reduce_extents().iter().product::<u64>() as f64) * 2.0;
-    f[14] = lg(prog.workload.spatial_extents().iter().copied().max().unwrap_or(1) as f64) * 2.0;
-    f[15] = match prog.workload.class() {
-        pruner_ir::OperatorClass::MatMul => 0.25,
-        pruner_ir::OperatorClass::Conv => 0.5,
-        pruner_ir::OperatorClass::DwConv => 0.75,
-        pruner_ir::OperatorClass::EwRed => 1.0,
-    };
-    out.push(f);
+    out.push(workload_token(&prog.workload));
 
     out.truncate(MAX_TOKENS);
     while out.len() < MAX_TOKENS {
         out.push([0.0; TLP_DIM]);
     }
     out
+}
+
+/// The global-workload TLP token: pure shape information, independent of
+/// the schedule, so batch extractors compute it once per workload.
+pub fn workload_token(workload: &pruner_ir::Workload) -> [f32; TLP_DIM] {
+    let mut f = [0.0f32; TLP_DIM];
+    f[9] = 1.0;
+    f[10] = lg(workload.flops()) * 2.0;
+    f[11] = lg(workload.output_elems() as f64) * 2.0;
+    f[12] = workload.num_operands() as f32 / 4.0;
+    f[13] = lg(workload.reduce_extents().iter().product::<u64>() as f64) * 2.0;
+    f[14] = lg(workload.spatial_extents().iter().copied().max().unwrap_or(1) as f64) * 2.0;
+    f[15] = match workload.class() {
+        pruner_ir::OperatorClass::MatMul => 0.25,
+        pruner_ir::OperatorClass::Conv => 0.5,
+        pruner_ir::OperatorClass::DwConv => 0.75,
+        pruner_ir::OperatorClass::EwRed => 1.0,
+    };
+    f
 }
 
 /// Flattens per-program statement features into one row (for MLP models):
@@ -321,6 +334,99 @@ mod tests {
             assert_eq!(t.len(), MAX_TOKENS);
             assert!(t[0].iter().any(|&x| x != 0.0));
         }
+    }
+
+    fn feature_zoo() -> Vec<Workload> {
+        vec![
+            Workload::matmul(1, 512, 512, 512),
+            Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1),
+            Workload::elementwise(EwKind::Gelu, 1 << 18),
+            Workload::reduction(2048, 768),
+        ]
+    }
+
+    fn arena_of(wl: &Workload, n: usize, seed: u64) -> pruner_sketch::CandidateArena {
+        let ctx = std::sync::Arc::new(pruner_sketch::WorkloadCtx::new(wl));
+        let mut a =
+            pruner_sketch::evolve::init_arena_par(&ctx, n, &HardwareLimits::default(), seed, 0, 1);
+        a.ensure_stats();
+        a
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn arena_stacks_match_legacy_bitwise() {
+        for wl in feature_zoo() {
+            let arena = arena_of(&wl, 61, 5);
+            let progs = arena.programs();
+            let mut legacy_stmt = Vec::new();
+            let mut legacy_flow = Vec::new();
+            let mut legacy_tok = Vec::new();
+            for p in &progs {
+                let stats = p.stats();
+                legacy_stmt.extend(stmt_features(&stats).into_iter().flatten());
+                legacy_flow.extend(flow_features(&stats).into_iter().flatten());
+                legacy_tok.extend(tlp_tokens(p).into_iter().flatten());
+            }
+            for threads in [1usize, 2, 4] {
+                assert_eq!(
+                    bits(&stmt_features_arena(&arena, threads)),
+                    bits(&legacy_stmt),
+                    "stmt stack diverged for {} at {threads} threads",
+                    wl.key()
+                );
+                assert_eq!(
+                    bits(&flow_features_arena(&arena, threads)),
+                    bits(&legacy_flow),
+                    "flow stack diverged for {} at {threads} threads",
+                    wl.key()
+                );
+                assert_eq!(
+                    bits(&tlp_tokens_arena(&arena, threads)),
+                    bits(&legacy_tok),
+                    "tlp stack diverged for {} at {threads} threads",
+                    wl.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_row_matches_stack_slice() {
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let arena = arena_of(&wl, 17, 9);
+        let stmt = stmt_features_arena(&arena, 1);
+        let flow = flow_features_arena(&arena, 1);
+        let tok = tlp_tokens_arena(&arena, 1);
+        for i in [0usize, 7, 16] {
+            let (s, f, t) = features_arena_row(&arena, i);
+            let sw = MAX_STMTS * STMT_DIM;
+            let fw = MAX_FLOW * FLOW_DIM;
+            let tw = MAX_TOKENS * TLP_DIM;
+            assert_eq!(bits(&s), bits(&stmt[i * sw..(i + 1) * sw]));
+            assert_eq!(bits(&f), bits(&flow[i * fw..(i + 1) * fw]));
+            assert_eq!(bits(&t), bits(&tok[i * tw..(i + 1) * tw]));
+        }
+    }
+
+    #[test]
+    fn reference_features_are_bit_transparent() {
+        let wl = Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1);
+        let arena = arena_of(&wl, 48, 11);
+        let wide = stmt_features_arena(&arena, 1);
+        let wide_f = flow_features_arena(&arena, 1);
+        let wide_t = tlp_tokens_arena(&arena, 1);
+        set_reference_features(true);
+        let scalar = stmt_features_arena(&arena, 1);
+        let scalar_f = flow_features_arena(&arena, 1);
+        let scalar_t = tlp_tokens_arena(&arena, 1);
+        set_reference_features(false);
+        assert_eq!(bits(&wide), bits(&scalar));
+        assert_eq!(bits(&wide_f), bits(&scalar_f));
+        assert_eq!(bits(&wide_t), bits(&scalar_t));
     }
 
     #[test]

@@ -430,37 +430,72 @@ impl Workload {
     /// Panics if the slice lengths do not match the number of spatial and
     /// reduction axes of this workload.
     pub fn operand_tile_elems(&self, spatial_tile: &[u64], reduce_tile: &[u64]) -> Vec<u64> {
-        let spatial_extents = self.spatial_extents();
-        let reduce_extents = self.reduce_extents();
+        let mut out = [0u64; 2];
+        let n = self.operand_tile_elems_into(
+            &self.spatial_extents(),
+            &self.reduce_extents(),
+            spatial_tile,
+            reduce_tile,
+            &mut out,
+        );
+        out[..n].to_vec()
+    }
+
+    /// Allocation-free [`Workload::operand_tile_elems`]: writes each
+    /// operand's footprint into `out` and returns the operand count.
+    ///
+    /// `spatial_extents` / `reduce_extents` are this workload's axis
+    /// extents, passed in so hot loops (the candidate arena fills one row
+    /// per schedule) can cache them instead of re-deriving per call.
+    ///
+    /// # Panics
+    /// Panics if the tile slice lengths do not match the extent slices.
+    pub fn operand_tile_elems_into(
+        &self,
+        spatial_extents: &[u64],
+        reduce_extents: &[u64],
+        spatial_tile: &[u64],
+        reduce_tile: &[u64],
+        out: &mut [u64; 2],
+    ) -> usize {
         assert_eq!(spatial_tile.len(), spatial_extents.len(), "spatial tile rank mismatch");
         assert_eq!(reduce_tile.len(), reduce_extents.len(), "reduce tile rank mismatch");
-        let st: Vec<u64> = spatial_tile
-            .iter()
-            .zip(&spatial_extents)
-            .map(|(&t, &e)| t.clamp(1, e))
-            .collect();
-        let rt: Vec<u64> =
-            reduce_tile.iter().zip(&reduce_extents).map(|(&t, &e)| t.clamp(1, e)).collect();
+        let mut st = [1u64; 8];
+        let mut rt = [1u64; 8];
+        for (dst, (&t, &e)) in st.iter_mut().zip(spatial_tile.iter().zip(spatial_extents)) {
+            *dst = t.clamp(1, e);
+        }
+        for (dst, (&t, &e)) in rt.iter_mut().zip(reduce_tile.iter().zip(reduce_extents)) {
+            *dst = t.clamp(1, e);
+        }
+        let st = &st[..spatial_tile.len()];
+        let rt = &rt[..reduce_tile.len()];
         match *self {
             Workload::MatMul(s) => {
                 // Spatial order: ([b], m, n); reduce: (k).
                 let (bt, mt, nt) = if s.batch > 1 { (st[0], st[1], st[2]) } else { (1, st[0], st[1]) };
                 let kt = rt[0];
-                vec![bt * mt * kt, bt * kt * nt]
+                out[0] = bt * mt * kt;
+                out[1] = bt * kt * nt;
+                2
             }
             Workload::Conv2d(s) => {
                 let (nt, cot, oht, owt) = (st[0], st[1], st[2], st[3]);
                 let (ct, kht, kwt) = (rt[0], rt[1], rt[2]);
                 let in_h = (oht - 1) * s.stride + s.dilation * (kht - 1) + 1;
                 let in_w = (owt - 1) * s.stride + s.dilation * (kwt - 1) + 1;
-                vec![nt * ct * in_h.min(s.h) * in_w.min(s.w), cot * ct * kht * kwt]
+                out[0] = nt * ct * in_h.min(s.h) * in_w.min(s.w);
+                out[1] = cot * ct * kht * kwt;
+                2
             }
             Workload::DepthwiseConv2d(s) => {
                 let (nt, ct, oht, owt) = (st[0], st[1], st[2], st[3]);
                 let (kht, kwt) = (rt[0], rt[1]);
                 let in_h = (oht - 1) * s.stride + kht;
                 let in_w = (owt - 1) * s.stride + kwt;
-                vec![nt * ct * in_h.min(s.h) * in_w.min(s.w), ct * kht * kwt]
+                out[0] = nt * ct * in_h.min(s.h) * in_w.min(s.w);
+                out[1] = ct * kht * kwt;
+                2
             }
             Workload::Conv3d(s) => {
                 let (nt, cot, odt, oht, owt) = (st[0], st[1], st[2], st[3], st[4]);
@@ -468,24 +503,27 @@ impl Workload {
                 let in_d = (odt - 1) * s.stride + kdt;
                 let in_h = (oht - 1) * s.stride + kht;
                 let in_w = (owt - 1) * s.stride + kwt;
-                vec![
-                    nt * ct * in_d.min(s.d) * in_h.min(s.h) * in_w.min(s.w),
-                    cot * ct * kdt * kht * kwt,
-                ]
+                out[0] = nt * ct * in_d.min(s.d) * in_h.min(s.h) * in_w.min(s.w);
+                out[1] = cot * ct * kdt * kht * kwt;
+                2
             }
             Workload::Elementwise { kind, .. } => {
                 let tile: u64 = st.iter().product();
-                let mut v = vec![tile];
+                out[0] = tile;
                 if kind.num_inputs() == 2 {
-                    let second = match kind {
+                    out[1] = match kind {
                         EwKind::BiasAdd | EwKind::BnInfer => (tile / 64).max(1),
                         _ => tile,
                     };
-                    v.push(second);
+                    2
+                } else {
+                    1
                 }
-                v
             }
-            Workload::Reduction { .. } => vec![st[0] * rt[0]],
+            Workload::Reduction { .. } => {
+                out[0] = st[0] * rt[0];
+                1
+            }
         }
     }
 
@@ -499,24 +537,54 @@ impl Workload {
     /// # Panics
     /// Panics if the slice lengths do not match the axis counts.
     pub fn innermost_contig(&self, spatial_tile: &[u64], reduce_tile: &[u64]) -> Vec<u64> {
-        let spatial_extents = self.spatial_extents();
-        let reduce_extents = self.reduce_extents();
+        let mut out = [0u64; 3];
+        let n = self.innermost_contig_into(
+            &self.spatial_extents(),
+            &self.reduce_extents(),
+            spatial_tile,
+            reduce_tile,
+            &mut out,
+        );
+        out[..n].to_vec()
+    }
+
+    /// Allocation-free [`Workload::innermost_contig`]: writes each run
+    /// length into `out` (operands first, output last) and returns the
+    /// entry count. Extents are passed in for the same caching reason as
+    /// [`Workload::operand_tile_elems_into`].
+    ///
+    /// # Panics
+    /// Panics if the tile slice lengths do not match the extent slices.
+    pub fn innermost_contig_into(
+        &self,
+        spatial_extents: &[u64],
+        reduce_extents: &[u64],
+        spatial_tile: &[u64],
+        reduce_tile: &[u64],
+        out: &mut [u64; 3],
+    ) -> usize {
         assert_eq!(spatial_tile.len(), spatial_extents.len(), "spatial tile rank mismatch");
         assert_eq!(reduce_tile.len(), reduce_extents.len(), "reduce tile rank mismatch");
-        let st: Vec<u64> = spatial_tile
-            .iter()
-            .zip(&spatial_extents)
-            .map(|(&t, &e)| t.clamp(1, e))
-            .collect();
-        let rt: Vec<u64> =
-            reduce_tile.iter().zip(&reduce_extents).map(|(&t, &e)| t.clamp(1, e)).collect();
+        let mut st = [1u64; 8];
+        let mut rt = [1u64; 8];
+        for (dst, (&t, &e)) in st.iter_mut().zip(spatial_tile.iter().zip(spatial_extents)) {
+            *dst = t.clamp(1, e);
+        }
+        for (dst, (&t, &e)) in rt.iter_mut().zip(reduce_tile.iter().zip(reduce_extents)) {
+            *dst = t.clamp(1, e);
+        }
+        let st = &st[..spatial_tile.len()];
+        let rt = &rt[..reduce_tile.len()];
         match *self {
             Workload::MatMul(s) => {
                 let nt = if s.batch > 1 { st[2] } else { st[1] };
                 let kt = rt[0];
                 // A is [b, m, k] (k innermost), B is [b, k, n] (n innermost),
                 // C is [b, m, n] (n innermost).
-                vec![kt, nt, nt]
+                out[0] = kt;
+                out[1] = nt;
+                out[2] = nt;
+                3
             }
             Workload::Conv2d(s) => {
                 let owt = st[3];
@@ -527,32 +595,48 @@ impl Workload {
                 // touched span divided by the stride.
                 let span = (owt - 1) * s.stride + s.dilation * (kwt - 1) + 1;
                 let in_w = (span / s.stride).max(1);
-                vec![in_w.min(s.w), kwt, owt]
+                out[0] = in_w.min(s.w);
+                out[1] = kwt;
+                out[2] = owt;
+                3
             }
             Workload::DepthwiseConv2d(s) => {
                 let owt = st[3];
                 let kwt = rt[1];
                 let span = (owt - 1) * s.stride + kwt;
                 let in_w = (span / s.stride).max(1);
-                vec![in_w.min(s.w), kwt, owt]
+                out[0] = in_w.min(s.w);
+                out[1] = kwt;
+                out[2] = owt;
+                3
             }
             Workload::Conv3d(s) => {
                 let owt = st[4];
                 let kwt = rt[3];
                 let span = (owt - 1) * s.stride + kwt;
                 let in_w = (span / s.stride).max(1);
-                vec![in_w.min(s.w), kwt, owt]
+                out[0] = in_w.min(s.w);
+                out[1] = kwt;
+                out[2] = owt;
+                3
             }
             Workload::Elementwise { kind, .. } => {
                 let tile: u64 = st.iter().product();
-                let mut v = vec![tile];
+                out[0] = tile;
                 if kind.num_inputs() == 2 {
-                    v.push(tile);
+                    out[1] = tile;
+                    out[2] = tile;
+                    3
+                } else {
+                    out[1] = tile;
+                    2
                 }
-                v.push(tile);
-                v
             }
-            Workload::Reduction { .. } => vec![rt[0], st[0]],
+            Workload::Reduction { .. } => {
+                out[0] = rt[0];
+                out[1] = st[0];
+                2
+            }
         }
     }
 

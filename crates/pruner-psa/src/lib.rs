@@ -41,14 +41,18 @@
 //! assert_eq!(space.len(), 128);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod columns;
 
 use pruner_gpu::GpuSpec;
 use pruner_ir::Workload;
-use pruner_sketch::{evolve, Program, ProgramStats};
+use pruner_sketch::{evolve, CandidateArena, Program, ProgramStats};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+pub use columns::{reference_columns, set_reference_columns};
 
 /// Penalty toggles for the Table 4 ablation study.
 ///
@@ -268,6 +272,119 @@ impl Psa {
         rec.span_begin("psa.prune");
         rec.counter("psa.pool_in", pool.len() as u64);
         let out = self.prune_par(pool, size, threads);
+        rec.counter("psa.survivors", out.len() as u64);
+        rec.span_end("psa.prune");
+        out
+    }
+
+    /// Approximate latencies of every candidate in an arena, in seconds —
+    /// the columnar counterpart of [`Self::estimate_batch`].
+    ///
+    /// Where the legacy batch path re-derives [`ProgramStats`] from each
+    /// program's schedule on every call, the arena already holds every
+    /// stat column (computed once at insertion and reused by PSA and the
+    /// feature extractors alike). The estimate is assembled in three column
+    /// passes (see [`columns`]) whose hot loop runs through a runtime-
+    /// dispatched AVX2 clone; accumulation stays in ascending statement
+    /// order, so the result is bit-identical to mapping [`Self::estimate`]
+    /// over the materialized programs — at any thread count.
+    /// # Panics
+    /// Panics if the arena has raw (stats-deferred) candidates — call
+    /// [`CandidateArena::ensure_stats`] after generation and dedup.
+    pub fn estimate_arena(&self, arena: &CandidateArena, threads: usize) -> Vec<f64> {
+        let n = arena.len();
+        assert!(arena.has_stats(), "estimate_arena needs stats: call ensure_stats() first");
+        let mut scores = vec![0.0f64; n];
+        if n == 0 {
+            return scores;
+        }
+        let workers = threads.max(1).min(n);
+        if workers <= 1 {
+            self.estimate_arena_band(arena, 0, &mut scores);
+            return scores;
+        }
+        let band = n.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (b, out_band) in scores.chunks_mut(band).enumerate() {
+                scope.spawn(move |_| self.estimate_arena_band(arena, b * band, out_band));
+            }
+        })
+        .expect("PSA workers must not panic");
+        scores
+    }
+
+    /// Estimates candidates `start..start + out.len()` into `out`.
+    fn estimate_arena_band(&self, arena: &CandidateArena, start: usize, out: &mut [f64]) {
+        let n = out.len();
+        let end = start + n;
+        let mut thread = vec![0.0f64; n];
+        let mut tkw = vec![0.0f64; n];
+        columns::fill_penalty_columns(
+            &self.cfg,
+            &self.spec,
+            &arena.regs_col()[start..end],
+            &arena.per_thread_reg_accesses_col()[start..end],
+            &arena.per_thread_flops_col()[start..end],
+            &arena.threads_col()[start..end],
+            &arena.num_blocks_col()[start..end],
+            &mut thread,
+            &mut tkw,
+        );
+        let t_m = self.spec.dram_gbps * 1e9;
+        let mut mem_den = vec![0.0f64; n];
+        for j in 0..arena.n_stmts() {
+            columns::fill_mem_denominator(
+                self.cfg.enable_mem,
+                t_m,
+                self.spec.mem_transaction_elems,
+                &arena.stmt_innermost_col(j)[start..end],
+                &mut mem_den,
+            );
+            columns::run_stmt_accumulate(
+                out,
+                &arena.stmt_n_ops_col(j)[start..end],
+                &thread,
+                &tkw,
+                &arena.stmt_global_col(j)[start..end],
+                &mem_den,
+            );
+        }
+    }
+
+    /// Arena counterpart of [`Self::prune_par`]: returns the indices of the
+    /// `size` lowest-estimated candidates, sorted by ascending estimate.
+    ///
+    /// Identity stays index-based — materialize survivors with
+    /// [`CandidateArena::gather`] or [`CandidateArena::program`] only at
+    /// the measure boundary. Ties keep arena order (the same stable order
+    /// as the legacy pair sort), so `gather(&prune_arena(..))` materializes
+    /// exactly the programs [`Self::prune_par`] would keep.
+    pub fn prune_arena(
+        &self,
+        arena: &CandidateArena,
+        size: usize,
+        threads: usize,
+    ) -> Vec<usize> {
+        let scores = self.estimate_arena(arena, threads);
+        let mut order: Vec<usize> = (0..arena.len()).collect();
+        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite estimates"));
+        order.truncate(size);
+        order
+    }
+
+    /// [`Self::prune_arena`] with observability: the same `psa.prune` span
+    /// and `psa.pool_in` / `psa.survivors` counters as [`Self::prune_traced`],
+    /// so the arena funnel traces byte-identically to the legacy one.
+    pub fn prune_arena_traced(
+        &self,
+        arena: &CandidateArena,
+        size: usize,
+        threads: usize,
+        rec: &mut dyn pruner_trace::Recorder,
+    ) -> Vec<usize> {
+        rec.span_begin("psa.prune");
+        rec.counter("psa.pool_in", arena.len() as u64);
+        let out = self.prune_arena(arena, size, threads);
         rec.counter("psa.survivors", out.len() as u64);
         rec.span_end("psa.prune");
         out
@@ -510,6 +627,84 @@ mod tests {
         for threads in [1, 2, 4, 16] {
             assert_eq!(psa.estimate_batch(&progs, threads), sequential);
         }
+    }
+
+    fn arena_of(wl: &Workload, n: usize, seed: u64) -> pruner_sketch::CandidateArena {
+        let ctx = std::sync::Arc::new(pruner_sketch::WorkloadCtx::new(wl));
+        let limits = HardwareLimits::default();
+        let mut a = evolve::init_arena_par(&ctx, n, &limits, seed, 0, 1);
+        a.ensure_stats();
+        a
+    }
+
+    #[test]
+    fn estimate_arena_matches_legacy_bitwise() {
+        for cfg in [PsaConfig::default(), PsaConfig::without_compute()] {
+            let psa = Psa::with_config(GpuSpec::t4(), cfg);
+            for wl in [
+                Workload::matmul(1, 512, 512, 512),
+                Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1),
+                Workload::elementwise(pruner_ir::EwKind::Gelu, 1 << 18),
+                Workload::reduction(2048, 768),
+            ] {
+                let arena = arena_of(&wl, 97, 3);
+                let progs = arena.programs();
+                let legacy = psa.estimate_batch(&progs, 1);
+                for threads in [1usize, 2, 4] {
+                    let columnar = psa.estimate_arena(&arena, threads);
+                    assert_eq!(
+                        columnar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        legacy.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "arena estimate diverged for {} at {threads} threads",
+                        wl.key()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_columns_are_bit_transparent() {
+        let psa = t4_psa();
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let arena = arena_of(&wl, 128, 9);
+        let wide = psa.estimate_arena(&arena, 1);
+        set_reference_columns(true);
+        let scalar = psa.estimate_arena(&arena, 1);
+        set_reference_columns(false);
+        assert_eq!(
+            wide.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn prune_arena_matches_legacy_prune() {
+        let psa = t4_psa();
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let arena = arena_of(&wl, 300, 5);
+        let legacy = psa.prune_par(arena.programs(), 48, 1);
+        for threads in [1usize, 4] {
+            let kept = psa.prune_arena(&arena, 48, threads);
+            assert_eq!(kept.len(), 48);
+            let materialized = arena.gather(&kept).programs();
+            assert_eq!(materialized, legacy, "prune diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn prune_arena_traced_matches_untraced_and_counts_the_funnel() {
+        use pruner_trace::TraceHandle;
+        let psa = t4_psa();
+        let wl = Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1);
+        let arena = arena_of(&wl, 120, 7);
+        let mut trace = TraceHandle::new();
+        let traced = psa.prune_arena_traced(&arena, 32, 4, &mut trace);
+        assert_eq!(traced, psa.prune_arena(&arena, 32, 4));
+        let jsonl = trace.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"psa.prune\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"psa.pool_in\",\"value\":120"), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"psa.survivors\",\"value\":32"), "{jsonl}");
     }
 
     #[test]

@@ -1,0 +1,1995 @@
+//! Struct-of-arrays candidate arena: the million-candidate hot path.
+//!
+//! The legacy pipeline materializes every candidate as a [`Program`] (two
+//! heap-backed `Vec`s per schedule) and a [`crate::stats::ProgramStats`]
+//! (two more `Vec`s), then dedups by a formatted `String` key. At pool
+//! sizes of 10⁶ candidates per round that is hundreds of MB of short-lived
+//! allocation per second. This module restructures the pool as one flat
+//! buffer per axis family — tile splits, annotations, derived statistics —
+//! with *program identity = index*. Candidates are materialized back into
+//! [`Program`]s only at the measure boundary (a few hundred per round).
+//!
+//! Bit-exactness contract: every routine here mirrors its legacy
+//! counterpart operation-for-operation — the same RNG draw order as
+//! [`Program::sample`]/[`crate::evolve::mutate`]/[`crate::evolve::crossover`],
+//! the same floating-point evaluation order as
+//! [`crate::stats::ProgramStats::compute`], and the same FNV-1a stream as
+//! [`Program::fingerprint`]. The in-file test suite pins each mirror
+//! against its oracle with shared RNG streams.
+
+use crate::config::{
+    ReduceConfig, Schedule, SimpleConfig, TileConfig, UNROLL_CANDIDATES, VECTORIZE_CANDIDATES,
+};
+use crate::limits::HardwareLimits;
+use crate::program::{fnv1a_u64, workload_fnv, Program};
+use crate::split::{divisors, pad_to_quantum};
+use crate::stats::{MemLevel, StmtKind, ELEM_BYTES};
+use pruner_ir::Workload;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Maximum spatial axes of any supported workload (conv3d has 5).
+pub const MAX_SPATIAL_AXES: usize = 5;
+/// Maximum reduction axes of any supported workload (conv3d has 4).
+pub const MAX_REDUCE_AXES: usize = 4;
+/// Maximum buffer statements per candidate (2 operands: 2×G2S + 2×S2R +
+/// compute + writeback).
+pub const MAX_ARENA_STMTS: usize = 6;
+
+/// Which schedule sketch a workload instantiates. Fixed per workload, so
+/// one arena never mixes sketch kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchKind {
+    /// Multi-level tiling (matmul / conv family).
+    MultiTile,
+    /// Flat element-wise schedule.
+    Simple,
+    /// Cross-thread row reduction.
+    RowReduce,
+}
+
+impl SketchKind {
+    /// The sketch kind [`Program::sample`] draws for `workload`.
+    pub fn of(workload: &Workload) -> SketchKind {
+        match workload {
+            Workload::Elementwise { .. } => SketchKind::Simple,
+            Workload::Reduction { .. } => SketchKind::RowReduce,
+            _ => SketchKind::MultiTile,
+        }
+    }
+}
+
+/// One candidate's genes in fixed-size form — the arena's row type.
+///
+/// Interpretation depends on the context's [`SketchKind`]:
+/// - `MultiTile`: `spatial[..n_s]`, `reduce[..n_r]`, `a0` = unroll,
+///   `a1` = vectorize, `a2` unused (0).
+/// - `Simple`: `a0` = threads, `a1` = serial, `a2` = vectorize.
+/// - `RowReduce`: `a0` = rows_per_block, `a1` = reduce_threads,
+///   `a2` = serial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneBuf {
+    /// Per spatial axis `[block, vthread, thread, serial0, serial1]`.
+    pub spatial: [[u64; 5]; MAX_SPATIAL_AXES],
+    /// Per reduction axis `[outer, mid, inner]`.
+    pub reduce: [[u64; 3]; MAX_REDUCE_AXES],
+    /// First annotation slot (see type docs).
+    pub a0: u64,
+    /// Second annotation slot.
+    pub a1: u64,
+    /// Third annotation slot.
+    pub a2: u64,
+}
+
+impl Default for GeneBuf {
+    fn default() -> Self {
+        GeneBuf {
+            spatial: [[1; 5]; MAX_SPATIAL_AXES],
+            reduce: [[1; 3]; MAX_REDUCE_AXES],
+            a0: 0,
+            a1: 0,
+            a2: 0,
+        }
+    }
+}
+
+/// Cached divisor lists for every padded-extent value sampling can reach.
+///
+/// `sample_split` draws one divisor of the remaining quotient per tile
+/// level; the quotient is always a divisor of the (possibly padded) axis
+/// extent, so the closure of reachable values is exactly the divisor sets
+/// of the padding bases. Dense-indexed by value for O(1) lookup.
+#[derive(Debug, Default)]
+struct DivisorTable {
+    /// `(offset, len)` into `flat`, indexed by value; `len == 0` = absent.
+    index: Vec<(u32, u32)>,
+    flat: Vec<u64>,
+}
+
+/// Largest padded extent the dense divisor table will index; beyond this
+/// the sampler falls back to computing divisors on the fly.
+const DIVTAB_MAX_VALUE: u64 = 1 << 22;
+
+impl DivisorTable {
+    fn build(bases: impl Iterator<Item = u64>) -> DivisorTable {
+        let mut values: Vec<u64> = Vec::new();
+        for base in bases {
+            if base == 0 || base > DIVTAB_MAX_VALUE {
+                continue;
+            }
+            // Every quotient reachable from `base` is one of its divisors.
+            values.extend(divisors(base));
+        }
+        values.sort_unstable();
+        values.dedup();
+        let max = values.last().copied().unwrap_or(0);
+        let mut index = vec![(0u32, 0u32); max as usize + 1];
+        let mut flat = Vec::new();
+        for v in values {
+            let divs = divisors(v);
+            index[v as usize] = (flat.len() as u32, divs.len() as u32);
+            flat.extend(divs);
+        }
+        DivisorTable { index, flat }
+    }
+
+    #[inline]
+    fn entry(&self, n: u64) -> Option<&[u64]> {
+        let (off, len) = *self.index.get(n as usize)?;
+        if len == 0 {
+            return None;
+        }
+        Some(&self.flat[off as usize..off as usize + len as usize])
+    }
+}
+
+/// Derived per-candidate statistics in fixed-size row form — exactly the
+/// fields PSA and the feature extractors read from
+/// [`crate::stats::ProgramStats`], minus the per-stmt `Vec`s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsRow {
+    /// Threads per block.
+    pub threads_per_block: u64,
+    /// Number of thread blocks.
+    pub num_blocks: u64,
+    /// Virtual threads per block.
+    pub vthreads: u64,
+    /// Estimated registers per thread, uncapped.
+    pub regs_per_thread: u64,
+    /// Shared memory per block, bytes.
+    pub shared_bytes_per_block: u64,
+    /// Total floating-point work including padding waste.
+    pub flops_total: f64,
+    /// Total global-memory traffic, bytes.
+    pub global_bytes: f64,
+    /// Total shared-memory traffic, bytes.
+    pub shared_traffic_bytes: f64,
+    /// Padding waste multiplier ≥ 1.
+    pub padding_waste: f64,
+    /// Per-thread arithmetic workload.
+    pub per_thread_flops: f64,
+    /// Per-thread register accesses.
+    pub per_thread_reg_accesses: f64,
+    /// Unroll annotation.
+    pub unroll: u64,
+    /// Vectorize annotation.
+    pub vectorize: u64,
+    /// Number of valid statement slots.
+    pub n_stmts: usize,
+    /// Per-stmt total operations.
+    pub stmt_n_ops: [f64; MAX_ARENA_STMTS],
+    /// Per-stmt global-memory bytes.
+    pub stmt_global: [f64; MAX_ARENA_STMTS],
+    /// Per-stmt shared-memory bytes.
+    pub stmt_shared: [f64; MAX_ARENA_STMTS],
+    /// Per-stmt innermost contiguous run length.
+    pub stmt_innermost: [u64; MAX_ARENA_STMTS],
+}
+
+impl Default for StatsRow {
+    fn default() -> Self {
+        StatsRow {
+            threads_per_block: 0,
+            num_blocks: 0,
+            vthreads: 0,
+            regs_per_thread: 0,
+            shared_bytes_per_block: 0,
+            flops_total: 0.0,
+            global_bytes: 0.0,
+            shared_traffic_bytes: 0.0,
+            padding_waste: 0.0,
+            per_thread_flops: 0.0,
+            per_thread_reg_accesses: 0.0,
+            unroll: 0,
+            vectorize: 0,
+            n_stmts: 0,
+            stmt_n_ops: [0.0; MAX_ARENA_STMTS],
+            stmt_global: [0.0; MAX_ARENA_STMTS],
+            stmt_shared: [0.0; MAX_ARENA_STMTS],
+            stmt_innermost: [0; MAX_ARENA_STMTS],
+        }
+    }
+}
+
+/// One candidate's data-flow pattern in fixed-size row form — the arena
+/// counterpart of `ProgramStats::dataflow`, filled on demand for the
+/// shortlist only (empty for non-multi-tile sketches, per the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRow {
+    /// Number of valid steps.
+    pub n: usize,
+    /// Source memory level per step.
+    pub src: [MemLevel; MAX_ARENA_STMTS],
+    /// Destination memory level per step.
+    pub dst: [MemLevel; MAX_ARENA_STMTS],
+    /// Total bytes moved per step.
+    pub bytes: [f64; MAX_ARENA_STMTS],
+    /// Bytes allocated at the destination per step.
+    pub alloc_bytes: [f64; MAX_ARENA_STMTS],
+    /// Staging iterations per step.
+    pub steps: [f64; MAX_ARENA_STMTS],
+    /// Contiguous elements per access run.
+    pub contig: [u64; MAX_ARENA_STMTS],
+    /// Cooperating threads per step.
+    pub threads: [u64; MAX_ARENA_STMTS],
+    /// Data reuse factor per step.
+    pub reuse: [f64; MAX_ARENA_STMTS],
+    /// Vector width per step.
+    pub vec: [u64; MAX_ARENA_STMTS],
+    /// Arithmetic ops attributed to the step.
+    pub ops: [f64; MAX_ARENA_STMTS],
+}
+
+impl Default for FlowRow {
+    fn default() -> Self {
+        FlowRow {
+            n: 0,
+            src: [MemLevel::Global; MAX_ARENA_STMTS],
+            dst: [MemLevel::Global; MAX_ARENA_STMTS],
+            bytes: [0.0; MAX_ARENA_STMTS],
+            alloc_bytes: [0.0; MAX_ARENA_STMTS],
+            steps: [0.0; MAX_ARENA_STMTS],
+            contig: [0; MAX_ARENA_STMTS],
+            threads: [0; MAX_ARENA_STMTS],
+            reuse: [0.0; MAX_ARENA_STMTS],
+            vec: [0; MAX_ARENA_STMTS],
+            ops: [0.0; MAX_ARENA_STMTS],
+        }
+    }
+}
+
+/// Everything about one workload that candidate generation, validity
+/// checking, statistics and fingerprinting need — computed once and shared
+/// (via `Arc`) by every arena of that workload.
+#[derive(Debug)]
+pub struct WorkloadCtx {
+    workload: Workload,
+    kind: SketchKind,
+    spatial_extents: Vec<u64>,
+    reduce_extents: Vec<u64>,
+    n_s: usize,
+    n_r: usize,
+    key_fnv: u64,
+    flops: f64,
+    output_elems: u64,
+    operand_elems: Vec<u64>,
+    num_operands: usize,
+    /// `Π` true iteration extents as f64 (MultiTile padding denominator).
+    true_iters: f64,
+    /// Per spatial axis: divisor-rich extents are never padded.
+    rich_s: [bool; MAX_SPATIAL_AXES],
+    /// Per reduction axis: same.
+    rich_r: [bool; MAX_REDUCE_AXES],
+    divtab: DivisorTable,
+    /// RowReduce `reduce_threads` options (powers of two).
+    rr_options: Vec<u64>,
+    /// Reduction rows / reduce length (RowReduce only).
+    rr_rows: u64,
+    rr_reduce: u64,
+    fallback: GeneBuf,
+    n_stmts: usize,
+    stmt_kinds: [StmtKind; MAX_ARENA_STMTS],
+    stmt_dsts: [MemLevel; MAX_ARENA_STMTS],
+}
+
+impl WorkloadCtx {
+    /// Builds the context for `workload`.
+    pub fn new(workload: &Workload) -> WorkloadCtx {
+        let kind = SketchKind::of(workload);
+        let spatial_extents = workload.spatial_extents();
+        let reduce_extents = workload.reduce_extents();
+        let n_s = spatial_extents.len();
+        let n_r = reduce_extents.len();
+        assert!(n_s <= MAX_SPATIAL_AXES, "workload has too many spatial axes");
+        assert!(n_r <= MAX_REDUCE_AXES, "workload has too many reduction axes");
+
+        let mut rich_s = [false; MAX_SPATIAL_AXES];
+        let mut rich_r = [false; MAX_REDUCE_AXES];
+        let mut bases: Vec<u64> = Vec::new();
+        if kind == SketchKind::MultiTile {
+            for (i, &e) in spatial_extents.iter().enumerate() {
+                rich_s[i] = divisors(e).len() >= 6;
+                bases.push(e);
+                for q in [2u64, 4, 8, 16] {
+                    bases.push(pad_to_quantum(e, q));
+                }
+            }
+            for (i, &e) in reduce_extents.iter().enumerate() {
+                rich_r[i] = divisors(e).len() >= 6;
+                bases.push(e);
+                for q in [2u64, 4, 8, 16] {
+                    bases.push(pad_to_quantum(e, q));
+                }
+            }
+        }
+        let divtab = DivisorTable::build(bases.into_iter());
+
+        let (rr_rows, rr_reduce, rr_options) = match *workload {
+            Workload::Reduction { outer, reduce } => {
+                let max_rt = reduce.next_power_of_two().clamp(32, 1024);
+                let mut rt = 32u64;
+                let mut options = Vec::new();
+                while rt <= max_rt {
+                    options.push(rt);
+                    rt *= 2;
+                }
+                (outer, reduce, options)
+            }
+            _ => (0, 0, Vec::new()),
+        };
+
+        let num_operands = workload.num_operands();
+        let (n_stmts, mut stmt_kinds, mut stmt_dsts) = (
+            match kind {
+                SketchKind::MultiTile => 2 * num_operands + 2,
+                SketchKind::Simple => num_operands + 2,
+                SketchKind::RowReduce => 3,
+            },
+            [StmtKind::Compute; MAX_ARENA_STMTS],
+            [MemLevel::Register; MAX_ARENA_STMTS],
+        );
+        match kind {
+            SketchKind::MultiTile => {
+                for op in 0..num_operands {
+                    stmt_kinds[op] = StmtKind::GlobalToShared;
+                    stmt_dsts[op] = MemLevel::Shared;
+                    stmt_kinds[num_operands + op] = StmtKind::SharedToRegister;
+                    stmt_dsts[num_operands + op] = MemLevel::Register;
+                }
+                stmt_kinds[2 * num_operands] = StmtKind::Compute;
+                stmt_kinds[2 * num_operands + 1] = StmtKind::WriteBack;
+                stmt_dsts[2 * num_operands + 1] = MemLevel::Global;
+            }
+            SketchKind::Simple => {
+                for k in stmt_kinds.iter_mut().take(num_operands) {
+                    *k = StmtKind::GlobalLoad;
+                }
+                stmt_kinds[num_operands] = StmtKind::Compute;
+                stmt_kinds[num_operands + 1] = StmtKind::WriteBack;
+                stmt_dsts[num_operands + 1] = MemLevel::Global;
+            }
+            SketchKind::RowReduce => {
+                stmt_kinds[0] = StmtKind::GlobalLoad;
+                stmt_kinds[1] = StmtKind::Compute;
+                stmt_kinds[2] = StmtKind::WriteBack;
+                stmt_dsts[2] = MemLevel::Global;
+            }
+        }
+
+        let mut ctx = WorkloadCtx {
+            workload: workload.clone(),
+            kind,
+            key_fnv: workload_fnv(workload),
+            flops: workload.flops(),
+            output_elems: workload.output_elems(),
+            operand_elems: workload.operand_elems(),
+            num_operands,
+            true_iters: spatial_extents
+                .iter()
+                .chain(&reduce_extents)
+                .product::<u64>() as f64,
+            spatial_extents,
+            reduce_extents,
+            n_s,
+            n_r,
+            rich_s,
+            rich_r,
+            divtab,
+            rr_options,
+            rr_rows,
+            rr_reduce,
+            fallback: GeneBuf::default(),
+            n_stmts,
+            stmt_kinds,
+            stmt_dsts,
+        };
+        ctx.fallback = ctx.genes_from_schedule(&Program::fallback(workload).schedule);
+        ctx
+    }
+
+    /// The workload this context describes.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The sketch kind every candidate of this context instantiates.
+    pub fn kind(&self) -> SketchKind {
+        self.kind
+    }
+
+    /// Number of spatial axes.
+    pub fn n_spatial(&self) -> usize {
+        self.n_s
+    }
+
+    /// Number of reduction axes.
+    pub fn n_reduce(&self) -> usize {
+        self.n_r
+    }
+
+    /// Number of buffer-statement slots per candidate.
+    pub fn n_stmts(&self) -> usize {
+        self.n_stmts
+    }
+
+    /// Statement kind of slot `j`.
+    pub fn stmt_kind(&self, j: usize) -> StmtKind {
+        self.stmt_kinds[j]
+    }
+
+    /// Destination memory level of statement slot `j`.
+    pub fn stmt_dst(&self, j: usize) -> MemLevel {
+        self.stmt_dsts[j]
+    }
+
+    /// The deterministic fallback genes ([`Program::fallback`]).
+    pub fn fallback_genes(&self) -> GeneBuf {
+        self.fallback
+    }
+
+    /// Packs a schedule into genes.
+    ///
+    /// # Panics
+    /// Panics if the schedule's sketch kind does not match the context.
+    pub fn genes_from_schedule(&self, schedule: &Schedule) -> GeneBuf {
+        let mut g = GeneBuf::default();
+        match (self.kind, schedule) {
+            (SketchKind::MultiTile, Schedule::MultiTile(t)) => {
+                assert_eq!(t.spatial.len(), self.n_s, "spatial rank mismatch");
+                assert_eq!(t.reduce.len(), self.n_r, "reduce rank mismatch");
+                g.spatial[..self.n_s].copy_from_slice(&t.spatial);
+                g.reduce[..self.n_r].copy_from_slice(&t.reduce);
+                g.a0 = t.unroll;
+                g.a1 = t.vectorize;
+            }
+            (SketchKind::Simple, Schedule::Simple(c)) => {
+                g.a0 = c.threads;
+                g.a1 = c.serial;
+                g.a2 = c.vectorize;
+            }
+            (SketchKind::RowReduce, Schedule::RowReduce(c)) => {
+                g.a0 = c.rows_per_block;
+                g.a1 = c.reduce_threads;
+                g.a2 = c.serial;
+            }
+            _ => panic!("schedule kind does not match arena context"),
+        }
+        g
+    }
+
+    /// Unpacks genes into a schedule (allocates — measure boundary only).
+    pub fn schedule_from_genes(&self, genes: &GeneBuf) -> Schedule {
+        match self.kind {
+            SketchKind::MultiTile => Schedule::MultiTile(TileConfig {
+                spatial: genes.spatial[..self.n_s].to_vec(),
+                reduce: genes.reduce[..self.n_r].to_vec(),
+                unroll: genes.a0,
+                vectorize: genes.a1,
+            }),
+            SketchKind::Simple => Schedule::Simple(SimpleConfig {
+                threads: genes.a0,
+                serial: genes.a1,
+                vectorize: genes.a2,
+            }),
+            SketchKind::RowReduce => Schedule::RowReduce(ReduceConfig {
+                rows_per_block: genes.a0,
+                reduce_threads: genes.a1,
+                serial: genes.a2,
+            }),
+        }
+    }
+
+    /// Materializes genes into a full [`Program`].
+    pub fn program_from_genes(&self, genes: &GeneBuf) -> Program {
+        Program::new(self.workload.clone(), self.schedule_from_genes(genes))
+    }
+
+    /// FNV-1a fingerprint of the genes — bit-identical to
+    /// [`Program::fingerprint`] of the materialized program.
+    pub fn fingerprint_genes(&self, genes: &GeneBuf) -> u64 {
+        let mut h = self.key_fnv;
+        match self.kind {
+            SketchKind::MultiTile => {
+                h = fnv1a_u64(h, 1);
+                h = fnv1a_u64(h, self.n_s as u64);
+                for s in &genes.spatial[..self.n_s] {
+                    for &v in s {
+                        h = fnv1a_u64(h, v);
+                    }
+                }
+                h = fnv1a_u64(h, self.n_r as u64);
+                for r in &genes.reduce[..self.n_r] {
+                    for &v in r {
+                        h = fnv1a_u64(h, v);
+                    }
+                }
+                h = fnv1a_u64(h, genes.a0);
+                fnv1a_u64(h, genes.a1)
+            }
+            SketchKind::Simple | SketchKind::RowReduce => {
+                h = fnv1a_u64(h, if self.kind == SketchKind::Simple { 2 } else { 3 });
+                h = fnv1a_u64(h, genes.a0);
+                h = fnv1a_u64(h, genes.a1);
+                fnv1a_u64(h, genes.a2)
+            }
+        }
+    }
+
+    /// Samples one padded extent, mirroring `sample_padding` draw-for-draw:
+    /// rich extents return immediately (no draw), otherwise one `gen_bool`
+    /// and possibly one quantum draw.
+    #[inline]
+    fn sample_padded_extent(&self, extent: u64, rich: bool, rng: &mut impl Rng) -> u64 {
+        if rich || rng.gen_bool(0.5) {
+            return extent;
+        }
+        let quantum = [2u64, 4, 8, 16][rng.gen_range(0..4)];
+        pad_to_quantum(extent, quantum)
+    }
+
+    /// Samples a divisor chain of `out.len()` factors multiplying to
+    /// `extent`, mirroring `sample_split` draw-for-draw but using the
+    /// cached divisor table instead of per-call `Vec` allocation.
+    #[inline]
+    fn sample_split_into(&self, extent: u64, out: &mut [u64], rng: &mut impl Rng) {
+        let parts = out.len();
+        let mut remaining = extent;
+        for slot in out.iter_mut().take(parts - 1) {
+            let f = match self.divtab.entry(remaining) {
+                Some(divs) => divs[rng.gen_range(0..divs.len())],
+                None => {
+                    // Padded extent outside the table (gigantic axes only).
+                    let divs = divisors(remaining);
+                    divs[rng.gen_range(0..divs.len())]
+                }
+            };
+            *slot = f;
+            remaining /= f;
+        }
+        out[parts - 1] = remaining;
+    }
+
+    /// Draws one raw (unvalidated) candidate, mirroring `sample_schedule`.
+    fn sample_genes_unchecked(&self, rng: &mut impl Rng) -> GeneBuf {
+        let mut g = GeneBuf::default();
+        match self.kind {
+            SketchKind::MultiTile => {
+                for i in 0..self.n_s {
+                    let padded =
+                        self.sample_padded_extent(self.spatial_extents[i], self.rich_s[i], rng);
+                    self.sample_split_into(padded, &mut g.spatial[i], rng);
+                }
+                for i in 0..self.n_r {
+                    let padded =
+                        self.sample_padded_extent(self.reduce_extents[i], self.rich_r[i], rng);
+                    self.sample_split_into(padded, &mut g.reduce[i], rng);
+                }
+                g.a0 = UNROLL_CANDIDATES[rng.gen_range(0..UNROLL_CANDIDATES.len())];
+                g.a1 = VECTORIZE_CANDIDATES[rng.gen_range(0..VECTORIZE_CANDIDATES.len())];
+            }
+            SketchKind::Simple => {
+                g.a0 = [32u64, 64, 128, 256, 512, 1024][rng.gen_range(0..6)];
+                g.a1 = [1u64, 2, 4, 8, 16][rng.gen_range(0..5)];
+                g.a2 = VECTORIZE_CANDIDATES[rng.gen_range(0..VECTORIZE_CANDIDATES.len())];
+            }
+            SketchKind::RowReduce => {
+                g.a1 = self.rr_options[rng.gen_range(0..self.rr_options.len())];
+                g.a0 = [1u64, 2, 4, 8][rng.gen_range(0..4)];
+                g.a2 = [1u64, 2, 4, 8][rng.gen_range(0..4)];
+            }
+        }
+        g
+    }
+
+    /// Samples a valid candidate, mirroring [`Program::sample`] (64
+    /// rejection tries, then the deterministic fallback).
+    pub fn sample_genes(&self, limits: &HardwareLimits, rng: &mut impl Rng) -> GeneBuf {
+        for _ in 0..64 {
+            let g = self.sample_genes_unchecked(rng);
+            if self.genes_valid(&g, limits) {
+                return g;
+            }
+        }
+        self.fallback
+    }
+
+    /// Mutates one gene, mirroring [`crate::evolve::mutate`] draw-for-draw
+    /// (16 rejection tries, then the unchanged parent).
+    pub fn mutate_genes(
+        &self,
+        parent: &GeneBuf,
+        limits: &HardwareLimits,
+        rng: &mut impl Rng,
+    ) -> GeneBuf {
+        for _ in 0..16 {
+            let mut child = *parent;
+            match self.kind {
+                SketchKind::MultiTile => {
+                    let gene = rng.gen_range(0..self.n_s + self.n_r + 2);
+                    if gene < self.n_s {
+                        let padded = self.sample_padded_extent(
+                            self.spatial_extents[gene],
+                            self.rich_s[gene],
+                            rng,
+                        );
+                        self.sample_split_into(padded, &mut child.spatial[gene], rng);
+                    } else if gene < self.n_s + self.n_r {
+                        let axis = gene - self.n_s;
+                        let padded = self.sample_padded_extent(
+                            self.reduce_extents[axis],
+                            self.rich_r[axis],
+                            rng,
+                        );
+                        self.sample_split_into(padded, &mut child.reduce[axis], rng);
+                    } else if gene == self.n_s + self.n_r {
+                        child.a0 = UNROLL_CANDIDATES[rng.gen_range(0..UNROLL_CANDIDATES.len())];
+                    } else {
+                        child.a1 =
+                            VECTORIZE_CANDIDATES[rng.gen_range(0..VECTORIZE_CANDIDATES.len())];
+                    }
+                }
+                SketchKind::Simple => match rng.gen_range(0..3) {
+                    0 => child.a0 = [32u64, 64, 128, 256, 512, 1024][rng.gen_range(0..6)],
+                    1 => child.a1 = [1u64, 2, 4, 8, 16][rng.gen_range(0..5)],
+                    _ => {
+                        child.a2 =
+                            VECTORIZE_CANDIDATES[rng.gen_range(0..VECTORIZE_CANDIDATES.len())]
+                    }
+                },
+                SketchKind::RowReduce => match rng.gen_range(0..3) {
+                    0 => child.a0 = [1u64, 2, 4, 8][rng.gen_range(0..4)],
+                    // Mutation draws from a fixed list, not the sampler's
+                    // extent-dependent options (mirrors evolve::mutate).
+                    1 => child.a1 = [32u64, 64, 128, 256, 512][rng.gen_range(0..5)],
+                    _ => child.a2 = [1u64, 2, 4, 8][rng.gen_range(0..4)],
+                },
+            }
+            if self.genes_valid(&child, limits) {
+                return child;
+            }
+        }
+        *parent
+    }
+
+    /// Recombines two parents, mirroring [`crate::evolve::crossover`]
+    /// draw-for-draw. Both parents share this context, so the mismatched-
+    /// sketch arm of the legacy operator cannot occur.
+    pub fn crossover_genes(
+        &self,
+        a: &GeneBuf,
+        b: &GeneBuf,
+        limits: &HardwareLimits,
+        rng: &mut impl Rng,
+    ) -> GeneBuf {
+        for _ in 0..16 {
+            let mut child = *a;
+            match self.kind {
+                SketchKind::MultiTile => {
+                    for i in 0..self.n_s {
+                        if rng.gen_bool(0.5) {
+                            child.spatial[i] = b.spatial[i];
+                        }
+                    }
+                    for i in 0..self.n_r {
+                        if rng.gen_bool(0.5) {
+                            child.reduce[i] = b.reduce[i];
+                        }
+                    }
+                    if rng.gen_bool(0.5) {
+                        child.a0 = b.a0;
+                    }
+                    if rng.gen_bool(0.5) {
+                        child.a1 = b.a1;
+                    }
+                }
+                SketchKind::Simple | SketchKind::RowReduce => {
+                    if rng.gen_bool(0.5) {
+                        child.a0 = b.a0;
+                    }
+                    if rng.gen_bool(0.5) {
+                        child.a1 = b.a1;
+                    }
+                    if rng.gen_bool(0.5) {
+                        child.a2 = b.a2;
+                    }
+                }
+            }
+            if self.genes_valid(&child, limits) {
+                return child;
+            }
+        }
+        *a
+    }
+
+    /// Allocation-free validity check, same verdicts in the same order as
+    /// [`Program::is_valid`].
+    pub fn genes_valid(&self, genes: &GeneBuf, limits: &HardwareLimits) -> bool {
+        let (threads, shared, regs, vthreads, blocks, ept) = match self.kind {
+            SketchKind::MultiTile => {
+                let mut blocks = 1u64;
+                let mut vthreads = 1u64;
+                let mut threads = 1u64;
+                let mut ept_serial = 1u64;
+                let mut block_tile = [1u64; MAX_SPATIAL_AXES];
+                let mut thread_tile = [1u64; MAX_SPATIAL_AXES];
+                for (i, s) in genes.spatial[..self.n_s].iter().enumerate() {
+                    blocks *= s[0];
+                    vthreads *= s[1];
+                    threads *= s[2];
+                    ept_serial *= s[3] * s[4];
+                    block_tile[i] = s[1] * s[2] * s[3] * s[4];
+                    thread_tile[i] = s[3] * s[4];
+                }
+                let ept = vthreads * ept_serial;
+                let mut reduce_chunk = [1u64; MAX_REDUCE_AXES];
+                let mut reduce_inner = [1u64; MAX_REDUCE_AXES];
+                for (i, r) in genes.reduce[..self.n_r].iter().enumerate() {
+                    reduce_chunk[i] = r[1] * r[2];
+                    reduce_inner[i] = r[2];
+                }
+                let mut fp = [0u64; 2];
+                let n_fp = self.workload.operand_tile_elems_into(
+                    &self.spatial_extents,
+                    &self.reduce_extents,
+                    &block_tile[..self.n_s],
+                    &reduce_chunk[..self.n_r],
+                    &mut fp,
+                );
+                let shared: u64 = fp[..n_fp].iter().sum::<u64>() * ELEM_BYTES;
+                let n_fp = self.workload.operand_tile_elems_into(
+                    &self.spatial_extents,
+                    &self.reduce_extents,
+                    &thread_tile[..self.n_s],
+                    &reduce_inner[..self.n_r],
+                    &mut fp,
+                );
+                let regs = ept + fp[..n_fp].iter().sum::<u64>() + 16;
+                (threads, shared, regs, vthreads, blocks, ept)
+            }
+            SketchKind::Simple => {
+                let per_block = genes.a0 * genes.a1 * genes.a2;
+                let blocks = self.output_elems.div_ceil(per_block).max(1);
+                (genes.a0, 0, 8 + genes.a1 * genes.a2, 1, blocks, 0)
+            }
+            SketchKind::RowReduce => {
+                let threads = genes.a0 * genes.a1;
+                let blocks = self.rr_rows.div_ceil(genes.a0).max(1);
+                let shared = threads * ELEM_BYTES;
+                (threads, shared, 8 + genes.a2, 1, blocks, 0)
+            }
+        };
+        if threads == 0 || threads > limits.max_threads_per_block {
+            return false;
+        }
+        if shared > limits.max_shared_bytes_per_block {
+            return false;
+        }
+        if regs > limits.register_reject_bound() {
+            return false;
+        }
+        if vthreads > limits.max_vthreads {
+            return false;
+        }
+        if blocks == 0 || blocks > u32::MAX as u64 {
+            return false;
+        }
+        if self.kind == SketchKind::MultiTile && ept > 1024 {
+            return false;
+        }
+        true
+    }
+
+    /// Computes the full statistics row for `genes` — bit-identical to
+    /// [`crate::stats::ProgramStats::compute`] on the materialized program.
+    pub fn compute_row(&self, genes: &GeneBuf, row: &mut StatsRow) {
+        match self.kind {
+            SketchKind::MultiTile => self.compute_row_multitile(genes, row),
+            SketchKind::Simple => self.compute_row_simple(genes, row),
+            SketchKind::RowReduce => self.compute_row_rowreduce(genes, row),
+        }
+    }
+
+    fn compute_row_multitile(&self, genes: &GeneBuf, row: &mut StatsRow) {
+        let d = self.derive_mt(genes);
+        row.threads_per_block = d.threads;
+        row.num_blocks = d.num_blocks;
+        row.vthreads = d.vthreads;
+        row.regs_per_thread = d.regs;
+        row.shared_bytes_per_block = d.shared_bytes_per_block;
+        row.flops_total = d.flops_total;
+        row.global_bytes = d.global_bytes;
+        row.shared_traffic_bytes = d.shared_traffic;
+        row.padding_waste = d.padding_waste;
+        row.per_thread_flops = d.per_thread_flops;
+        row.per_thread_reg_accesses = d.per_thread_flops * 1.5;
+        row.unroll = genes.a0;
+        row.vectorize = genes.a1;
+        row.n_stmts = self.n_stmts;
+        let n_ops_addressing_per_byte = 0.02;
+        for op in 0..self.num_operands {
+            let bytes = d.num_blocks as f64
+                * d.outer_steps as f64
+                * (d.block_fp[op] * ELEM_BYTES) as f64;
+            row.stmt_n_ops[op] = bytes * n_ops_addressing_per_byte;
+            row.stmt_global[op] = bytes;
+            row.stmt_shared[op] = bytes;
+            row.stmt_innermost[op] = d.contig_g[op];
+        }
+        for op in 0..self.num_operands {
+            let j = self.num_operands + op;
+            let bytes =
+                d.shared_traffic * (d.thread_fp[op] as f64) / (d.thread_fp_sum.max(1) as f64);
+            row.stmt_n_ops[j] = bytes * n_ops_addressing_per_byte;
+            row.stmt_global[j] = 0.0;
+            row.stmt_shared[j] = bytes;
+            row.stmt_innermost[j] = d.contig_t[op];
+        }
+        let jc = 2 * self.num_operands;
+        row.stmt_n_ops[jc] = d.flops_total;
+        row.stmt_global[jc] = 0.0;
+        row.stmt_shared[jc] = 0.0;
+        row.stmt_innermost[jc] = d.out_contig_t;
+        let jw = jc + 1;
+        row.stmt_n_ops[jw] = d.store_bytes * n_ops_addressing_per_byte;
+        row.stmt_global[jw] = d.store_bytes;
+        row.stmt_shared[jw] = 0.0;
+        row.stmt_innermost[jw] = d.wb_innermost;
+    }
+
+    fn compute_row_simple(&self, genes: &GeneBuf, row: &mut StatsRow) {
+        let len = self.output_elems;
+        let (threads, serial, vectorize) = (genes.a0, genes.a1, genes.a2);
+        let per_block = threads * serial * vectorize;
+        let num_blocks = len.div_ceil(per_block).max(1);
+        let covered = num_blocks * threads * serial * vectorize;
+        let padding_waste = covered as f64 / len as f64;
+        let flops_total = self.flops * padding_waste.min(2.0);
+
+        let mut load_bytes = 0.0f64;
+        for &e in &self.operand_elems {
+            load_bytes += (e * ELEM_BYTES) as f64;
+        }
+        let store_bytes = (len * ELEM_BYTES) as f64;
+        let contig = (threads * vectorize).min(len);
+
+        for (op, &e) in self.operand_elems.iter().enumerate() {
+            row.stmt_n_ops[op] = 0.0;
+            row.stmt_global[op] = (e * ELEM_BYTES) as f64;
+            row.stmt_shared[op] = 0.0;
+            row.stmt_innermost[op] = contig;
+        }
+        let jc = self.num_operands;
+        row.stmt_n_ops[jc] = flops_total;
+        row.stmt_global[jc] = 0.0;
+        row.stmt_shared[jc] = 0.0;
+        row.stmt_innermost[jc] = vectorize;
+        let jw = jc + 1;
+        row.stmt_n_ops[jw] = 0.0;
+        row.stmt_global[jw] = store_bytes;
+        row.stmt_shared[jw] = 0.0;
+        row.stmt_innermost[jw] = contig;
+
+        let per_thread_flops = flops_total / (num_blocks as f64 * threads as f64);
+        row.threads_per_block = threads;
+        row.num_blocks = num_blocks;
+        row.vthreads = 1;
+        row.regs_per_thread = 8 + serial * vectorize;
+        row.shared_bytes_per_block = 0;
+        row.flops_total = flops_total;
+        row.global_bytes = load_bytes + store_bytes;
+        row.shared_traffic_bytes = 0.0;
+        row.padding_waste = padding_waste;
+        row.per_thread_flops = per_thread_flops;
+        row.per_thread_reg_accesses = per_thread_flops * 2.0;
+        row.unroll = 0;
+        row.vectorize = vectorize;
+        row.n_stmts = self.n_stmts;
+    }
+
+    fn compute_row_rowreduce(&self, genes: &GeneBuf, row: &mut StatsRow) {
+        let (rows, r) = (self.rr_rows, self.rr_reduce);
+        let (rows_per_block, reduce_threads, serial) = (genes.a0, genes.a1, genes.a2);
+        let num_blocks = rows.div_ceil(rows_per_block).max(1);
+        let threads = rows_per_block * reduce_threads;
+        let chunk = reduce_threads * serial;
+        let steps = r.div_ceil(chunk).max(1);
+        let padded = steps * chunk;
+        let padding_waste = (padded as f64 / r as f64).max(1.0)
+            * (num_blocks * rows_per_block) as f64
+            / rows as f64;
+        let flops_total = self.flops * padding_waste;
+
+        let load_bytes = (rows * r * ELEM_BYTES) as f64;
+        let store_bytes = (rows * ELEM_BYTES) as f64;
+
+        row.stmt_n_ops[0] = 0.0;
+        row.stmt_global[0] = load_bytes;
+        row.stmt_shared[0] = 0.0;
+        row.stmt_innermost[0] = (serial * reduce_threads).min(r);
+        row.stmt_n_ops[1] = flops_total;
+        row.stmt_global[1] = 0.0;
+        row.stmt_shared[1] = (num_blocks * threads * ELEM_BYTES) as f64
+            * (reduce_threads as f64).log2().max(1.0);
+        row.stmt_innermost[1] = serial;
+        row.stmt_n_ops[2] = 0.0;
+        row.stmt_global[2] = store_bytes;
+        row.stmt_shared[2] = 0.0;
+        row.stmt_innermost[2] = rows_per_block.min(rows);
+
+        let per_thread_flops = flops_total / (num_blocks as f64 * threads as f64);
+        row.threads_per_block = threads;
+        row.num_blocks = num_blocks;
+        row.vthreads = 1;
+        row.regs_per_thread = 8 + serial;
+        row.shared_bytes_per_block = threads * ELEM_BYTES;
+        row.flops_total = flops_total;
+        row.global_bytes = load_bytes + store_bytes;
+        row.shared_traffic_bytes = (num_blocks * threads * ELEM_BYTES) as f64 * 2.0;
+        row.padding_waste = padding_waste;
+        row.per_thread_flops = per_thread_flops;
+        row.per_thread_reg_accesses = per_thread_flops * 2.0;
+        row.unroll = 0;
+        row.vectorize = 1;
+        row.n_stmts = self.n_stmts;
+    }
+
+    /// Fills the data-flow row for `genes` — bit-identical to
+    /// `ProgramStats::compute(..).dataflow`. Empty (`n == 0`) for
+    /// non-multi-tile sketches.
+    pub fn flow_row(&self, genes: &GeneBuf, row: &mut FlowRow) {
+        if self.kind != SketchKind::MultiTile {
+            row.n = 0;
+            return;
+        }
+        let d = self.derive_mt(genes);
+        row.n = self.n_stmts;
+        for op in 0..self.num_operands {
+            let bytes = d.num_blocks as f64
+                * d.outer_steps as f64
+                * (d.block_fp[op] * ELEM_BYTES) as f64;
+            row.src[op] = MemLevel::Global;
+            row.dst[op] = MemLevel::Shared;
+            row.bytes[op] = bytes;
+            row.alloc_bytes[op] = (d.block_fp[op] * ELEM_BYTES) as f64;
+            row.steps[op] = d.outer_steps as f64;
+            row.contig[op] = d.contig_g[op];
+            row.threads[op] = d.threads;
+            row.reuse[op] = bytes / ((self.operand_elems[op] * ELEM_BYTES) as f64);
+            row.vec[op] = genes.a1;
+            row.ops[op] = 0.0;
+        }
+        for op in 0..self.num_operands {
+            let j = self.num_operands + op;
+            let bytes =
+                d.shared_traffic * (d.thread_fp[op] as f64) / (d.thread_fp_sum.max(1) as f64);
+            row.src[j] = MemLevel::Shared;
+            row.dst[j] = MemLevel::Register;
+            row.bytes[j] = bytes;
+            row.alloc_bytes[j] = (d.thread_fp[op] * ELEM_BYTES) as f64;
+            row.steps[j] = (d.mid_steps * d.outer_steps) as f64;
+            row.contig[j] = d.contig_t[op];
+            row.threads[j] = d.threads;
+            row.reuse[j] = if d.block_fp[op] > 0 {
+                bytes / ((d.block_fp[op] * ELEM_BYTES) as f64 * d.num_blocks as f64)
+            } else {
+                0.0
+            };
+            row.vec[j] = 1;
+            row.ops[j] = 0.0;
+        }
+        let jc = 2 * self.num_operands;
+        row.src[jc] = MemLevel::Register;
+        row.dst[jc] = MemLevel::Register;
+        row.bytes[jc] = 0.0;
+        row.alloc_bytes[jc] = (d.ept * ELEM_BYTES) as f64;
+        row.steps[jc] = d.padded_r_prod as f64;
+        row.contig[jc] = d.out_contig_t;
+        row.threads[jc] = d.threads;
+        row.reuse[jc] = 1.0;
+        row.vec[jc] = 1;
+        row.ops[jc] = d.flops_total;
+        let jw = jc + 1;
+        row.src[jw] = MemLevel::Register;
+        row.dst[jw] = MemLevel::Global;
+        row.bytes[jw] = d.store_bytes;
+        row.alloc_bytes[jw] = d.store_bytes;
+        row.steps[jw] = 1.0;
+        row.contig[jw] = d.out_contig_g;
+        row.threads[jw] = d.threads;
+        row.reuse[jw] = 1.0;
+        row.vec[jw] = 1;
+        row.ops[jw] = 0.0;
+    }
+
+    /// All multi-tile intermediates, computed once and shared by the stats
+    /// and flow row fillers so both stay bit-identical to the legacy path.
+    fn derive_mt(&self, genes: &GeneBuf) -> MtDerived {
+        let mut num_blocks = 1u64;
+        let mut vthreads = 1u64;
+        let mut threads = 1u64;
+        let mut ept_serial = 1u64;
+        let mut padded_s_prod = 1u64;
+        let mut block_tile = [1u64; MAX_SPATIAL_AXES];
+        let mut thread_tile = [1u64; MAX_SPATIAL_AXES];
+        for (i, s) in genes.spatial[..self.n_s].iter().enumerate() {
+            num_blocks *= s[0];
+            vthreads *= s[1];
+            threads *= s[2];
+            ept_serial *= s[3] * s[4];
+            block_tile[i] = s[1] * s[2] * s[3] * s[4];
+            thread_tile[i] = s[3] * s[4];
+            padded_s_prod *= s[0] * s[1] * s[2] * s[3] * s[4];
+        }
+        let ept = vthreads * ept_serial;
+        let mut outer_steps = 1u64;
+        let mut mid_steps = 1u64;
+        let mut padded_r_prod = 1u64;
+        let mut reduce_chunk = [1u64; MAX_REDUCE_AXES];
+        let mut reduce_inner = [1u64; MAX_REDUCE_AXES];
+        for (i, r) in genes.reduce[..self.n_r].iter().enumerate() {
+            outer_steps *= r[0];
+            mid_steps *= r[0] * r[1];
+            padded_r_prod *= r[0] * r[1] * r[2];
+            reduce_chunk[i] = r[1] * r[2];
+            reduce_inner[i] = r[2];
+        }
+        // Same chained u64 product as the legacy `padded_iters`.
+        let padded_iters = (padded_s_prod * padded_r_prod) as f64;
+        let padding_waste = padded_iters / self.true_iters;
+        let flops_total = self.flops * padding_waste;
+
+        let mut block_fp = [0u64; 2];
+        self.workload.operand_tile_elems_into(
+            &self.spatial_extents,
+            &self.reduce_extents,
+            &block_tile[..self.n_s],
+            &reduce_chunk[..self.n_r],
+            &mut block_fp,
+        );
+        let shared_bytes_per_block: u64 =
+            block_fp[..self.num_operands].iter().sum::<u64>() * ELEM_BYTES;
+        let mut thread_fp = [0u64; 2];
+        self.workload.operand_tile_elems_into(
+            &self.spatial_extents,
+            &self.reduce_extents,
+            &thread_tile[..self.n_s],
+            &reduce_inner[..self.n_r],
+            &mut thread_fp,
+        );
+        let thread_fp_sum: u64 = thread_fp[..self.num_operands].iter().sum();
+        let regs = ept + thread_fp_sum + 16;
+
+        let mut per_step_load_bytes = 0.0f64;
+        for &e in &block_fp[..self.num_operands] {
+            per_step_load_bytes += (e * ELEM_BYTES) as f64;
+        }
+        let load_bytes = num_blocks as f64 * outer_steps as f64 * per_step_load_bytes;
+        let store_bytes = padded_s_prod as f64 * ELEM_BYTES as f64;
+        let global_bytes = load_bytes + store_bytes;
+
+        let mut per_iter_frag_bytes = 0.0f64;
+        for &e in &thread_fp[..self.num_operands] {
+            per_iter_frag_bytes += (e * ELEM_BYTES) as f64;
+        }
+        let shared_traffic = num_blocks as f64 * threads as f64 * mid_steps as f64
+            * per_iter_frag_bytes
+            * vthreads as f64;
+
+        let per_thread_flops = flops_total / (num_blocks as f64 * threads as f64);
+
+        let mut contig_g = [0u64; 3];
+        let n_contig = self.workload.innermost_contig_into(
+            &self.spatial_extents,
+            &self.reduce_extents,
+            &block_tile[..self.n_s],
+            &reduce_chunk[..self.n_r],
+            &mut contig_g,
+        );
+        let mut contig_t = [0u64; 3];
+        self.workload.innermost_contig_into(
+            &self.spatial_extents,
+            &self.reduce_extents,
+            &thread_tile[..self.n_s],
+            &reduce_inner[..self.n_r],
+            &mut contig_t,
+        );
+        let out_contig_g = contig_g[n_contig - 1];
+        let out_contig_t = contig_t[n_contig - 1];
+        let last = genes.spatial[self.n_s - 1];
+        let wb_innermost = out_contig_g.max(last[2] * last[3] * last[4]);
+
+        MtDerived {
+            num_blocks,
+            threads,
+            vthreads,
+            ept,
+            outer_steps,
+            mid_steps,
+            padded_r_prod,
+            padding_waste,
+            flops_total,
+            block_fp,
+            thread_fp,
+            thread_fp_sum,
+            shared_bytes_per_block,
+            regs,
+            store_bytes,
+            global_bytes,
+            shared_traffic,
+            per_thread_flops,
+            contig_g,
+            contig_t,
+            out_contig_g,
+            out_contig_t,
+            wb_innermost,
+        }
+    }
+}
+
+/// Multi-tile intermediates shared between stats and flow row fillers.
+struct MtDerived {
+    num_blocks: u64,
+    threads: u64,
+    vthreads: u64,
+    ept: u64,
+    outer_steps: u64,
+    mid_steps: u64,
+    padded_r_prod: u64,
+    padding_waste: f64,
+    flops_total: f64,
+    block_fp: [u64; 2],
+    thread_fp: [u64; 2],
+    thread_fp_sum: u64,
+    shared_bytes_per_block: u64,
+    regs: u64,
+    store_bytes: f64,
+    global_bytes: f64,
+    shared_traffic: f64,
+    per_thread_flops: f64,
+    contig_g: [u64; 3],
+    contig_t: [u64; 3],
+    out_contig_g: u64,
+    out_contig_t: u64,
+    wb_innermost: u64,
+}
+
+/// Struct-of-arrays candidate pool: one flat column per gene family and
+/// per derived statistic, with program identity = index.
+///
+/// Statement columns are stored slot-major (`stmt_*[j]` is the column of
+/// statement slot `j` across all candidates), so PSA's accumulation loops
+/// run contiguously over candidates and auto-vectorize while preserving
+/// each candidate's ascending-slot accumulation order.
+#[derive(Debug)]
+pub struct CandidateArena {
+    ctx: Arc<WorkloadCtx>,
+    len: usize,
+    /// Number of leading candidates whose stats columns are filled. Stats
+    /// are computed lazily ([`CandidateArena::ensure_stats`]) so duplicate
+    /// candidates dropped by dedup never pay for a stats row; the filled
+    /// region is always a contiguous prefix.
+    stats_len: usize,
+    // Gene columns.
+    spatial: Vec<u64>,
+    reduce: Vec<u64>,
+    ann: Vec<u64>,
+    fp: Vec<u64>,
+    // Scalar stat columns.
+    threads: Vec<u64>,
+    num_blocks: Vec<u64>,
+    vthreads: Vec<u64>,
+    regs: Vec<u64>,
+    shared_bytes: Vec<u64>,
+    flops_total: Vec<f64>,
+    global_bytes: Vec<f64>,
+    shared_traffic: Vec<f64>,
+    padding_waste: Vec<f64>,
+    ptf: Vec<f64>,
+    ptra: Vec<f64>,
+    unroll: Vec<u64>,
+    vectorize: Vec<u64>,
+    // Statement columns, slot-major.
+    stmt_n_ops: Vec<Vec<f64>>,
+    stmt_global: Vec<Vec<f64>>,
+    stmt_shared: Vec<Vec<f64>>,
+    stmt_innermost: Vec<Vec<u64>>,
+}
+
+impl CandidateArena {
+    /// Creates an empty arena for `ctx`.
+    pub fn new(ctx: Arc<WorkloadCtx>) -> CandidateArena {
+        Self::with_capacity(ctx, 0)
+    }
+
+    /// Creates an empty arena with reserved capacity.
+    pub fn with_capacity(ctx: Arc<WorkloadCtx>, cap: usize) -> CandidateArena {
+        let n_stmts = ctx.n_stmts;
+        let (n_s, n_r) = (ctx.n_s, ctx.n_r);
+        CandidateArena {
+            ctx,
+            len: 0,
+            stats_len: 0,
+            spatial: Vec::with_capacity(cap * n_s * 5),
+            reduce: Vec::with_capacity(cap * n_r * 3),
+            ann: Vec::with_capacity(cap * 3),
+            fp: Vec::with_capacity(cap),
+            threads: Vec::with_capacity(cap),
+            num_blocks: Vec::with_capacity(cap),
+            vthreads: Vec::with_capacity(cap),
+            regs: Vec::with_capacity(cap),
+            shared_bytes: Vec::with_capacity(cap),
+            flops_total: Vec::with_capacity(cap),
+            global_bytes: Vec::with_capacity(cap),
+            shared_traffic: Vec::with_capacity(cap),
+            padding_waste: Vec::with_capacity(cap),
+            ptf: Vec::with_capacity(cap),
+            ptra: Vec::with_capacity(cap),
+            unroll: Vec::with_capacity(cap),
+            vectorize: Vec::with_capacity(cap),
+            stmt_n_ops: (0..n_stmts).map(|_| Vec::with_capacity(cap)).collect(),
+            stmt_global: (0..n_stmts).map(|_| Vec::with_capacity(cap)).collect(),
+            stmt_shared: (0..n_stmts).map(|_| Vec::with_capacity(cap)).collect(),
+            stmt_innermost: (0..n_stmts).map(|_| Vec::with_capacity(cap)).collect(),
+        }
+    }
+
+    /// The shared workload context.
+    pub fn ctx(&self) -> &Arc<WorkloadCtx> {
+        &self.ctx
+    }
+
+    /// The workload every candidate schedules.
+    pub fn workload(&self) -> &Workload {
+        self.ctx.workload()
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of buffer-statement slots per candidate.
+    pub fn n_stmts(&self) -> usize {
+        self.ctx.n_stmts
+    }
+
+    /// Appends one candidate: computes its stats row and fingerprint and
+    /// pushes every column.
+    pub fn push_genes(&mut self, genes: &GeneBuf) {
+        let mut row = StatsRow::default();
+        self.ctx.compute_row(genes, &mut row);
+        let fp = self.ctx.fingerprint_genes(genes);
+        self.push_computed(genes, &row, fp);
+    }
+
+    /// Appends one candidate's genes and fingerprint only, deferring the
+    /// stats row to [`CandidateArena::ensure_stats`]. This is the hot
+    /// generation path: a candidate that dedup later drops never pays for
+    /// stats.
+    pub fn push_genes_raw(&mut self, genes: &GeneBuf) {
+        self.push_gene_columns(genes);
+        self.fp.push(self.ctx.fingerprint_genes(genes));
+        self.len += 1;
+    }
+
+    /// Whether every candidate has a computed stats row.
+    pub fn has_stats(&self) -> bool {
+        self.stats_len == self.len
+    }
+
+    /// Computes stats rows for every candidate that does not have one yet
+    /// (idempotent). Call after raw generation + dedup, before handing the
+    /// arena to PSA or featurization.
+    pub fn ensure_stats(&mut self) {
+        let mut row = StatsRow::default();
+        for i in self.stats_len..self.len {
+            self.ctx.compute_row(&self.genes(i), &mut row);
+            self.push_stats_row(&row);
+        }
+        self.stats_len = self.len;
+    }
+
+    fn push_gene_columns(&mut self, genes: &GeneBuf) {
+        for s in &genes.spatial[..self.ctx.n_s] {
+            self.spatial.extend_from_slice(s);
+        }
+        for r in &genes.reduce[..self.ctx.n_r] {
+            self.reduce.extend_from_slice(r);
+        }
+        self.ann.extend_from_slice(&[genes.a0, genes.a1, genes.a2]);
+    }
+
+    /// Appends one candidate from an already-computed row (no recompute).
+    ///
+    /// # Panics
+    /// Panics if this arena has a raw (stats-deferred) tail — eager and
+    /// raw pushes cannot interleave without breaking the stats prefix.
+    pub fn push_computed(&mut self, genes: &GeneBuf, row: &StatsRow, fp: u64) {
+        assert!(self.stats_len == self.len, "eager push onto a raw-tail arena");
+        self.push_gene_columns(genes);
+        self.fp.push(fp);
+        self.push_stats_row(row);
+        self.len += 1;
+    }
+
+    fn push_stats_row(&mut self, row: &StatsRow) {
+        self.threads.push(row.threads_per_block);
+        self.num_blocks.push(row.num_blocks);
+        self.vthreads.push(row.vthreads);
+        self.regs.push(row.regs_per_thread);
+        self.shared_bytes.push(row.shared_bytes_per_block);
+        self.flops_total.push(row.flops_total);
+        self.global_bytes.push(row.global_bytes);
+        self.shared_traffic.push(row.shared_traffic_bytes);
+        self.padding_waste.push(row.padding_waste);
+        self.ptf.push(row.per_thread_flops);
+        self.ptra.push(row.per_thread_reg_accesses);
+        self.unroll.push(row.unroll);
+        self.vectorize.push(row.vectorize);
+        for j in 0..self.ctx.n_stmts {
+            self.stmt_n_ops[j].push(row.stmt_n_ops[j]);
+            self.stmt_global[j].push(row.stmt_global[j]);
+            self.stmt_shared[j].push(row.stmt_shared[j]);
+            self.stmt_innermost[j].push(row.stmt_innermost[j]);
+        }
+        self.stats_len += 1;
+    }
+
+    /// Copies candidate `i` of `src` into this arena without recomputing.
+    /// The stats row is copied too when `src` has one for `i` and this
+    /// arena's stats prefix is unbroken; otherwise it is deferred to
+    /// [`CandidateArena::ensure_stats`].
+    pub fn push_row_from(&mut self, src: &CandidateArena, i: usize) {
+        let (n_s, n_r, n_stmts) = (self.ctx.n_s, self.ctx.n_r, self.ctx.n_stmts);
+        self.spatial.extend_from_slice(&src.spatial[i * n_s * 5..(i + 1) * n_s * 5]);
+        self.reduce.extend_from_slice(&src.reduce[i * n_r * 3..(i + 1) * n_r * 3]);
+        self.ann.extend_from_slice(&src.ann[i * 3..(i + 1) * 3]);
+        self.fp.push(src.fp[i]);
+        if i < src.stats_len && self.stats_len == self.len {
+            self.threads.push(src.threads[i]);
+            self.num_blocks.push(src.num_blocks[i]);
+            self.vthreads.push(src.vthreads[i]);
+            self.regs.push(src.regs[i]);
+            self.shared_bytes.push(src.shared_bytes[i]);
+            self.flops_total.push(src.flops_total[i]);
+            self.global_bytes.push(src.global_bytes[i]);
+            self.shared_traffic.push(src.shared_traffic[i]);
+            self.padding_waste.push(src.padding_waste[i]);
+            self.ptf.push(src.ptf[i]);
+            self.ptra.push(src.ptra[i]);
+            self.unroll.push(src.unroll[i]);
+            self.vectorize.push(src.vectorize[i]);
+            for j in 0..n_stmts {
+                self.stmt_n_ops[j].push(src.stmt_n_ops[j][i]);
+                self.stmt_global[j].push(src.stmt_global[j][i]);
+                self.stmt_shared[j].push(src.stmt_shared[j][i]);
+                self.stmt_innermost[j].push(src.stmt_innermost[j][i]);
+            }
+            self.stats_len += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Appends every candidate of `other` (band merge).
+    ///
+    /// # Panics
+    /// Panics if the arenas were built from different contexts.
+    pub fn append(&mut self, other: &CandidateArena) {
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx)
+                || (self.ctx.key_fnv == other.ctx.key_fnv && self.ctx.kind == other.ctx.kind),
+            "cannot append arenas of different workloads"
+        );
+        self.spatial.extend_from_slice(&other.spatial);
+        self.reduce.extend_from_slice(&other.reduce);
+        self.ann.extend_from_slice(&other.ann);
+        self.fp.extend_from_slice(&other.fp);
+        // Copy `other`'s stats prefix only while it keeps this arena's
+        // stats prefix unbroken; the rest is deferred to `ensure_stats`.
+        if self.stats_len == self.len {
+            let k = other.stats_len;
+            self.threads.extend_from_slice(&other.threads[..k]);
+            self.num_blocks.extend_from_slice(&other.num_blocks[..k]);
+            self.vthreads.extend_from_slice(&other.vthreads[..k]);
+            self.regs.extend_from_slice(&other.regs[..k]);
+            self.shared_bytes.extend_from_slice(&other.shared_bytes[..k]);
+            self.flops_total.extend_from_slice(&other.flops_total[..k]);
+            self.global_bytes.extend_from_slice(&other.global_bytes[..k]);
+            self.shared_traffic.extend_from_slice(&other.shared_traffic[..k]);
+            self.padding_waste.extend_from_slice(&other.padding_waste[..k]);
+            self.ptf.extend_from_slice(&other.ptf[..k]);
+            self.ptra.extend_from_slice(&other.ptra[..k]);
+            self.unroll.extend_from_slice(&other.unroll[..k]);
+            self.vectorize.extend_from_slice(&other.vectorize[..k]);
+            for j in 0..self.ctx.n_stmts {
+                self.stmt_n_ops[j].extend_from_slice(&other.stmt_n_ops[j][..k]);
+                self.stmt_global[j].extend_from_slice(&other.stmt_global[j][..k]);
+                self.stmt_shared[j].extend_from_slice(&other.stmt_shared[j][..k]);
+                self.stmt_innermost[j].extend_from_slice(&other.stmt_innermost[j][..k]);
+            }
+            self.stats_len += k;
+        }
+        self.len += other.len;
+    }
+
+    /// Reconstructs candidate `i`'s genes from the columns.
+    pub fn genes(&self, i: usize) -> GeneBuf {
+        let (n_s, n_r) = (self.ctx.n_s, self.ctx.n_r);
+        let mut g = GeneBuf::default();
+        for (a, s) in g.spatial[..n_s].iter_mut().enumerate() {
+            let base = (i * n_s + a) * 5;
+            s.copy_from_slice(&self.spatial[base..base + 5]);
+        }
+        for (a, r) in g.reduce[..n_r].iter_mut().enumerate() {
+            let base = (i * n_r + a) * 3;
+            r.copy_from_slice(&self.reduce[base..base + 3]);
+        }
+        g.a0 = self.ann[i * 3];
+        g.a1 = self.ann[i * 3 + 1];
+        g.a2 = self.ann[i * 3 + 2];
+        g
+    }
+
+    /// Candidate `i`'s schedule fingerprint.
+    pub fn fingerprint(&self, i: usize) -> u64 {
+        self.fp[i]
+    }
+
+    /// The full fingerprint column.
+    pub fn fingerprints(&self) -> &[u64] {
+        &self.fp
+    }
+
+    /// Batch dedup/filter: evaluates `keep(index, fingerprint)` in
+    /// ascending index order (so first-wins dedup sets behave like the
+    /// legacy in-order loop) and compacts every column in place.
+    pub fn retain_with(&mut self, mut keep: impl FnMut(usize, u64) -> bool) {
+        let mask: Vec<bool> = (0..self.len).map(|i| keep(i, self.fp[i])).collect();
+        let (n_s, n_r) = (self.ctx.n_s, self.ctx.n_r);
+        compact_strided(&mut self.spatial, &mask, n_s * 5);
+        compact_strided(&mut self.reduce, &mask, n_r * 3);
+        compact_strided(&mut self.ann, &mask, 3);
+        compact(&mut self.fp, &mask);
+        // Stats exist only for the leading `stats_len` candidates; the
+        // survivors among them stay a contiguous prefix after compaction.
+        let smask = &mask[..self.stats_len];
+        compact(&mut self.threads, smask);
+        compact(&mut self.num_blocks, smask);
+        compact(&mut self.vthreads, smask);
+        compact(&mut self.regs, smask);
+        compact(&mut self.shared_bytes, smask);
+        compact(&mut self.flops_total, smask);
+        compact(&mut self.global_bytes, smask);
+        compact(&mut self.shared_traffic, smask);
+        compact(&mut self.padding_waste, smask);
+        compact(&mut self.ptf, smask);
+        compact(&mut self.ptra, smask);
+        compact(&mut self.unroll, smask);
+        compact(&mut self.vectorize, smask);
+        for j in 0..self.ctx.n_stmts {
+            compact(&mut self.stmt_n_ops[j], smask);
+            compact(&mut self.stmt_global[j], smask);
+            compact(&mut self.stmt_shared[j], smask);
+            compact(&mut self.stmt_innermost[j], smask);
+        }
+        self.stats_len = self.threads.len();
+        self.len = self.fp.len();
+    }
+
+    /// Builds a new arena holding `indices` in order (shortlist gather).
+    pub fn gather(&self, indices: &[usize]) -> CandidateArena {
+        let mut out = CandidateArena::with_capacity(Arc::clone(&self.ctx), indices.len());
+        for &i in indices {
+            out.push_row_from(self, i);
+        }
+        out
+    }
+
+    /// Candidate `i`'s schedule (allocates — measure boundary only).
+    pub fn schedule(&self, i: usize) -> Schedule {
+        self.ctx.schedule_from_genes(&self.genes(i))
+    }
+
+    /// Materializes candidate `i` into a full [`Program`].
+    pub fn program(&self, i: usize) -> Program {
+        self.ctx.program_from_genes(&self.genes(i))
+    }
+
+    /// Materializes every candidate (tests / legacy interop only).
+    pub fn programs(&self) -> Vec<Program> {
+        (0..self.len).map(|i| self.program(i)).collect()
+    }
+
+    /// Fills candidate `i`'s data-flow row.
+    pub fn flow_row(&self, i: usize, row: &mut FlowRow) {
+        self.ctx.flow_row(&self.genes(i), row);
+    }
+
+    /// Threads-per-block column.
+    pub fn threads_col(&self) -> &[u64] {
+        &self.threads
+    }
+
+    /// Num-blocks column.
+    pub fn num_blocks_col(&self) -> &[u64] {
+        &self.num_blocks
+    }
+
+    /// Vthreads column.
+    pub fn vthreads_col(&self) -> &[u64] {
+        &self.vthreads
+    }
+
+    /// Registers-per-thread column.
+    pub fn regs_col(&self) -> &[u64] {
+        &self.regs
+    }
+
+    /// Shared-bytes-per-block column.
+    pub fn shared_bytes_col(&self) -> &[u64] {
+        &self.shared_bytes
+    }
+
+    /// Total-FLOPs column.
+    pub fn flops_total_col(&self) -> &[f64] {
+        &self.flops_total
+    }
+
+    /// Global-traffic column.
+    pub fn global_bytes_col(&self) -> &[f64] {
+        &self.global_bytes
+    }
+
+    /// Shared-traffic column.
+    pub fn shared_traffic_col(&self) -> &[f64] {
+        &self.shared_traffic
+    }
+
+    /// Padding-waste column.
+    pub fn padding_waste_col(&self) -> &[f64] {
+        &self.padding_waste
+    }
+
+    /// Per-thread-FLOPs column.
+    pub fn per_thread_flops_col(&self) -> &[f64] {
+        &self.ptf
+    }
+
+    /// Per-thread-register-accesses column.
+    pub fn per_thread_reg_accesses_col(&self) -> &[f64] {
+        &self.ptra
+    }
+
+    /// Unroll-annotation column.
+    pub fn unroll_col(&self) -> &[u64] {
+        &self.unroll
+    }
+
+    /// Vectorize-annotation column.
+    pub fn vectorize_col(&self) -> &[u64] {
+        &self.vectorize
+    }
+
+    /// Statement slot `j`'s n_ops column.
+    pub fn stmt_n_ops_col(&self, j: usize) -> &[f64] {
+        &self.stmt_n_ops[j]
+    }
+
+    /// Statement slot `j`'s global-bytes column.
+    pub fn stmt_global_col(&self, j: usize) -> &[f64] {
+        &self.stmt_global[j]
+    }
+
+    /// Statement slot `j`'s shared-bytes column.
+    pub fn stmt_shared_col(&self, j: usize) -> &[f64] {
+        &self.stmt_shared[j]
+    }
+
+    /// Statement slot `j`'s innermost-run column.
+    pub fn stmt_innermost_col(&self, j: usize) -> &[u64] {
+        &self.stmt_innermost[j]
+    }
+
+    /// Reads candidate `i` back into a [`StatsRow`] (tests / single-row
+    /// consumers).
+    pub fn stats_row(&self, i: usize, row: &mut StatsRow) {
+        row.threads_per_block = self.threads[i];
+        row.num_blocks = self.num_blocks[i];
+        row.vthreads = self.vthreads[i];
+        row.regs_per_thread = self.regs[i];
+        row.shared_bytes_per_block = self.shared_bytes[i];
+        row.flops_total = self.flops_total[i];
+        row.global_bytes = self.global_bytes[i];
+        row.shared_traffic_bytes = self.shared_traffic[i];
+        row.padding_waste = self.padding_waste[i];
+        row.per_thread_flops = self.ptf[i];
+        row.per_thread_reg_accesses = self.ptra[i];
+        row.unroll = self.unroll[i];
+        row.vectorize = self.vectorize[i];
+        row.n_stmts = self.ctx.n_stmts;
+        for j in 0..self.ctx.n_stmts {
+            row.stmt_n_ops[j] = self.stmt_n_ops[j][i];
+            row.stmt_global[j] = self.stmt_global[j][i];
+            row.stmt_shared[j] = self.stmt_shared[j][i];
+            row.stmt_innermost[j] = self.stmt_innermost[j][i];
+        }
+    }
+}
+
+/// In-place mask compaction of a plain column.
+fn compact<T: Copy>(v: &mut Vec<T>, mask: &[bool]) {
+    let mut w = 0usize;
+    for (i, &keep) in mask.iter().enumerate() {
+        if keep {
+            v[w] = v[i];
+            w += 1;
+        }
+    }
+    v.truncate(w);
+}
+
+/// In-place mask compaction of a column with `stride` entries per row.
+fn compact_strided<T: Copy>(v: &mut Vec<T>, mask: &[bool], stride: usize) {
+    if stride == 0 {
+        return;
+    }
+    let mut w = 0usize;
+    for (i, &keep) in mask.iter().enumerate() {
+        if keep {
+            v.copy_within(i * stride..(i + 1) * stride, w * stride);
+            w += 1;
+        }
+    }
+    v.truncate(w * stride);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolve::{crossover, mutate};
+    use crate::program::sample_schedule;
+    use pruner_ir::EwKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn zoo() -> Vec<Workload> {
+        vec![
+            Workload::matmul(1, 512, 512, 512),
+            Workload::matmul(12, 128, 128, 64),
+            Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1),
+            Workload::dwconv2d(1, 96, 112, 112, 3, 2, 1),
+            Workload::conv3d(1, 16, 8, 28, 28, 32, 3, 1, 1),
+            Workload::elementwise(EwKind::Gelu, 1 << 18),
+            Workload::reduction(2048, 768),
+        ]
+    }
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Both RNGs must have consumed exactly the same number of draws.
+    fn assert_stream_sync(a: &mut ChaCha8Rng, b: &mut ChaCha8Rng, what: &str) {
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "RNG streams diverged after {what}");
+    }
+
+    #[test]
+    fn sampling_mirrors_legacy_draw_for_draw() {
+        let limits = HardwareLimits::default();
+        for wl in zoo() {
+            let ctx = WorkloadCtx::new(&wl);
+            let mut r_legacy = rng(0xA11CE);
+            let mut r_arena = rng(0xA11CE);
+            for i in 0..50 {
+                let p = Program::sample(&wl, &limits, &mut r_legacy);
+                let g = ctx.sample_genes(&limits, &mut r_arena);
+                assert_eq!(
+                    ctx.schedule_from_genes(&g),
+                    p.schedule,
+                    "sample {i} diverged for {wl}"
+                );
+                assert_stream_sync(&mut r_legacy, &mut r_arena, "sample");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_mirrors_legacy_draw_for_draw() {
+        let limits = HardwareLimits::default();
+        for wl in zoo() {
+            let ctx = WorkloadCtx::new(&wl);
+            let mut seed_rng = rng(7);
+            let parent = Program::sample(&wl, &limits, &mut seed_rng);
+            let parent_genes = ctx.genes_from_schedule(&parent.schedule);
+            let mut r_legacy = rng(0xBEEF);
+            let mut r_arena = rng(0xBEEF);
+            for i in 0..30 {
+                let m = mutate(&parent, &limits, &mut r_legacy);
+                let g = ctx.mutate_genes(&parent_genes, &limits, &mut r_arena);
+                assert_eq!(
+                    ctx.schedule_from_genes(&g),
+                    m.schedule,
+                    "mutation {i} diverged for {wl}"
+                );
+                assert_stream_sync(&mut r_legacy, &mut r_arena, "mutate");
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_mirrors_legacy_draw_for_draw() {
+        let limits = HardwareLimits::default();
+        for wl in zoo() {
+            let ctx = WorkloadCtx::new(&wl);
+            let mut seed_rng = rng(21);
+            let a = Program::sample(&wl, &limits, &mut seed_rng);
+            let b = Program::sample(&wl, &limits, &mut seed_rng);
+            let ga = ctx.genes_from_schedule(&a.schedule);
+            let gb = ctx.genes_from_schedule(&b.schedule);
+            let mut r_legacy = rng(0xF00D);
+            let mut r_arena = rng(0xF00D);
+            for i in 0..30 {
+                let c = crossover(&a, &b, &limits, &mut r_legacy);
+                let g = ctx.crossover_genes(&ga, &gb, &limits, &mut r_arena);
+                assert_eq!(
+                    ctx.schedule_from_genes(&g),
+                    c.schedule,
+                    "crossover {i} diverged for {wl}"
+                );
+                assert_stream_sync(&mut r_legacy, &mut r_arena, "crossover");
+            }
+        }
+    }
+
+    #[test]
+    fn validity_matches_legacy_on_raw_schedules() {
+        // Raw (unvalidated) samples exercise both verdicts.
+        let limits = HardwareLimits::default();
+        for wl in zoo() {
+            let ctx = WorkloadCtx::new(&wl);
+            let mut r = rng(0x5EED);
+            let mut rejected = 0usize;
+            for _ in 0..200 {
+                let schedule = sample_schedule(&wl, &mut r);
+                let p = Program::new(wl.clone(), schedule.clone());
+                let g = ctx.genes_from_schedule(&schedule);
+                let legacy = p.is_valid(&limits);
+                assert_eq!(ctx.genes_valid(&g, &limits), legacy, "verdict diverged for {wl}");
+                if !legacy {
+                    rejected += 1;
+                }
+            }
+            if wl.has_multi_tiling() {
+                assert!(rejected > 0, "no invalid raw samples for {wl}; test too weak");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_rows_are_bit_identical_to_legacy() {
+        let limits = HardwareLimits::default();
+        for wl in zoo() {
+            let ctx = Arc::new(WorkloadCtx::new(&wl));
+            let mut arena = CandidateArena::new(Arc::clone(&ctx));
+            let mut r = rng(0xDADA);
+            let progs: Vec<Program> =
+                (0..40).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+            for p in &progs {
+                arena.push_genes(&ctx.genes_from_schedule(&p.schedule));
+            }
+            for (i, p) in progs.iter().enumerate() {
+                let s = p.stats();
+                let mut row = StatsRow::default();
+                arena.stats_row(i, &mut row);
+                assert_eq!(row.threads_per_block, s.threads_per_block);
+                assert_eq!(row.num_blocks, s.num_blocks);
+                assert_eq!(row.vthreads, s.vthreads);
+                assert_eq!(row.regs_per_thread, s.regs_per_thread);
+                assert_eq!(row.shared_bytes_per_block, s.shared_bytes_per_block);
+                assert_eq!(row.flops_total.to_bits(), s.flops_total.to_bits());
+                assert_eq!(row.global_bytes.to_bits(), s.global_bytes.to_bits());
+                assert_eq!(
+                    row.shared_traffic_bytes.to_bits(),
+                    s.shared_traffic_bytes.to_bits()
+                );
+                assert_eq!(row.padding_waste.to_bits(), s.padding_waste.to_bits());
+                assert_eq!(row.per_thread_flops.to_bits(), s.per_thread_flops.to_bits());
+                assert_eq!(
+                    row.per_thread_reg_accesses.to_bits(),
+                    s.per_thread_reg_accesses.to_bits()
+                );
+                assert_eq!(row.unroll, s.unroll);
+                assert_eq!(row.vectorize, s.vectorize);
+                assert_eq!(row.n_stmts, s.stmts.len(), "stmt count for {wl}");
+                for (j, st) in s.stmts.iter().enumerate() {
+                    assert_eq!(ctx.stmt_kind(j), st.kind, "stmt {j} kind for {wl}");
+                    assert_eq!(ctx.stmt_dst(j), st.dst_level, "stmt {j} dst for {wl}");
+                    assert_eq!(row.stmt_n_ops[j].to_bits(), st.n_ops.to_bits());
+                    assert_eq!(row.stmt_global[j].to_bits(), st.global_bytes.to_bits());
+                    assert_eq!(row.stmt_shared[j].to_bits(), st.shared_bytes.to_bits());
+                    assert_eq!(row.stmt_innermost[j], st.innermost_len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_rows_are_bit_identical_to_legacy() {
+        let limits = HardwareLimits::default();
+        for wl in zoo() {
+            let ctx = Arc::new(WorkloadCtx::new(&wl));
+            let mut r = rng(0xF10E);
+            for _ in 0..30 {
+                let p = Program::sample(&wl, &limits, &mut r);
+                let s = p.stats();
+                let mut row = FlowRow::default();
+                ctx.flow_row(&ctx.genes_from_schedule(&p.schedule), &mut row);
+                assert_eq!(row.n, s.dataflow.len(), "flow count for {wl}");
+                for (j, f) in s.dataflow.iter().enumerate() {
+                    assert_eq!(row.src[j], f.src);
+                    assert_eq!(row.dst[j], f.dst);
+                    assert_eq!(row.bytes[j].to_bits(), f.bytes.to_bits());
+                    assert_eq!(row.alloc_bytes[j].to_bits(), f.alloc_bytes.to_bits());
+                    assert_eq!(row.steps[j].to_bits(), f.steps.to_bits());
+                    assert_eq!(row.contig[j], f.contig);
+                    assert_eq!(row.threads[j], f.threads);
+                    assert_eq!(row.reuse[j].to_bits(), f.reuse.to_bits());
+                    assert_eq!(row.vec[j], f.vec);
+                    assert_eq!(row.ops[j].to_bits(), f.ops.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_match_program_fingerprint() {
+        let limits = HardwareLimits::default();
+        for wl in zoo() {
+            let ctx = Arc::new(WorkloadCtx::new(&wl));
+            let mut arena = CandidateArena::new(Arc::clone(&ctx));
+            let mut r = rng(0xFADE);
+            for _ in 0..50 {
+                let p = Program::sample(&wl, &limits, &mut r);
+                arena.push_genes(&ctx.genes_from_schedule(&p.schedule));
+                assert_eq!(arena.fingerprint(arena.len() - 1), p.fingerprint(), "{wl}");
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_genes_match_program_fallback() {
+        for wl in zoo() {
+            let ctx = WorkloadCtx::new(&wl);
+            assert_eq!(
+                ctx.schedule_from_genes(&ctx.fallback_genes()),
+                Program::fallback(&wl).schedule,
+                "{wl}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialization_roundtrips() {
+        let limits = HardwareLimits::default();
+        for wl in zoo() {
+            let ctx = Arc::new(WorkloadCtx::new(&wl));
+            let mut arena = CandidateArena::new(Arc::clone(&ctx));
+            let mut r = rng(3);
+            let progs: Vec<Program> =
+                (0..20).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+            for p in &progs {
+                arena.push_genes(&ctx.genes_from_schedule(&p.schedule));
+            }
+            assert_eq!(arena.programs(), progs);
+        }
+    }
+
+    #[test]
+    fn retain_and_append_preserve_order() {
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let limits = HardwareLimits::default();
+        let ctx = Arc::new(WorkloadCtx::new(&wl));
+        let mut a = CandidateArena::new(Arc::clone(&ctx));
+        let mut b = CandidateArena::new(Arc::clone(&ctx));
+        let mut r = rng(44);
+        let progs: Vec<Program> =
+            (0..30).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+        for p in &progs[..20] {
+            a.push_genes(&ctx.genes_from_schedule(&p.schedule));
+        }
+        for p in &progs[20..] {
+            b.push_genes(&ctx.genes_from_schedule(&p.schedule));
+        }
+        a.append(&b);
+        assert_eq!(a.len(), 30);
+        assert_eq!(a.programs(), progs);
+
+        // First-wins dedup through retain_with matches a HashSet loop.
+        let mut seen = std::collections::HashSet::new();
+        let expected: Vec<Program> =
+            progs.iter().filter(|p| seen.insert(p.fingerprint())).cloned().collect();
+        let mut seen2 = std::collections::HashSet::new();
+        a.retain_with(|_, fp| seen2.insert(fp));
+        assert_eq!(a.programs(), expected);
+
+        // Keep-every-third exercises strided compaction.
+        let before = a.programs();
+        a.retain_with(|i, _| i % 3 == 0);
+        let expected: Vec<Program> =
+            before.iter().step_by(3).cloned().collect();
+        assert_eq!(a.programs(), expected);
+
+        // Stats columns stay aligned with genes after compaction.
+        for i in 0..a.len() {
+            let s = a.program(i).stats();
+            let mut row = StatsRow::default();
+            a.stats_row(i, &mut row);
+            assert_eq!(row.flops_total.to_bits(), s.flops_total.to_bits());
+            assert_eq!(row.threads_per_block, s.threads_per_block);
+        }
+    }
+
+    #[test]
+    fn gather_builds_shortlist_in_index_order() {
+        let wl = Workload::reduction(2048, 768);
+        let limits = HardwareLimits::default();
+        let ctx = Arc::new(WorkloadCtx::new(&wl));
+        let mut a = CandidateArena::new(Arc::clone(&ctx));
+        let mut r = rng(9);
+        let progs: Vec<Program> =
+            (0..16).map(|_| Program::sample(&wl, &limits, &mut r)).collect();
+        for p in &progs {
+            a.push_genes(&ctx.genes_from_schedule(&p.schedule));
+        }
+        let idx = [5usize, 0, 11, 11, 2];
+        let short = a.gather(&idx);
+        assert_eq!(short.len(), 5);
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(short.program(k), progs[i]);
+            assert_eq!(short.fingerprint(k), progs[i].fingerprint());
+        }
+    }
+
+    #[test]
+    fn divisor_table_matches_divisors_fn() {
+        let ctx = WorkloadCtx::new(&Workload::matmul(1, 512, 512, 512));
+        for n in [1u64, 2, 7, 16, 512, 513, 516, 520, 528] {
+            match ctx.divtab.entry(n) {
+                Some(divs) => assert_eq!(divs, divisors(n).as_slice(), "n={n}"),
+                None => {
+                    // Only values unreachable from the padding bases may be
+                    // absent.
+                    assert!(
+                        !512u64.is_multiple_of(n),
+                        "reachable value {n} missing from table"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -6,11 +6,13 @@
 //! Both preserve validity by rejection, falling back to returning a parent
 //! clone when no valid offspring is found within the retry budget.
 
+use crate::arena::{CandidateArena, GeneBuf, WorkloadCtx};
 use crate::config::{Schedule, UNROLL_CANDIDATES, VECTORIZE_CANDIDATES};
 use crate::limits::HardwareLimits;
 use crate::program::{sample_reduce_split, sample_spatial_split, Program};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 const MAX_TRIES: usize = 16;
 
@@ -133,9 +135,9 @@ pub fn crossover(
 
 /// Samples an initial population of `size` *distinct* valid programs.
 ///
-/// Distinctness is by [`Program::dedup_key`]; the sampler stops early if the
-/// space appears exhausted (tiny workloads), so the result may be shorter
-/// than requested.
+/// Distinctness is by [`Program::fingerprint`]; the sampler stops early if
+/// the space appears exhausted (tiny workloads), so the result may be
+/// shorter than requested.
 pub fn init_population(
     workload: &pruner_ir::Workload,
     size: usize,
@@ -147,7 +149,7 @@ pub fn init_population(
     let mut stale = 0usize;
     while out.len() < size && stale < 200 {
         let p = Program::sample(workload, limits, rng);
-        if seen.insert(p.dedup_key()) {
+        if seen.insert(p.fingerprint()) {
             out.push(p);
             stale = 0;
         } else {
@@ -281,7 +283,7 @@ pub fn init_population_par(
             if out.len() >= size || stale >= 200 {
                 break;
             }
-            if seen.insert(p.dedup_key()) {
+            if seen.insert(p.fingerprint()) {
                 out.push(p);
                 stale = 0;
             } else {
@@ -365,6 +367,199 @@ pub fn next_generation_traced(
 ) -> Vec<Program> {
     rec.span_begin("evolve.next");
     let out = next_generation_par(elites, size, limits, seed, round, threads);
+    rec.counter("evolve.offspring", out.len() as u64);
+    rec.span_end("evolve.next");
+    out
+}
+
+/// Generates `n` candidates straight into a [`CandidateArena`], one per item
+/// index, fanned out over `threads` workers in contiguous index bands.
+///
+/// Each worker fills its own band-local arena (genes and the schedule
+/// fingerprint only — stats rows are deferred to
+/// [`CandidateArena::ensure_stats`] so dedup casualties never pay for one),
+/// and the bands are appended back in index order — so the result is
+/// bit-identical at any thread count, and the candidate at index `i` is
+/// exactly what `f` produces from the RNG stream of item `base_item + i`.
+pub fn generate_arena_par<F>(
+    ctx: &Arc<WorkloadCtx>,
+    n: usize,
+    threads: usize,
+    seed: u64,
+    round: u64,
+    base_item: u64,
+    f: F,
+) -> CandidateArena
+where
+    F: Fn(&mut ChaCha8Rng) -> GeneBuf + Sync,
+{
+    let mut out = CandidateArena::with_capacity(Arc::clone(ctx), n);
+    if n == 0 {
+        return out;
+    }
+    let item_rng = |i: usize| {
+        ChaCha8Rng::seed_from_u64(derive_item_seed(seed, round, base_item + i as u64))
+    };
+    let workers = threads.max(1).min(n);
+    if workers == 1 {
+        for i in 0..n {
+            let mut rng = item_rng(i);
+            let genes = f(&mut rng);
+            out.push_genes_raw(&genes);
+        }
+        return out;
+    }
+    let band = n.div_ceil(workers);
+    let mut bands: Vec<Option<CandidateArena>> = (0..workers).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (b, slot) in bands.iter_mut().enumerate() {
+            let f = &f;
+            let item_rng = &item_rng;
+            let band_ctx = Arc::clone(ctx);
+            scope.spawn(move |_| {
+                let start = b * band;
+                let count = band.min(n.saturating_sub(start));
+                let mut local = CandidateArena::with_capacity(band_ctx, count);
+                for k in 0..count {
+                    let mut rng = item_rng(start + k);
+                    let genes = f(&mut rng);
+                    local.push_genes_raw(&genes);
+                }
+                *slot = Some(local);
+            });
+        }
+    })
+    .expect("generation workers must not panic");
+    for local in bands.into_iter().flatten() {
+        out.append(&local);
+    }
+    out
+}
+
+/// Arena counterpart of [`init_population_par`]: samples distinct valid
+/// candidates directly into a [`CandidateArena`].
+///
+/// Mirrors the legacy generator draw for draw — same batch sizing, same
+/// per-item RNG streams, same stale budget — and deduplicates by the arena's
+/// u64 schedule fingerprint instead of per-candidate string keys, so the
+/// materialized programs equal the legacy population exactly. The result
+/// may be shorter than `size` when the space is tiny.
+///
+/// The returned arena is *raw*: stats rows are deferred so candidates
+/// rejected by dedup never pay for one. Call
+/// [`CandidateArena::ensure_stats`] before PSA or featurization.
+pub fn init_arena_par(
+    ctx: &Arc<WorkloadCtx>,
+    size: usize,
+    limits: &HardwareLimits,
+    seed: u64,
+    round: u64,
+    threads: usize,
+) -> CandidateArena {
+    let mut out = CandidateArena::with_capacity(Arc::clone(ctx), size);
+    let mut seen = std::collections::HashSet::new();
+    let mut next_item = 0u64;
+    let mut stale = 0usize;
+    while out.len() < size && stale < 200 {
+        // Batch size depends only on progress so far, never on threads.
+        let batch = (size - out.len()).max(32);
+        let sampled = generate_arena_par(ctx, batch, threads, seed, round, next_item, |rng| {
+            ctx.sample_genes(limits, rng)
+        });
+        next_item += batch as u64;
+        for i in 0..sampled.len() {
+            if out.len() >= size || stale >= 200 {
+                break;
+            }
+            if seen.insert(sampled.fingerprint(i)) {
+                out.push_row_from(&sampled, i);
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Arena counterpart of [`next_generation_par`]: regenerates one round's
+/// sample space (mutations, crossovers and fresh samples) straight into a
+/// [`CandidateArena`].
+///
+/// `elites` are the parents' gene buffers (extract them with
+/// [`CandidateArena::genes`] or [`WorkloadCtx::genes_from_schedule`]). Each
+/// child draws its operator and parents from its own item RNG with the same
+/// roll thresholds as the legacy generator, so the materialized programs
+/// equal [`next_generation_par`] over the same elites exactly.
+///
+/// The returned arena is *raw* (stats deferred) — see
+/// [`CandidateArena::ensure_stats`].
+///
+/// # Panics
+/// Panics if `elites` is empty.
+pub fn next_generation_arena_par(
+    ctx: &Arc<WorkloadCtx>,
+    elites: &[GeneBuf],
+    size: usize,
+    limits: &HardwareLimits,
+    seed: u64,
+    round: u64,
+    threads: usize,
+) -> CandidateArena {
+    assert!(!elites.is_empty(), "need at least one elite");
+    generate_arena_par(ctx, size, threads, seed, round, 0, |rng| {
+        let roll: f64 = rng.gen();
+        if roll < 0.45 {
+            let p = &elites[rng.gen_range(0..elites.len())];
+            ctx.mutate_genes(p, limits, rng)
+        } else if roll < 0.75 && elites.len() >= 2 {
+            let i = rng.gen_range(0..elites.len());
+            let j = rng.gen_range(0..elites.len());
+            ctx.crossover_genes(&elites[i], &elites[j], limits, rng)
+        } else {
+            ctx.sample_genes(limits, rng)
+        }
+    })
+}
+
+/// [`init_arena_par`] with observability: the same `evolve.init` span and
+/// `evolve.sampled` counter as [`init_population_traced`], so swapping the
+/// tuner onto the arena path leaves traces byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn init_arena_traced(
+    ctx: &Arc<WorkloadCtx>,
+    size: usize,
+    limits: &HardwareLimits,
+    seed: u64,
+    round: u64,
+    threads: usize,
+    rec: &mut dyn pruner_trace::Recorder,
+) -> CandidateArena {
+    rec.span_begin("evolve.init");
+    let out = init_arena_par(ctx, size, limits, seed, round, threads);
+    rec.counter("evolve.sampled", out.len() as u64);
+    rec.span_end("evolve.init");
+    out
+}
+
+/// [`next_generation_arena_par`] with observability: the same `evolve.next`
+/// span and `evolve.offspring` counter as [`next_generation_traced`].
+///
+/// # Panics
+/// Panics if `elites` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn next_generation_arena_traced(
+    ctx: &Arc<WorkloadCtx>,
+    elites: &[GeneBuf],
+    size: usize,
+    limits: &HardwareLimits,
+    seed: u64,
+    round: u64,
+    threads: usize,
+    rec: &mut dyn pruner_trace::Recorder,
+) -> CandidateArena {
+    rec.span_begin("evolve.next");
+    let out = next_generation_arena_par(ctx, elites, size, limits, seed, round, threads);
     rec.counter("evolve.offspring", out.len() as u64);
     rec.span_end("evolve.next");
     out
@@ -551,6 +746,111 @@ mod tests {
         let a = init_population_par(&wl, 500, &limits, 99, 0, 1);
         let b = init_population_par(&wl, 500, &limits, 99, 0, 8);
         assert_eq!(a, b);
+        assert!(a.len() < 500, "the elementwise space is small");
+        assert!(!a.is_empty());
+    }
+
+    fn arena_zoo() -> Vec<Workload> {
+        vec![
+            Workload::matmul(1, 512, 512, 512),
+            Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1),
+            Workload::elementwise(EwKind::Gelu, 1 << 18),
+            Workload::reduction(2048, 768),
+        ]
+    }
+
+    #[test]
+    fn arena_init_matches_legacy_population() {
+        let limits = HardwareLimits::default();
+        for wl in arena_zoo() {
+            let ctx = Arc::new(WorkloadCtx::new(&wl));
+            let legacy = init_population_par(&wl, 96, &limits, 7, 3, 1);
+            let arena = init_arena_par(&ctx, 96, &limits, 7, 3, 1);
+            assert_eq!(arena.programs(), legacy, "arena init diverged for {}", wl.key());
+            for (i, p) in legacy.iter().enumerate() {
+                assert_eq!(arena.fingerprint(i), p.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_init_is_thread_count_invariant() {
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 512, 512, 512);
+        let ctx = Arc::new(WorkloadCtx::new(&wl));
+        let baseline = init_arena_par(&ctx, 128, &limits, 7, 3, 1);
+        assert_eq!(baseline.len(), 128);
+        for threads in [2, 4, 8, 17] {
+            let other = init_arena_par(&ctx, 128, &limits, 7, 3, threads);
+            assert_eq!(other.fingerprints(), baseline.fingerprints());
+            assert_eq!(other.programs(), baseline.programs());
+        }
+    }
+
+    #[test]
+    fn arena_next_generation_matches_legacy() {
+        let limits = HardwareLimits::default();
+        for wl in arena_zoo() {
+            let ctx = Arc::new(WorkloadCtx::new(&wl));
+            let elites_legacy = init_population_par(&wl, 8, &limits, 5, 0, 1);
+            let elite_genes: Vec<GeneBuf> = elites_legacy
+                .iter()
+                .map(|p| ctx.genes_from_schedule(&p.schedule))
+                .collect();
+            let legacy = next_generation_par(&elites_legacy, 96, &limits, 11, 5, 1);
+            for threads in [1usize, 4] {
+                let arena = next_generation_arena_par(
+                    &ctx,
+                    &elite_genes,
+                    96,
+                    &limits,
+                    11,
+                    5,
+                    threads,
+                );
+                assert_eq!(
+                    arena.programs(),
+                    legacy,
+                    "arena next-gen diverged for {} at {threads} threads",
+                    wl.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_traced_generators_match_untraced_and_emit_same_trace() {
+        use pruner_trace::TraceHandle;
+        let limits = HardwareLimits::default();
+        let wl = Workload::matmul(1, 256, 256, 256);
+        let ctx = Arc::new(WorkloadCtx::new(&wl));
+        let mut trace = TraceHandle::new();
+        let init = init_arena_traced(&ctx, 48, &limits, 3, 1, 4, &mut trace);
+        assert_eq!(init.programs(), init_arena_par(&ctx, 48, &limits, 3, 1, 4).programs());
+        let elite_genes: Vec<GeneBuf> = (0..4).map(|i| init.genes(i)).collect();
+        let bred =
+            next_generation_arena_traced(&ctx, &elite_genes, 32, &limits, 3, 2, 2, &mut trace);
+        assert_eq!(
+            bred.programs(),
+            next_generation_arena_par(&ctx, &elite_genes, 32, &limits, 3, 2, 2).programs()
+        );
+        let jsonl = trace.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"evolve.init\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"evolve.next\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"evolve.sampled\",\"value\":48"), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"evolve.offspring\",\"value\":32"), "{jsonl}");
+    }
+
+    #[test]
+    fn arena_tiny_space_init_stops_early_and_matches_legacy() {
+        let limits = HardwareLimits::default();
+        let wl = Workload::elementwise(EwKind::Relu, 64);
+        let ctx = Arc::new(WorkloadCtx::new(&wl));
+        let legacy = init_population_par(&wl, 500, &limits, 99, 0, 1);
+        let a = init_arena_par(&ctx, 500, &limits, 99, 0, 1);
+        let b = init_arena_par(&ctx, 500, &limits, 99, 0, 8);
+        assert_eq!(a.programs(), legacy);
+        assert_eq!(b.programs(), legacy);
         assert!(a.len() < 500, "the elementwise space is small");
         assert!(!a.is_empty());
     }

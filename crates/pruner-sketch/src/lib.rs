@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod config;
 pub mod evolve;
 mod limits;
@@ -47,6 +48,7 @@ pub mod render;
 pub mod split;
 mod stats;
 
+pub use arena::{CandidateArena, FlowRow, GeneBuf, SketchKind, StatsRow, WorkloadCtx};
 pub use config::{ReduceConfig, Schedule, SimpleConfig, TileConfig};
 pub use limits::HardwareLimits;
 pub use program::Program;

@@ -122,8 +122,22 @@ impl Program {
     }
 
     /// Stable dedup key: workload key plus the schedule encoding.
+    ///
+    /// This is the *on-disk* identity (store records, checkpoints). Hot
+    /// paths dedup by [`Program::fingerprint`] instead, which hashes the
+    /// same information without allocating.
     pub fn dedup_key(&self) -> String {
         format!("{}|{:?}", self.workload.key(), self.schedule)
+    }
+
+    /// Allocation-free dedup identity: FNV-1a over the workload key and
+    /// every schedule field (same constants as `GpuSpec::fingerprint`).
+    ///
+    /// Two programs with equal [`Program::dedup_key`] always have equal
+    /// fingerprints; the converse holds up to 64-bit hash collisions, which
+    /// the test suite pins as absent over sampled pools.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_schedule(workload_fnv(&self.workload), &self.schedule)
     }
 
     /// Order-of-magnitude size of the workload's schedule space (ignoring
@@ -155,8 +169,77 @@ impl Program {
     }
 }
 
+/// FNV-1a offset basis (same constants as `GpuSpec::fingerprint`).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a state.
+pub(crate) fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds one `u64` into an FNV-1a state as a single word-wide step.
+///
+/// Word-at-a-time FNV-1a (xor the whole word, one prime multiply) rather
+/// than eight byte steps: the schedule fields hashed here are small
+/// integers whose entropy survives a single fold, and the fingerprint is
+/// on the per-candidate hot path — eight serial multiplies per field is
+/// measurable at million-candidate pools.
+#[inline]
+pub(crate) fn fnv1a_u64(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a state after absorbing the workload key and a `|` separator —
+/// the prefix shared by every fingerprint of one workload. The candidate
+/// arena caches this so per-candidate hashing never touches a `String`.
+pub(crate) fn workload_fnv(workload: &Workload) -> u64 {
+    fnv1a_bytes(fnv1a_bytes(FNV_OFFSET, workload.key().as_bytes()), b"|")
+}
+
+/// Continues an FNV-1a state over every field of `schedule`, with a
+/// per-sketch tag so different sketch kinds can never alias.
+pub(crate) fn fingerprint_schedule(mut h: u64, schedule: &Schedule) -> u64 {
+    match schedule {
+        Schedule::MultiTile(t) => {
+            h = fnv1a_u64(h, 1);
+            h = fnv1a_u64(h, t.spatial.len() as u64);
+            for s in &t.spatial {
+                for &v in s {
+                    h = fnv1a_u64(h, v);
+                }
+            }
+            h = fnv1a_u64(h, t.reduce.len() as u64);
+            for r in &t.reduce {
+                for &v in r {
+                    h = fnv1a_u64(h, v);
+                }
+            }
+            h = fnv1a_u64(h, t.unroll);
+            fnv1a_u64(h, t.vectorize)
+        }
+        Schedule::Simple(c) => {
+            h = fnv1a_u64(h, 2);
+            h = fnv1a_u64(h, c.threads);
+            h = fnv1a_u64(h, c.serial);
+            fnv1a_u64(h, c.vectorize)
+        }
+        Schedule::RowReduce(c) => {
+            h = fnv1a_u64(h, 3);
+            h = fnv1a_u64(h, c.rows_per_block);
+            h = fnv1a_u64(h, c.reduce_threads);
+            fnv1a_u64(h, c.serial)
+        }
+    }
+}
+
 /// Samples a schedule appropriate to the workload's sketch family.
-fn sample_schedule(workload: &Workload, rng: &mut impl Rng) -> Schedule {
+pub(crate) fn sample_schedule(workload: &Workload, rng: &mut impl Rng) -> Schedule {
     match workload {
         Workload::Elementwise { .. } => Schedule::Simple(sample_simple(rng)),
         Workload::Reduction { reduce, .. } => Schedule::RowReduce(sample_rowreduce(*reduce, rng)),
@@ -347,6 +430,81 @@ mod tests {
             Schedule::Simple(SimpleConfig { threads: 128, serial: 1, vectorize: 1 }),
         );
         assert_ne!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn fingerprint_matches_dedup_key_without_collisions() {
+        // The u64 fingerprint must be exactly as discriminating as the
+        // string key over realistic pools: same key ⇔ same fingerprint.
+        let limits = HardwareLimits::default();
+        let mut r = rng();
+        let mut by_fp: std::collections::HashMap<u64, String> =
+            std::collections::HashMap::new();
+        let mut by_key: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
+        for wl in [
+            Workload::matmul(1, 512, 512, 512),
+            Workload::matmul(12, 128, 128, 64),
+            Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1),
+            Workload::dwconv2d(1, 96, 112, 112, 3, 2, 1),
+            Workload::conv3d(1, 16, 8, 28, 28, 32, 3, 1, 1),
+            Workload::elementwise(EwKind::Gelu, 1 << 18),
+            Workload::reduction(2048, 768),
+        ] {
+            for _ in 0..400 {
+                let p = Program::sample(&wl, &limits, &mut r);
+                let fp = p.fingerprint();
+                let key = p.dedup_key();
+                match by_fp.entry(fp) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        assert_eq!(e.get(), &key, "fingerprint collision at {fp:#x}");
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(key.clone());
+                    }
+                }
+                match by_key.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        assert_eq!(*e.get(), fp, "same key must hash identically");
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(fp);
+                    }
+                }
+            }
+        }
+        assert!(by_fp.len() > 1000, "pool too small to be meaningful");
+    }
+
+    #[test]
+    fn fingerprint_is_pure_and_schedule_sensitive() {
+        let wl = Workload::elementwise(EwKind::Relu, 4096);
+        let a = Program::new(
+            wl.clone(),
+            Schedule::Simple(SimpleConfig { threads: 64, serial: 1, vectorize: 1 }),
+        );
+        let b = Program::new(
+            wl,
+            Schedule::Simple(SimpleConfig { threads: 128, serial: 1, vectorize: 1 }),
+        );
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Sketch tags keep different kinds from aliasing even with equal
+        // field values.
+        let wl2 = Workload::reduction(64, 1);
+        let c = Program::new(
+            wl2.clone(),
+            Schedule::RowReduce(ReduceConfig {
+                rows_per_block: 64,
+                reduce_threads: 1,
+                serial: 1,
+            }),
+        );
+        let d = Program::new(
+            wl2,
+            Schedule::Simple(SimpleConfig { threads: 64, serial: 1, vectorize: 1 }),
+        );
+        assert_ne!(c.fingerprint(), d.fingerprint());
     }
 
     #[test]

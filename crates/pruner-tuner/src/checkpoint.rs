@@ -47,6 +47,12 @@ pub struct TaskCheckpoint {
     pub measured: Vec<(Program, f64)>,
     /// Quarantined program keys, sorted.
     pub quarantined: Vec<String>,
+    /// Schedule fingerprints aligned positionally with `quarantined`.
+    /// Absent in checkpoints written before the fingerprint dedup path;
+    /// those entries restore with a `0` sentinel (they still block
+    /// re-recording by key, but cannot join the fingerprint dedup set).
+    #[serde(default)]
+    pub quarantined_fps: Vec<u64>,
     /// Scheduler staleness counter.
     pub rounds_since_improvement: usize,
 }
@@ -178,6 +184,7 @@ mod tests {
                 weight: 1,
                 measured: vec![(prog, out.latency().unwrap())],
                 quarantined: vec!["some-key".into()],
+                quarantined_fps: vec![0x1234_5678_9abc_def0],
                 rounds_since_improvement: 2,
             }],
             measurer: MeasurerCheckpoint {

@@ -4,10 +4,11 @@ use crate::measure::{Measurer, PipelineStage};
 use pruner_cost::{CostModel, Sample};
 use pruner_ir::Workload;
 use pruner_psa::Psa;
-use pruner_sketch::{evolve, HardwareLimits, Program};
+use pruner_sketch::{evolve, CandidateArena, GeneBuf, HardwareLimits, Program, WorkloadCtx};
 use pruner_trace::{NoopRecorder, Recorder};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 /// Number of elite (best measured) programs evolution breeds from.
 const ELITE_POOL: usize = 16;
@@ -66,9 +67,16 @@ pub struct TaskTuner {
     pub task_id: usize,
     /// Occurrence weight in the parent network.
     pub weight: u64,
+    /// Shared schedule-space context for the arena hot path.
+    ctx: Arc<WorkloadCtx>,
     measured: Vec<(Program, f64)>,
-    measured_keys: HashSet<String>,
-    quarantined: HashSet<String>,
+    /// Schedule fingerprints of every known program (measured or
+    /// quarantined) — the hot-path dedup set. The string `dedup_key` form
+    /// survives only in the on-disk store/checkpoint formats.
+    measured_fps: HashSet<u64>,
+    /// Quarantined programs: `dedup_key → fingerprint` (fingerprint 0 when
+    /// restored from a checkpoint that predates fingerprints).
+    quarantined: BTreeMap<String, u64>,
     best: Option<(Program, f64)>,
     rounds_since_improvement: usize,
 }
@@ -76,13 +84,15 @@ pub struct TaskTuner {
 impl TaskTuner {
     /// Creates the tuning state for one workload.
     pub fn new(workload: Workload, task_id: usize, weight: u64) -> TaskTuner {
+        let ctx = Arc::new(WorkloadCtx::new(&workload));
         TaskTuner {
             workload,
             task_id,
             weight,
+            ctx,
             measured: Vec::new(),
-            measured_keys: HashSet::new(),
-            quarantined: HashSet::new(),
+            measured_fps: HashSet::new(),
+            quarantined: BTreeMap::new(),
             best: None,
             rounds_since_improvement: 0,
         }
@@ -91,21 +101,29 @@ impl TaskTuner {
     /// Rebuilds the tuning state from checkpointed measurements. The
     /// incumbent is re-derived by replaying the measurement order, so a
     /// restored task is indistinguishable from one that never stopped.
+    ///
+    /// `quarantined_fps` pairs with `quarantined` by position; checkpoints
+    /// written before fingerprints existed restore with empty fps (those
+    /// entries can no longer block re-proposal, only re-recording).
     pub(crate) fn from_checkpoint(
         workload: Workload,
         task_id: usize,
         weight: u64,
         measured: Vec<(Program, f64)>,
         quarantined: Vec<String>,
+        quarantined_fps: Vec<u64>,
         rounds_since_improvement: usize,
     ) -> TaskTuner {
         let mut task = TaskTuner::new(workload, task_id, weight);
         for (prog, latency) in measured {
             task.record(prog, latency);
         }
-        for key in quarantined {
-            task.measured_keys.insert(key.clone());
-            task.quarantined.insert(key);
+        for (i, key) in quarantined.into_iter().enumerate() {
+            let fp = quarantined_fps.get(i).copied().unwrap_or(0);
+            if fp != 0 {
+                task.measured_fps.insert(fp);
+            }
+            task.quarantined.insert(key, fp);
         }
         task.rounds_since_improvement = rounds_since_improvement;
         task
@@ -118,9 +136,13 @@ impl TaskTuner {
 
     /// Quarantined program keys in deterministic (sorted) order.
     pub(crate) fn quarantined_keys(&self) -> Vec<String> {
-        let mut keys: Vec<String> = self.quarantined.iter().cloned().collect();
-        keys.sort();
-        keys
+        self.quarantined.keys().cloned().collect()
+    }
+
+    /// Quarantined program fingerprints, positionally aligned with
+    /// [`TaskTuner::quarantined_keys`].
+    pub(crate) fn quarantined_fps(&self) -> Vec<u64> {
+        self.quarantined.values().copied().collect()
     }
 
     /// Best measured latency so far (∞ before the first round).
@@ -211,9 +233,9 @@ impl TaskTuner {
         rec.span_begin("propose.generate");
         let elites = self.elites();
         let pool_size = params.pool_size.max(params.space_size);
-        let pool: Vec<Program> = if elites.is_empty() {
-            evolve::init_population_traced(
-                &self.workload,
+        let mut arena: CandidateArena = if elites.is_empty() {
+            evolve::init_arena_traced(
+                &self.ctx,
                 pool_size,
                 limits,
                 gen_seed,
@@ -222,11 +244,14 @@ impl TaskTuner {
                 rec,
             )
         } else {
+            let elite_genes: Vec<GeneBuf> =
+                elites.iter().map(|p| self.ctx.genes_from_schedule(&p.schedule)).collect();
             // The fresh-blood tail reuses the same derived-seed generator
             // with a disjoint round tag so its streams never collide with
             // the offspring streams.
-            let mut p = evolve::next_generation_traced(
-                &elites,
+            let mut a = evolve::next_generation_arena_traced(
+                &self.ctx,
+                &elite_genes,
                 pool_size * 3 / 4,
                 limits,
                 gen_seed,
@@ -234,9 +259,9 @@ impl TaskTuner {
                 threads,
                 rec,
             );
-            let fresh = pool_size - p.len();
-            p.extend(evolve::init_population_traced(
-                &self.workload,
+            let fresh = pool_size - a.len();
+            a.append(&evolve::init_arena_traced(
+                &self.ctx,
                 fresh,
                 limits,
                 gen_seed ^ 0xA076_1D64_78BD_642F,
@@ -244,52 +269,53 @@ impl TaskTuner {
                 threads,
                 rec,
             ));
-            p
+            a
         };
-        let mut pool = pool;
-        funnel.generated = pool.len();
-        measurer.charge_evolution(pool.len());
+        funnel.generated = arena.len();
+        measurer.charge_evolution(arena.len());
 
-        // Drop duplicates and already-measured programs up front.
+        // Drop duplicates and already-measured programs up front — one
+        // batch pass over the fingerprint column, no string keys.
         let mut seen = HashSet::new();
-        pool.retain(|p| {
-            let key = p.dedup_key();
-            !self.measured_keys.contains(&key) && seen.insert(key)
-        });
-        funnel.deduped = pool.len();
+        let measured_fps = &self.measured_fps;
+        arena.retain_with(|_, fp| !measured_fps.contains(&fp) && seen.insert(fp));
+        funnel.deduped = arena.len();
         measurer.record_wall(PipelineStage::Generate, rec.span_end("propose.generate"));
-        if pool.is_empty() {
+        if arena.is_empty() {
             return (Vec::new(), funnel);
         }
+        // Stats rows are deferred during generation; fill them only for
+        // the deduped survivors (the GA path is typically ~75% duplicates).
+        arena.ensure_stats();
 
         // --- Draft: PSA shortlist (or the whole pool for the baseline) ---
-        let candidates: Vec<Program> = if let Some(psa) = psa {
+        let candidates: Vec<usize> = if let Some(psa) = psa {
             rec.span_begin("propose.draft");
-            measurer.charge_psa_evals(pool.len());
+            measurer.charge_psa_evals(arena.len());
             let n_random = ((params.space_size as f64) * params.epsilon).round() as usize;
-            let n_target = params.space_size.saturating_sub(n_random).min(pool.len());
-            let shortlist = psa.prune_traced(pool.clone(), n_target, threads, rec);
+            let n_target = params.space_size.saturating_sub(n_random).min(arena.len());
+            let shortlist = psa.prune_arena_traced(&arena, n_target, threads, rec);
             funnel.psa_survivors = Some(shortlist.len());
-            let kept: HashSet<String> = shortlist.iter().map(|p| p.dedup_key()).collect();
+            let kept: HashSet<usize> = shortlist.iter().copied().collect();
             let mut c = shortlist;
             // ε-retention: random members of the original (unpruned) pool.
-            let leftovers: Vec<&Program> =
-                pool.iter().filter(|p| !kept.contains(&p.dedup_key())).collect();
+            let leftovers: Vec<usize> =
+                (0..arena.len()).filter(|i| !kept.contains(i)).collect();
             for _ in 0..n_random.min(leftovers.len()) {
                 let pick = rand::Rng::gen_range(rng, 0..leftovers.len());
-                c.push(leftovers[pick].clone());
+                c.push(leftovers[pick]);
             }
             funnel.eps_extras = c.len() - funnel.psa_survivors.unwrap_or(0);
             measurer.record_wall(PipelineStage::Psa, rec.span_end("propose.draft"));
             c
         } else {
-            pool
+            (0..arena.len()).collect()
         };
         funnel.predicted = candidates.len();
 
         // --- Verify: cost-model ranking ----------------------------------
         rec.span_begin("propose.predict");
-        let samples = featurize_par(&candidates, self.task_id, threads);
+        let samples = featurize_arena_par(&arena, &candidates, self.task_id, threads);
         let scores = model.predict_batch_traced(&samples, threads, rec);
         measurer.charge_model_evals(candidates.len());
         measurer.record_wall(PipelineStage::Predict, rec.span_end("propose.predict"));
@@ -299,11 +325,13 @@ impl TaskTuner {
         let mut idx: Vec<usize> = (0..candidates.len()).collect();
         idx.sort_by(|&a, &b| key(b).total_cmp(&key(a)));
         idx.truncate(params.n);
-        let mut picked: Vec<Program> = idx.into_iter().map(|i| candidates[i].clone()).collect();
+        let mut picked_idx: Vec<usize> = idx.into_iter().map(|i| candidates[i]).collect();
         // Dedup across the shortlist/ε overlap.
         let mut out_seen = HashSet::new();
-        picked.retain(|p| out_seen.insert(p.dedup_key()));
-        funnel.proposed = picked.len();
+        picked_idx.retain(|&i| out_seen.insert(arena.fingerprint(i)));
+        funnel.proposed = picked_idx.len();
+        // Materialize to `Program` only here, at the measure boundary.
+        let picked: Vec<Program> = picked_idx.into_iter().map(|i| arena.program(i)).collect();
         (picked, funnel)
     }
 
@@ -313,7 +341,7 @@ impl TaskTuner {
         if improved {
             self.best = Some((prog.clone(), latency));
         }
-        self.measured_keys.insert(prog.dedup_key());
+        self.measured_fps.insert(prog.fingerprint());
         self.measured.push((prog, latency));
     }
 
@@ -322,16 +350,18 @@ impl TaskTuner {
     /// Known programs are never re-proposed; the warm-up also consults
     /// this so a fallback replayed from a store is not double-recorded.
     pub fn knows(&self, prog: &Program) -> bool {
-        self.measured_keys.contains(&prog.dedup_key())
+        self.measured_fps.contains(&prog.fingerprint())
     }
 
     /// Quarantines a program whose measurement failed permanently: it is
-    /// never re-proposed (its key joins the measured set) and never enters
-    /// the training data (it is not recorded as a labeled sample).
+    /// never re-proposed (its fingerprint joins the measured set) and never
+    /// enters the training data (it is not recorded as a labeled sample).
+    /// The string key is kept alongside the fingerprint only because the
+    /// on-disk checkpoint format names quarantined programs by key.
     pub fn quarantine(&mut self, prog: &Program) {
-        let key = prog.dedup_key();
-        self.measured_keys.insert(key.clone());
-        self.quarantined.insert(key);
+        let fp = prog.fingerprint();
+        self.measured_fps.insert(fp);
+        self.quarantined.insert(prog.dedup_key(), fp);
     }
 
     /// Number of programs quarantined on this task.
@@ -355,21 +385,26 @@ impl TaskTuner {
     }
 }
 
-/// Extracts features for every candidate, fanning the per-program work out
-/// over contiguous index bands and merging in index order — the sample list
-/// is identical at any thread count.
-fn featurize_par(candidates: &[Program], task_id: usize, threads: usize) -> Vec<Sample> {
-    let workers = threads.max(1).min(candidates.len().max(1));
+/// Extracts features for the selected arena candidates, fanning the
+/// per-candidate work out over contiguous index bands and merging in index
+/// order — the sample list is identical at any thread count.
+fn featurize_arena_par(
+    arena: &CandidateArena,
+    picks: &[usize],
+    task_id: usize,
+    threads: usize,
+) -> Vec<Sample> {
+    let workers = threads.max(1).min(picks.len().max(1));
     if workers <= 1 {
-        return candidates.iter().map(|p| Sample::unlabeled(p, task_id)).collect();
+        return picks.iter().map(|&i| Sample::from_arena(arena, i, task_id)).collect();
     }
-    let mut slots: Vec<Option<Sample>> = (0..candidates.len()).map(|_| None).collect();
-    let band = candidates.len().div_ceil(workers);
+    let mut slots: Vec<Option<Sample>> = (0..picks.len()).map(|_| None).collect();
+    let band = picks.len().div_ceil(workers);
     crossbeam::thread::scope(|scope| {
-        for (out_band, prog_band) in slots.chunks_mut(band).zip(candidates.chunks(band)) {
+        for (out_band, pick_band) in slots.chunks_mut(band).zip(picks.chunks(band)) {
             scope.spawn(move |_| {
-                for (slot, p) in out_band.iter_mut().zip(prog_band) {
-                    *slot = Some(Sample::unlabeled(p, task_id));
+                for (slot, &i) in out_band.iter_mut().zip(pick_band) {
+                    *slot = Some(Sample::from_arena(arena, i, task_id));
                 }
             });
         }
@@ -573,6 +608,7 @@ mod tests {
             task.weight,
             task.measured_log().to_vec(),
             task.quarantined_keys(),
+            task.quarantined_fps(),
             task.rounds_since_improvement(),
         );
         assert_eq!(restored.best_latency(), 1e-3);

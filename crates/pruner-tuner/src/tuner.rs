@@ -365,6 +365,7 @@ impl<B: Backend> Tuner<B> {
                     t.weight,
                     t.measured,
                     t.quarantined,
+                    t.quarantined_fps,
                     t.rounds_since_improvement,
                 )
             })
@@ -456,6 +457,7 @@ impl<B: Backend> Tuner<B> {
                     weight: t.weight,
                     measured: t.measured_log().to_vec(),
                     quarantined: t.quarantined_keys(),
+                    quarantined_fps: t.quarantined_fps(),
                     rounds_since_improvement: t.rounds_since_improvement(),
                 })
                 .collect(),

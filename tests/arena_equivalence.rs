@@ -1,0 +1,183 @@
+//! Integration: the struct-of-arrays candidate arena is a bit-exact drop-in
+//! for the legacy `Vec<Program>` pipeline.
+//!
+//! Every stage of a proposal round — generation, fingerprint dedup, PSA
+//! penalty estimation, pruning, and featurization — runs through
+//! [`pruner::sketch::CandidateArena`] columns. These tests drive both paths
+//! over a zoo of workloads × pool sizes × thread counts and demand
+//! `to_bits`-level equality, plus scalar-vs-dispatched equality for the
+//! SIMD column kernels.
+//!
+//! CI's arena-smoke step reruns this suite with `THREADS=1` and `THREADS=4`
+//! to pin thread-count invariance of the arena path specifically.
+
+use proptest::prelude::*;
+use pruner::cost::Sample;
+use pruner::features::{
+    flow_features, flow_features_arena, set_reference_features, stmt_features,
+    stmt_features_arena, tlp_tokens, tlp_tokens_arena,
+};
+use pruner::gpu::GpuSpec;
+use pruner::ir::{EwKind, Workload};
+use pruner::psa::{set_reference_columns, Psa, PsaConfig};
+use pruner::sketch::{evolve, HardwareLimits, Program, WorkloadCtx};
+use std::sync::Arc;
+
+/// Thread counts under test: `THREADS` env override (CI smoke) or {1, 4}.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("THREADS") {
+        Ok(v) => vec![v.parse().expect("THREADS must be an integer")],
+        Err(_) => vec![1, 4],
+    }
+}
+
+fn zoo() -> Vec<Workload> {
+    vec![
+        Workload::matmul(1, 512, 512, 512),
+        Workload::conv2d(1, 64, 56, 56, 64, 3, 1, 1),
+        Workload::elementwise(EwKind::Gelu, 1 << 18),
+        Workload::reduction(2048, 768),
+    ]
+}
+
+/// Legacy reference: sample → dedup-by-fingerprint population.
+fn legacy_pool(wl: &Workload, n: usize, seed: u64, threads: usize) -> Vec<Program> {
+    evolve::init_population_par(wl, n, &HardwareLimits::default(), seed, 0, threads)
+}
+
+fn arena_pool(
+    wl: &Workload,
+    n: usize,
+    seed: u64,
+    threads: usize,
+) -> pruner::sketch::CandidateArena {
+    let ctx = Arc::new(WorkloadCtx::new(wl));
+    let mut arena = evolve::init_arena_par(&ctx, n, &HardwareLimits::default(), seed, 0, threads);
+    arena.ensure_stats();
+    arena
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generation: materializing the arena reproduces the legacy population
+    /// program for program, at every thread count.
+    #[test]
+    fn generation_is_bit_identical(
+        wl_idx in 0usize..4,
+        n in 8usize..96,
+        seed in 0u64..1_000,
+    ) {
+        let wl = &zoo()[wl_idx];
+        for threads in thread_counts() {
+            let legacy = legacy_pool(wl, n, seed, threads);
+            let arena = arena_pool(wl, n, seed, threads);
+            prop_assert_eq!(arena.len(), legacy.len());
+            prop_assert_eq!(&arena.programs(), &legacy);
+            for (i, p) in legacy.iter().enumerate() {
+                prop_assert_eq!(arena.fingerprint(i), p.fingerprint());
+            }
+        }
+    }
+
+    /// PSA: columnar penalty estimates and the pruned shortlist match the
+    /// legacy per-program path bit for bit.
+    #[test]
+    fn psa_estimates_and_prune_are_bit_identical(
+        wl_idx in 0usize..4,
+        n in 8usize..96,
+        keep_frac in 0.1f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let wl = &zoo()[wl_idx];
+        for cfg in [PsaConfig::default(), PsaConfig::without_compute()] {
+            let psa = Psa::with_config(GpuSpec::t4(), cfg);
+            for threads in thread_counts() {
+                let legacy = legacy_pool(wl, n, seed, threads);
+                let arena = arena_pool(wl, n, seed, threads);
+                let legacy_scores = psa.estimate_batch(&legacy, threads);
+                let arena_scores = psa.estimate_arena(&arena, threads);
+                let lbits: Vec<u64> = legacy_scores.iter().map(|x| x.to_bits()).collect();
+                let abits: Vec<u64> = arena_scores.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(lbits, abits);
+                let keep = ((legacy.len() as f64) * keep_frac).ceil() as usize;
+                let legacy_kept = psa.prune_par(legacy.clone(), keep, threads);
+                let kept_idx = psa.prune_arena(&arena, keep, threads);
+                let arena_kept: Vec<Program> =
+                    kept_idx.iter().map(|&i| arena.program(i)).collect();
+                prop_assert_eq!(arena_kept, legacy_kept);
+            }
+        }
+    }
+
+    /// Featurization: the arena column stacks equal the legacy per-program
+    /// extractors bit for bit, and `Sample::from_arena` equals
+    /// `Sample::unlabeled` on the materialized program.
+    #[test]
+    fn features_are_bit_identical(
+        wl_idx in 0usize..4,
+        n in 8usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let wl = &zoo()[wl_idx];
+        for threads in thread_counts() {
+            let arena = arena_pool(wl, n, seed, threads);
+            let stmt = stmt_features_arena(&arena, threads);
+            let flow = flow_features_arena(&arena, threads);
+            let tlp = tlp_tokens_arena(&arena, threads);
+            let per = (stmt.len() / arena.len(), flow.len() / arena.len(), tlp.len() / arena.len());
+            for i in 0..arena.len() {
+                let p = arena.program(i);
+                let stats = p.stats();
+                let l_stmt: Vec<f32> = stmt_features(&stats).into_iter().flatten().collect();
+                let l_flow: Vec<f32> = flow_features(&stats).into_iter().flatten().collect();
+                let l_tlp: Vec<f32> = tlp_tokens(&p).into_iter().flatten().collect();
+                prop_assert_eq!(bits(&stmt[i * per.0..(i + 1) * per.0]), bits(&l_stmt));
+                prop_assert_eq!(bits(&flow[i * per.1..(i + 1) * per.1]), bits(&l_flow));
+                prop_assert_eq!(bits(&tlp[i * per.2..(i + 1) * per.2]), bits(&l_tlp));
+                let s = Sample::from_arena(&arena, i, 0);
+                let l = Sample::unlabeled(&p, 0);
+                prop_assert_eq!(bits(&s.stmt), bits(&l.stmt));
+                prop_assert_eq!(bits(&s.flow), bits(&l.flow));
+                prop_assert_eq!(bits(&s.tokens), bits(&l.tokens));
+            }
+        }
+    }
+}
+
+/// The dispatched (AVX2 where available) column kernels produce the same
+/// bits as the forced-scalar reference path, end to end through PSA and
+/// feature extraction.
+#[test]
+fn simd_kernels_match_scalar_reference_bitwise() {
+    let psa = Psa::new(GpuSpec::t4());
+    for wl in zoo() {
+        let arena = arena_pool(&wl, 48, 11, 2);
+        let (dispatched_psa, dispatched_stmt, dispatched_flow, dispatched_tlp) = (
+            psa.estimate_arena(&arena, 2),
+            stmt_features_arena(&arena, 2),
+            flow_features_arena(&arena, 2),
+            tlp_tokens_arena(&arena, 2),
+        );
+        set_reference_columns(true);
+        set_reference_features(true);
+        let (scalar_psa, scalar_stmt, scalar_flow, scalar_tlp) = (
+            psa.estimate_arena(&arena, 2),
+            stmt_features_arena(&arena, 2),
+            flow_features_arena(&arena, 2),
+            tlp_tokens_arena(&arena, 2),
+        );
+        set_reference_columns(false);
+        set_reference_features(false);
+        let d: Vec<u64> = dispatched_psa.iter().map(|x| x.to_bits()).collect();
+        let s: Vec<u64> = scalar_psa.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(d, s, "PSA columns diverge from scalar reference");
+        assert_eq!(bits(&dispatched_stmt), bits(&scalar_stmt));
+        assert_eq!(bits(&dispatched_flow), bits(&scalar_flow));
+        assert_eq!(bits(&dispatched_tlp), bits(&scalar_tlp));
+    }
+}
