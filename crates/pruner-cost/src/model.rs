@@ -188,6 +188,13 @@ impl ModelSnapshot {
             ModelSnapshot::Random(m) => Box::new(m),
         }
     }
+
+    /// Rebuilds the captured model behind a shared, immutable handle —
+    /// the read path for a pre-trained model served to many concurrent
+    /// predictors ([`CostModel::predict_batch`] takes `&self`).
+    pub fn into_shared(self) -> std::sync::Arc<dyn CostModel> {
+        std::sync::Arc::from(self.into_model())
+    }
 }
 
 impl Clone for Box<dyn CostModel> {
@@ -218,6 +225,24 @@ pub enum ModelKind {
 }
 
 impl ModelKind {
+    /// Resolves a stable CLI/wire name (`pacm`, `ansor`, `xgb`,
+    /// `tensetmlp`, `tlp`, `random`, plus the PaCM ablations
+    /// `pacm-no-stmt` / `pacm-no-flow`) to a kind. `None` for unknown
+    /// names.
+    pub fn by_name(name: &str) -> Option<ModelKind> {
+        Some(match name {
+            "pacm" => ModelKind::Pacm,
+            "pacm-no-stmt" => ModelKind::PacmNoStmt,
+            "pacm-no-flow" => ModelKind::PacmNoFlow,
+            "tensetmlp" => ModelKind::TensetMlp,
+            "tlp" => ModelKind::Tlp,
+            "ansor" => ModelKind::Ansor,
+            "xgb" => ModelKind::AnsorXgb,
+            "random" => ModelKind::Random,
+            _ => return None,
+        })
+    }
+
     /// Instantiates the model with the given RNG seed.
     pub fn build(self, seed: u64) -> Box<dyn CostModel> {
         match self {
@@ -480,5 +505,35 @@ mod tests {
             assert_eq!(batch.len(), n);
             assert_eq!(batch, m.predict(&samples), "size {n} diverged");
         }
+    }
+
+    #[test]
+    fn by_name_resolves_every_kind_and_rejects_unknowns() {
+        for (name, kind) in [
+            ("pacm", ModelKind::Pacm),
+            ("pacm-no-stmt", ModelKind::PacmNoStmt),
+            ("pacm-no-flow", ModelKind::PacmNoFlow),
+            ("tensetmlp", ModelKind::TensetMlp),
+            ("tlp", ModelKind::Tlp),
+            ("ansor", ModelKind::Ansor),
+            ("xgb", ModelKind::AnsorXgb),
+            ("random", ModelKind::Random),
+        ] {
+            assert_eq!(ModelKind::by_name(name), Some(kind), "{name}");
+        }
+        assert_eq!(ModelKind::by_name("gpt"), None);
+        assert_eq!(ModelKind::by_name(""), None);
+    }
+
+    /// A snapshot restored as a shared handle predicts exactly like the
+    /// boxed restore — the serve daemon's shared-model read path.
+    #[test]
+    fn shared_snapshot_restore_predicts_identically() {
+        let model = ModelKind::Pacm.build(11);
+        let snapshot = model.snapshot().unwrap();
+        let samples = big_samples(300);
+        let shared = snapshot.clone().into_shared();
+        assert_eq!(shared.predict_batch(&samples, 4), model.predict(&samples));
+        assert_eq!(snapshot.into_model().predict(&samples), model.predict(&samples));
     }
 }

@@ -70,6 +70,7 @@ use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The store's on-disk schema version, stamped into every record's `v`
 /// field. Bump it on any incompatible change to [`TuningRecord`]; readers
@@ -432,6 +433,81 @@ impl Store {
     }
 }
 
+/// A thread-safe handle to one [`Store`] shared by many concurrent
+/// campaigns — the multi-tenant append path used by `pruner-serve`.
+///
+/// Cloning the handle is cheap (an `Arc` bump); every clone addresses the
+/// same in-memory log and the same on-disk file. All operations take the
+/// internal mutex for their whole duration, so an [`SharedStore::append`]
+/// from one tenant and a [`SharedStore::flush`] from another can never
+/// interleave mid-record: the flush renders either the log before the
+/// append or after it, both of which are valid complete files. Dedup by
+/// [`TuningRecord::dedup_key`] happens under the same lock, so two tenants
+/// racing to record the same measurement store exactly one copy.
+///
+/// If a campaign thread panics while holding the lock, the poison flag is
+/// ignored and the store stays usable: every mutation it performs
+/// ([`Store::append`]) leaves the log in a valid state at every step.
+#[derive(Debug, Clone)]
+pub struct SharedStore {
+    inner: Arc<Mutex<Store>>,
+}
+
+impl SharedStore {
+    /// Opens the store at `path` (see [`Store::open`]) and wraps it for
+    /// shared use.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<SharedStore> {
+        Ok(SharedStore::new(Store::open(path)?))
+    }
+
+    /// Wraps an already-open store.
+    pub fn new(store: Store) -> SharedStore {
+        SharedStore { inner: Arc::new(Mutex::new(store)) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Store> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Appends a record under the lock; see [`Store::append`].
+    pub fn append(&self, record: TuningRecord) -> bool {
+        self.lock().append(record)
+    }
+
+    /// Persists the full deduplicated log atomically; see [`Store::flush`].
+    /// Concurrent appends are excluded for the duration of the write, so
+    /// the rendered file is always a consistent snapshot.
+    pub fn flush(&self) -> io::Result<()> {
+        self.lock().flush()
+    }
+
+    /// Whether a record with this dedup key is live; see [`Store::contains`].
+    pub fn contains(&self, dedup_key: &str) -> bool {
+        self.lock().contains(dedup_key)
+    }
+
+    /// Number of live records across all tenants.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Records appended since open, across all tenants.
+    pub fn appended(&self) -> usize {
+        self.lock().appended()
+    }
+
+    /// Runs `f` with the locked store — the read hook used for replay
+    /// (which returns borrowed records and so cannot outlive the guard).
+    pub fn with<R>(&self, f: impl FnOnce(&Store) -> R) -> R {
+        f(&self.lock())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,5 +765,67 @@ mod tests {
             parsed += 1;
         }
         assert!(parsed >= 2, "expected a success and a failure example, got {parsed}");
+    }
+
+    /// Many threads appending disjoint and overlapping records through one
+    /// `SharedStore` must end with exactly the union, deduplicated, and a
+    /// clean reopen (flushes raced against appends must never tear lines).
+    #[test]
+    fn shared_store_concurrent_appends_keep_exact_union() {
+        let path = tmp_path("shared");
+        let spec = GpuSpec::t4();
+        let shared = SharedStore::open(&path).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let shared = shared.clone();
+                let spec = spec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        // Per-thread distinct workloads plus one workload
+                        // every thread races to record.
+                        let distinct = Workload::matmul(1, 32 * (t + 1), 32, 32 * (i + 1));
+                        shared.append(success(&spec, &distinct, 1e-3));
+                        let contended = Workload::matmul(1, 16, 16, 16);
+                        shared.append(success(&spec, &contended, 2e-3));
+                        shared.flush().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 4 threads x 8 distinct workloads + 1 contended workload.
+        assert_eq!(shared.len(), 4 * 8 + 1);
+        shared.flush().unwrap();
+        let reopened = Store::open(&path).unwrap();
+        assert_eq!(reopened.len(), 4 * 8 + 1);
+        assert_eq!(reopened.replay_stats().skipped(), 0, "no torn or duplicate lines");
+        cleanup(&path);
+    }
+
+    /// The `with` read hook exposes replay on a shared store.
+    #[test]
+    fn shared_store_replays_under_the_lock() {
+        let path = tmp_path("shared-replay");
+        let spec = GpuSpec::t4();
+        let mm = Workload::matmul(1, 64, 64, 64);
+        let shared = SharedStore::open(&path).unwrap();
+        assert!(shared.append(success(&spec, &mm, 1e-3)));
+        assert!(!shared.append(success(&spec, &mm, 2e-3)));
+        let campaign: HashSet<String> = [mm.key()].into_iter().collect();
+        let latencies = shared.with(|store| {
+            store
+                .replay(&spec.fingerprint(), &campaign)
+                .records
+                .iter()
+                .filter_map(|r| r.outcome.latency_s())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(latencies, vec![1e-3]);
+        assert!(shared.contains(&success(&spec, &mm, 1e-3).dedup_key()));
+        assert_eq!(shared.appended(), 1);
+        assert!(!shared.is_empty());
+        cleanup(&path);
     }
 }

@@ -44,6 +44,9 @@ pub struct Report {
     /// Supervision activity, present when the campaign ran under a
     /// supervisor (`supervisor.*` records).
     pub supervisor: Option<SupervisorActivity>,
+    /// Tuning-daemon activity, present when the trace came from a
+    /// `pruner-serve` process (`serve.*` records).
+    pub serve: Option<ServeActivity>,
 }
 
 /// What a campaign's attached tuning-record store did: the warm-start
@@ -81,6 +84,30 @@ pub struct SupervisorActivity {
     /// Final outcome label from the `supervisor.done` record
     /// (`completed`, `wall_deadline`, `sim_deadline`, `quarantined`).
     pub outcome: String,
+}
+
+/// What a `pruner-serve` daemon did over its lifetime: campaigns
+/// submitted, resumed after a restart, finished by outcome, and how well
+/// the cross-tenant inference batcher coalesced predict traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeActivity {
+    /// Campaigns accepted through `SubmitCampaign` requests.
+    pub submitted: u64,
+    /// In-flight campaigns resumed from their checkpoints when the daemon
+    /// restarted.
+    pub resumed: u64,
+    /// Campaigns cancelled through `Cancel` requests.
+    pub cancelled: u64,
+    /// Finished campaigns by outcome label (`completed`, `cancelled`,
+    /// `quarantined`, ...), from `serve.done` records.
+    pub done: BTreeMap<String, u64>,
+    /// `predict_batch` invocations issued by the inference batcher.
+    pub batches: u64,
+    /// Predict requests coalesced into those invocations (> `batches`
+    /// means cross-tenant coalescing happened).
+    pub batched_requests: u64,
+    /// Total samples scored through the batcher.
+    pub batched_samples: u64,
 }
 
 const LEDGER_KEYS: [&str; 7] = [
@@ -187,6 +214,34 @@ impl Report {
                         .unwrap_or("?")
                         .to_string();
                 }
+                "serve.start" => {
+                    report.serve.get_or_insert_with(ServeActivity::default);
+                }
+                "serve.submit" => {
+                    report.serve.get_or_insert_with(ServeActivity::default).submitted += 1;
+                }
+                "serve.resume" => {
+                    report.serve.get_or_insert_with(ServeActivity::default).resumed +=
+                        get_u64(record, "campaigns");
+                }
+                "serve.cancel" => {
+                    report.serve.get_or_insert_with(ServeActivity::default).cancelled += 1;
+                }
+                "serve.done" => {
+                    let serve = report.serve.get_or_insert_with(ServeActivity::default);
+                    let outcome = record
+                        .get("outcome")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    *serve.done.entry(outcome).or_insert(0) += 1;
+                }
+                "serve.batch" => {
+                    let serve = report.serve.get_or_insert_with(ServeActivity::default);
+                    serve.batches += 1;
+                    serve.batched_requests += get_u64(record, "requests");
+                    serve.batched_samples += get_u64(record, "samples");
+                }
                 "counter" => {
                     if let (Some(name), Some(value)) = (
                         record.get("name").and_then(Value::as_str),
@@ -265,6 +320,28 @@ impl Report {
             }
             if sup.quarantined {
                 let _ = writeln!(out, "{:<21}: campaign gave up after repeated faults", "quarantined");
+            }
+        }
+        if let Some(serve) = &self.serve {
+            let _ = writeln!(out, "--- serve ---");
+            let _ = writeln!(
+                out,
+                "{:<21}: {} ({} resumed on restart)",
+                "campaigns submitted", serve.submitted, serve.resumed
+            );
+            if serve.cancelled > 0 {
+                let _ = writeln!(out, "{:<21}: {}", "cancel requests", serve.cancelled);
+            }
+            for (outcome, count) in &serve.done {
+                let _ = writeln!(out, "done {outcome:<16}: {count}");
+            }
+            if serve.batches > 0 {
+                let _ = writeln!(
+                    out,
+                    "{:<21}: {} batches over {} requests ({} samples)",
+                    "batched inference", serve.batches, serve.batched_requests,
+                    serve.batched_samples
+                );
             }
         }
         if !self.counters.is_empty() {
@@ -412,6 +489,37 @@ mod tests {
         assert!(text.contains("fault stalled"));
         // An unsupervised campaign renders no supervisor section.
         assert!(!Report::from_records(&demo_records()).render().contains("supervisor"));
+    }
+
+    #[test]
+    fn serve_records_aggregate_and_render() {
+        let mut records = demo_records();
+        records.push(Record::new("serve.start").u64("workers", 4).u64("schema", 1));
+        records.push(Record::new("serve.resume").u64("campaigns", 2));
+        records.push(Record::new("serve.submit").str("tenant", "acme").str("campaign", "c1"));
+        records.push(Record::new("serve.submit").str("tenant", "blue").str("campaign", "c2"));
+        records.push(Record::new("serve.cancel").str("campaign", "c2"));
+        records.push(Record::new("serve.batch").u64("requests", 3).u64("samples", 96));
+        records.push(Record::new("serve.batch").u64("requests", 1).u64("samples", 16));
+        records.push(Record::new("serve.done").str("campaign", "c1").str("outcome", "completed"));
+        records.push(Record::new("serve.done").str("campaign", "c2").str("outcome", "cancelled"));
+        let report = Report::from_records(&records);
+        let serve = report.serve.clone().expect("serve activity must be aggregated");
+        assert_eq!(serve.submitted, 2);
+        assert_eq!(serve.resumed, 2);
+        assert_eq!(serve.cancelled, 1);
+        assert_eq!(serve.done["completed"], 1);
+        assert_eq!(serve.done["cancelled"], 1);
+        assert_eq!(serve.batches, 2);
+        assert_eq!(serve.batched_requests, 4);
+        assert_eq!(serve.batched_samples, 112);
+        let text = report.render();
+        assert!(text.contains("--- serve ---"), "missing serve section:\n{text}");
+        assert!(text.contains("2 (2 resumed on restart)"));
+        assert!(text.contains("done completed"));
+        assert!(text.contains("2 batches over 4 requests (112 samples)"));
+        // A daemon-less campaign renders no serve section.
+        assert!(!Report::from_records(&demo_records()).render().contains("serve"));
     }
 
     #[test]

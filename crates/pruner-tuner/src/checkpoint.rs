@@ -235,6 +235,43 @@ mod tests {
         fs::remove_dir_all(&dir).ok();
     }
 
+    /// A checkpoint written before the fingerprint dedup path (pre
+    /// `quarantined_fps`) must still load: the field defaults to empty and
+    /// the task layer restores each missing entry as a `0` sentinel.
+    #[test]
+    fn pre_fingerprint_checkpoint_loads_with_zero_sentinels() {
+        let dir = std::env::temp_dir().join("pruner-ckpt-backcompat-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        // Derive the legacy fixture from the modern demo checkpoint by
+        // deleting the field a pre-fingerprint writer never emitted.
+        let json = serde_json::to_string(&demo_checkpoint()).unwrap();
+        let field = "\"quarantined_fps\":[1311768467463790320],";
+        assert!(json.contains(field), "fixture derivation lost the fps field");
+        fs::write(&path, json.replace(field, "")).unwrap();
+
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.tasks[0].quarantined, vec!["some-key".to_string()]);
+        assert!(
+            back.tasks[0].quarantined_fps.is_empty(),
+            "missing field must default to empty, not error"
+        );
+
+        // Through the task layer: every quarantined key without a stored
+        // fingerprint restores as the 0 sentinel.
+        let task = crate::task::TaskTuner::from_checkpoint(
+            back.tasks[0].workload.clone(),
+            back.tasks[0].task_id,
+            back.tasks[0].weight,
+            back.tasks[0].measured.clone(),
+            back.tasks[0].quarantined.clone(),
+            back.tasks[0].quarantined_fps.clone(),
+            back.tasks[0].rounds_since_improvement,
+        );
+        assert_eq!(task.quarantined_fps(), vec![0], "missing fps restore as 0 sentinels");
+        fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn version_mismatch_is_rejected() {
         let dir = std::env::temp_dir().join("pruner-ckpt-version-test");

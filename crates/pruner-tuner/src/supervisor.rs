@@ -41,7 +41,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -49,6 +49,30 @@ use std::time::{Duration, Instant};
 /// Seed salt deriving the restart-backoff jitter stream from the
 /// supervisor seed.
 const RESTART_SEED_SALT: u64 = 0x5AFE_57A7_5AFE_57A7;
+
+/// [`SupervisorConfig::stop`] value: no stop requested; keep running.
+pub const STOP_NONE: u8 = 0;
+/// [`SupervisorConfig::stop`] value: park the campaign (checkpoint + store
+/// flush) at the next step boundary and end the run as
+/// [`CampaignOutcome::Cancelled`]. A graceful cancel — the checkpoint can
+/// be resumed later.
+pub const STOP_PARK: u8 = 1;
+/// [`SupervisorConfig::stop`] value: abandon the campaign at the next step
+/// boundary *without* parking or flushing anything — the in-process
+/// equivalent of `kill -9`. The last cadence checkpoint on disk (if any)
+/// is what a later resume sees. Ends the run as
+/// [`CampaignOutcome::Cancelled`] with no result.
+pub const STOP_KILL: u8 = 2;
+
+/// A boxed campaign builder, the element type of
+/// [`Supervisor::run_many`]'s batch: called with `None` for a fresh start
+/// and with the loaded [`Checkpoint`] after a fault, exactly like the
+/// generic factory of [`Supervisor::run`]. Boxing lets one batch mix
+/// closures of different shapes (fresh submissions next to restart-resumed
+/// campaigns), which is what a multi-tenant scheduler hands the
+/// supervisor.
+pub type CampaignFactory<B> =
+    Box<dyn FnMut(Option<Checkpoint>) -> std::io::Result<Tuner<B>> + Send>;
 
 /// Supervision policy for one campaign.
 #[derive(Debug, Clone)]
@@ -82,6 +106,15 @@ pub struct SupervisorConfig {
     /// Without one, restarts rebuild from scratch and deadline parks skip
     /// persistence (the in-memory result snapshot is still returned).
     pub checkpoint: Option<PathBuf>,
+    /// External stop request, polled at every worker step boundary and
+    /// every supervisor poll tick: [`STOP_NONE`] runs normally,
+    /// [`STOP_PARK`] cancels gracefully (park, then
+    /// [`CampaignOutcome::Cancelled`]), [`STOP_KILL`] abandons without
+    /// persisting anything. A daemon shares one signal across a batch to
+    /// stop every campaign, or gives each campaign its own for per-tenant
+    /// cancellation. A set signal also suppresses restarts: a fault while
+    /// stopping ends the run as cancelled instead of backing off.
+    pub stop: Option<Arc<AtomicU8>>,
 }
 
 impl Default for SupervisorConfig {
@@ -97,6 +130,7 @@ impl Default for SupervisorConfig {
             backoff_jitter: 0.1,
             seed: 0,
             checkpoint: None,
+            stop: None,
         }
     }
 }
@@ -168,6 +202,9 @@ pub enum CampaignOutcome {
     SimDeadlineExceeded,
     /// Too many faults; the supervisor gave up.
     Quarantined,
+    /// An external stop was requested via [`SupervisorConfig::stop`]:
+    /// parked (with [`STOP_PARK`]) or abandoned (with [`STOP_KILL`]).
+    Cancelled,
 }
 
 impl CampaignOutcome {
@@ -178,6 +215,7 @@ impl CampaignOutcome {
             CampaignOutcome::WallDeadlineExceeded => "wall_deadline",
             CampaignOutcome::SimDeadlineExceeded => "sim_deadline",
             CampaignOutcome::Quarantined => "quarantined",
+            CampaignOutcome::Cancelled => "cancelled",
         }
     }
 }
@@ -206,11 +244,10 @@ pub struct SupervisedRun {
 enum WorkerMsg {
     /// The campaign finished; here is the final result.
     Done(TuningResult),
-    /// The campaign parked on a deadline; here is the live snapshot.
+    /// The campaign parked; here is the live snapshot.
     Parked {
-        /// `true` when the *simulated* budget expired (the worker decided);
-        /// `false` when the supervisor requested the park (wall deadline).
-        sim_deadline: bool,
+        /// Why the park happened (decides the [`CampaignOutcome`]).
+        reason: ParkReason,
         /// Snapshot at the park point.
         result: Box<TuningResult>,
     },
@@ -218,6 +255,17 @@ enum WorkerMsg {
     Failed(String),
     /// The campaign panicked.
     Panicked(String),
+}
+
+/// Why a worker parked its campaign (each park maps to one outcome).
+#[derive(Clone, Copy)]
+enum ParkReason {
+    /// The simulated-time budget expired (the worker decided).
+    Sim,
+    /// The supervisor requested the park (wall deadline).
+    Wall,
+    /// An external [`STOP_PARK`] cancel was requested.
+    Cancel,
 }
 
 /// What one supervision attempt concluded.
@@ -320,6 +368,17 @@ impl Supervisor {
                 Verdict::Faulted(fault) => {
                     self.emit_fault(&fault, attempt);
                     faults.push(fault);
+                    // A fault while a stop is pending is not restarted:
+                    // the caller asked the campaign to go away.
+                    if self.stop_mode() != STOP_NONE {
+                        self.emit_done(CampaignOutcome::Cancelled, restarts);
+                        return SupervisedRun {
+                            result: None,
+                            outcome: CampaignOutcome::Cancelled,
+                            faults,
+                            restarts,
+                        };
+                    }
                     if restarts >= self.cfg.max_restarts {
                         if self.recorder.enabled() {
                             self.recorder.emit(
@@ -351,16 +410,14 @@ impl Supervisor {
     }
 
     /// Runs several campaigns sequentially, one [`SupervisedRun`] each.
-    /// Each campaign brings its own policy (checkpoint path, deadlines);
-    /// the supervisor's recorder covers them all.
-    pub fn run_many<B, F>(
+    /// Each campaign brings its own policy (checkpoint path, deadlines,
+    /// stop signal) as a boxed [`CampaignFactory`], so one batch can mix
+    /// fresh submissions with restart-resumed campaigns; the supervisor's
+    /// recorder covers them all.
+    pub fn run_many<B: Backend>(
         &mut self,
-        campaigns: Vec<(SupervisorConfig, F)>,
-    ) -> Vec<SupervisedRun>
-    where
-        B: Backend,
-        F: FnMut(Option<Checkpoint>) -> std::io::Result<Tuner<B>>,
-    {
+        campaigns: Vec<(SupervisorConfig, CampaignFactory<B>)>,
+    ) -> Vec<SupervisedRun> {
         campaigns
             .into_iter()
             .map(|(cfg, factory)| {
@@ -370,6 +427,16 @@ impl Supervisor {
                 run
             })
             .collect()
+    }
+
+    /// The current value of the external stop signal ([`STOP_NONE`] when
+    /// no signal is installed).
+    fn stop_mode(&self) -> u8 {
+        self.cfg
+            .stop
+            .as_ref()
+            .map(|s| s.load(Ordering::SeqCst))
+            .unwrap_or(STOP_NONE)
     }
 
     /// Loads the restart checkpoint for attempt `restarts + 1`. The first
@@ -406,18 +473,19 @@ impl Supervisor {
             let heartbeat = Arc::clone(&heartbeat);
             let abandon = Arc::clone(&abandon);
             let park = Arc::clone(&park);
+            let stop = self.cfg.stop.clone();
             let sim_deadline = self.cfg.sim_deadline_s;
             let ckpt = self.cfg.checkpoint.clone();
             let tx = tx.clone();
             move || {
                 let mut tuner = tuner;
-                let park_now = |tuner: &Tuner<B>, sim: bool| -> WorkerMsg {
+                let park_now = |tuner: &Tuner<B>, reason: ParkReason| -> WorkerMsg {
                     if let Some(path) = &ckpt {
                         if let Err(e) = tuner.park_to(path) {
                             return WorkerMsg::Failed(format!("park failed: {e}"));
                         }
                     }
-                    WorkerMsg::Parked { sim_deadline: sim, result: Box::new(tuner.result()) }
+                    WorkerMsg::Parked { reason, result: Box::new(tuner.result()) }
                 };
                 tuner.start();
                 loop {
@@ -427,13 +495,24 @@ impl Supervisor {
                     if abandon.load(Ordering::SeqCst) {
                         return;
                     }
+                    match stop.as_ref().map(|s| s.load(Ordering::SeqCst)).unwrap_or(STOP_NONE) {
+                        // Hard kill: exit without parking or flushing, as
+                        // if the process died here. The supervisor sees
+                        // the stop signal and reports Cancelled.
+                        STOP_KILL => return,
+                        STOP_PARK => {
+                            let _ = tx.send(park_now(&tuner, ParkReason::Cancel));
+                            return;
+                        }
+                        _ => {}
+                    }
                     heartbeat.store(started.elapsed().as_millis() as u64, Ordering::SeqCst);
                     if sim_deadline.is_some_and(|d| tuner.stats().total_s() >= d) {
-                        let _ = tx.send(park_now(&tuner, true));
+                        let _ = tx.send(park_now(&tuner, ParkReason::Sim));
                         return;
                     }
                     if park.load(Ordering::SeqCst) {
-                        let _ = tx.send(park_now(&tuner, false));
+                        let _ = tx.send(park_now(&tuner, ParkReason::Wall));
                         return;
                     }
                     match tuner.step() {
@@ -478,12 +557,12 @@ impl Supervisor {
                     let _ = handle.join();
                     return Verdict::Finished(CampaignOutcome::Completed, Some(result));
                 }
-                Ok(WorkerMsg::Parked { sim_deadline, result }) => {
+                Ok(WorkerMsg::Parked { reason, result }) => {
                     let _ = handle.join();
-                    let outcome = if sim_deadline {
-                        CampaignOutcome::SimDeadlineExceeded
-                    } else {
-                        CampaignOutcome::WallDeadlineExceeded
+                    let outcome = match reason {
+                        ParkReason::Sim => CampaignOutcome::SimDeadlineExceeded,
+                        ParkReason::Wall => CampaignOutcome::WallDeadlineExceeded,
+                        ParkReason::Cancel => CampaignOutcome::Cancelled,
                     };
                     return Verdict::Finished(outcome, Some(*result));
                 }
@@ -496,14 +575,25 @@ impl Supervisor {
                     return Verdict::Faulted(CampaignFault::Panicked { message });
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    // The worker died without a message — treat as a
-                    // panic (catch_unwind should have reported it).
                     let _ = handle.join();
+                    // A hard kill exits the worker without a message by
+                    // design; anything else dying silently is a panic
+                    // (catch_unwind should have reported it).
+                    if self.stop_mode() == STOP_KILL {
+                        return Verdict::Finished(CampaignOutcome::Cancelled, None);
+                    }
                     return Verdict::Faulted(CampaignFault::Panicked {
                         message: "campaign worker exited without reporting".to_string(),
                     });
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    // A hard kill returns immediately: the worker is
+                    // abandoned (it exits at its next step boundary) and
+                    // nothing more is written.
+                    if self.stop_mode() == STOP_KILL {
+                        abandon.store(true, Ordering::SeqCst);
+                        return Verdict::Finished(CampaignOutcome::Cancelled, None);
+                    }
                     let now_ms = started.elapsed().as_millis() as u64;
                     if let Some(requested) = park_requested_at {
                         // The park request itself is watchdogged: a
@@ -672,6 +762,7 @@ mod tests {
         assert_eq!(CampaignOutcome::WallDeadlineExceeded.label(), "wall_deadline");
         assert_eq!(CampaignOutcome::SimDeadlineExceeded.label(), "sim_deadline");
         assert_eq!(CampaignOutcome::Quarantined.label(), "quarantined");
+        assert_eq!(CampaignOutcome::Cancelled.label(), "cancelled");
         let f = CampaignFault::Io { message: "disk full".into() };
         assert_eq!(f.to_string(), "io: disk full");
     }
@@ -679,9 +770,9 @@ mod tests {
     #[test]
     fn run_many_supervises_each_campaign_with_its_own_policy() {
         let mut sup = Supervisor::new(SupervisorConfig::default());
-        let runs = sup.run_many(vec![
-            (SupervisorConfig::default(), build as fn(_) -> _),
-            (SupervisorConfig::default(), build as fn(_) -> _),
+        let runs = sup.run_many::<Simulator>(vec![
+            (SupervisorConfig::default(), Box::new(build)),
+            (SupervisorConfig::default(), Box::new(build)),
         ]);
         assert_eq!(runs.len(), 2);
         assert!(runs.iter().all(|r| r.outcome == CampaignOutcome::Completed));
@@ -691,5 +782,56 @@ mod tests {
             serde_json::to_string(b).unwrap(),
             "identical campaigns supervise identically"
         );
+    }
+
+    #[test]
+    fn stop_park_cancels_with_resumable_checkpoint() {
+        let dir = std::env::temp_dir()
+            .join(format!("pruner-sup-stop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("stop.ckpt.json");
+        let stop = Arc::new(AtomicU8::new(STOP_PARK));
+        let cfg = SupervisorConfig {
+            checkpoint: Some(ckpt.clone()),
+            stop: Some(Arc::clone(&stop)),
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::new(cfg.clone());
+        let run = sup.run(build);
+        assert_eq!(run.outcome, CampaignOutcome::Cancelled);
+        assert!(run.result.is_some(), "graceful cancel returns the parked snapshot");
+        assert!(ckpt.exists(), "graceful cancel parks to the checkpoint");
+
+        // Clearing the signal and re-running resumes from the park point
+        // and finishes byte-identical to an uninterrupted campaign.
+        stop.store(STOP_NONE, Ordering::SeqCst);
+        let golden = build(None).unwrap().run();
+        let resumed = Supervisor::new(cfg).run(build);
+        assert_eq!(resumed.outcome, CampaignOutcome::Completed);
+        assert_eq!(
+            serde_json::to_string(&resumed.result.unwrap()).unwrap(),
+            serde_json::to_string(&golden).unwrap(),
+            "cancel + resume must be invisible in the result"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_kill_abandons_without_parking() {
+        let dir = std::env::temp_dir()
+            .join(format!("pruner-sup-kill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("kill.ckpt.json");
+        let cfg = SupervisorConfig {
+            checkpoint: Some(ckpt.clone()),
+            stop: Some(Arc::new(AtomicU8::new(STOP_KILL))),
+            ..SupervisorConfig::default()
+        };
+        let run = Supervisor::new(cfg).run(build);
+        assert_eq!(run.outcome, CampaignOutcome::Cancelled);
+        assert!(run.result.is_none(), "a hard kill returns nothing");
+        assert_eq!(run.restarts, 0, "a hard kill never restarts");
+        assert!(!ckpt.exists(), "a hard kill must not park");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

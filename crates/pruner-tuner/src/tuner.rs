@@ -10,7 +10,7 @@ use pruner_cost::{CostModel, ModelKind, PacmModel, Sample};
 use pruner_gpu::{Backend, FaultModel, GpuSpec, Simulator};
 use pruner_ir::{Network, Workload};
 use pruner_psa::{Psa, PsaConfig};
-use pruner_store::{IoFaults, RecordOutcome, Store, TuningRecord};
+use pruner_store::{IoFaults, RecordOutcome, SharedStore, Store, TuningRecord};
 use pruner_trace::{NoopRecorder, Record, Recorder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -168,6 +168,54 @@ pub struct TuningResult {
     pub best_programs: Vec<Option<pruner_sketch::Program>>,
 }
 
+/// Where a campaign's tuning records go: nowhere, its own [`Store`], or a
+/// [`SharedStore`] handle multiplexed across concurrent campaigns (the
+/// `pruner-serve` daemon). Every store touchpoint in the state machine
+/// goes through this slot, so the two attachment modes behave
+/// identically — the shared mode just takes the store's lock per
+/// operation.
+enum StoreSlot {
+    /// No store attached.
+    Detached,
+    /// A store owned by this campaign alone.
+    Owned(Store),
+    /// A handle to a store shared with concurrent campaigns.
+    Shared(SharedStore),
+}
+
+impl StoreSlot {
+    fn attached(&self) -> bool {
+        !matches!(self, StoreSlot::Detached)
+    }
+
+    /// Appends (deduplicating); `false` when detached or already stored.
+    fn append(&mut self, record: TuningRecord) -> bool {
+        match self {
+            StoreSlot::Detached => false,
+            StoreSlot::Owned(store) => store.append(record),
+            StoreSlot::Shared(store) => store.append(record),
+        }
+    }
+
+    /// Flushes the store; a no-op success when detached.
+    fn flush(&self) -> std::io::Result<()> {
+        match self {
+            StoreSlot::Detached => Ok(()),
+            StoreSlot::Owned(store) => store.flush(),
+            StoreSlot::Shared(store) => store.flush(),
+        }
+    }
+
+    /// Runs `f` against the store (under the lock for a shared one).
+    fn with<R>(&self, f: impl FnOnce(&Store) -> R) -> Option<R> {
+        match self {
+            StoreSlot::Detached => None,
+            StoreSlot::Owned(store) => Some(f(store)),
+            StoreSlot::Shared(store) => Some(store.with(f)),
+        }
+    }
+}
+
 /// The tuning campaign driver.
 ///
 /// Add tasks (or a whole network), then [`Tuner::run`]. Each round the
@@ -192,7 +240,7 @@ pub struct Tuner<B: Backend = Simulator> {
     rng: ChaCha8Rng,
     checkpoint_path: Option<PathBuf>,
     recorder: Box<dyn Recorder>,
-    store: Option<Store>,
+    store: StoreSlot,
     warm_start: bool,
     /// Cache keys pre-seeded from the store this run — distinguishes a
     /// store hit (measurement avoided) from an ordinary cache hit.
@@ -297,7 +345,7 @@ impl<B: Backend> Tuner<B> {
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             checkpoint_path: None,
             recorder: Box::new(NoopRecorder),
-            store: None,
+            store: StoreSlot::Detached,
             warm_start: false,
             store_seeded: HashSet::new(),
             phase: CampaignPhase::Init,
@@ -385,7 +433,7 @@ impl<B: Backend> Tuner<B> {
             rng,
             checkpoint_path: None,
             recorder: Box::new(NoopRecorder),
-            store: None,
+            store: StoreSlot::Detached,
             warm_start: false,
             store_seeded: HashSet::new(),
             phase: ckpt.phase,
@@ -420,14 +468,28 @@ impl<B: Backend> Tuner<B> {
     /// replays regardless of the flag — its checkpoint already contains
     /// every effect of the measurements it made.
     pub fn set_store(&mut self, store: Store, warm_start: bool) {
-        self.store = Some(store);
+        self.store = StoreSlot::Owned(store);
         self.warm_start = warm_start;
     }
 
-    /// The attached record store, if any (e.g. to report how many fresh
-    /// records the campaign contributed).
+    /// Attaches a [`SharedStore`] handle instead of an owned store:
+    /// several concurrent campaigns (the `pruner-serve` tenants) append
+    /// to one log, deduplicated under its lock. Identical semantics to
+    /// [`Tuner::set_store`] otherwise — including `warm_start` replay,
+    /// which snapshots the matching records under the lock.
+    pub fn set_shared_store(&mut self, store: SharedStore, warm_start: bool) {
+        self.store = StoreSlot::Shared(store);
+        self.warm_start = warm_start;
+    }
+
+    /// The attached *owned* record store, if any (e.g. to report how many
+    /// fresh records the campaign contributed). A shared store has no
+    /// single owner and is observed through its own handle instead.
     pub fn store(&self) -> Option<&Store> {
-        self.store.as_ref()
+        match &self.store {
+            StoreSlot::Owned(store) => Some(store),
+            _ => None,
+        }
     }
 
     /// Snapshots the complete campaign state at `phase`.
@@ -600,7 +662,7 @@ impl<B: Backend> Tuner<B> {
     fn advance(&mut self, phase: CampaignPhase) -> CampaignPhase {
         match phase {
             CampaignPhase::Init => {
-                if self.warm_start && self.store.is_some() {
+                if self.warm_start && self.store.attached() {
                     self.replay_store();
                 }
                 // Warm-up: measure every task's canonical fallback so the
@@ -793,12 +855,10 @@ impl<B: Backend> Tuner<B> {
                         // lose those records forever. Failing before the
                         // save restarts from the previous checkpoint and
                         // re-measures (and re-appends) the interval.
-                        if let Some(store) = &self.store {
-                            if let Err(e) = store.flush() {
-                                return CampaignPhase::Failed {
-                                    reason: format!("store write failed: {e}"),
-                                };
-                            }
+                        if let Err(e) = self.store.flush() {
+                            return CampaignPhase::Failed {
+                                reason: format!("store write failed: {e}"),
+                            };
                         }
                         // A cadence checkpoint parks the campaign at the next
                         // round boundary.
@@ -845,15 +905,17 @@ impl<B: Backend> Tuner<B> {
                     .f64("sim_total_s", stats.total_s()),
             );
         }
-        if let Some(store) = &self.store {
-            if let Err(e) = store.flush() {
+        if self.store.attached() {
+            if let Err(e) = self.store.flush() {
                 return CampaignPhase::Failed { reason: format!("store write failed: {e}") };
             }
             if self.recorder.enabled() {
+                let (records, appended) =
+                    self.store.with(|s| (s.len(), s.appended())).unwrap_or((0, 0));
                 self.recorder.emit(
                     Record::new("store_flush")
-                        .u64("records", store.len() as u64)
-                        .u64("appended", store.appended() as u64),
+                        .u64("records", records as u64)
+                        .u64("appended", appended as u64),
                 );
             }
         }
@@ -906,9 +968,7 @@ impl<B: Backend> Tuner<B> {
         // Store first, checkpoint second — same ordering as the cadence
         // path, so no published checkpoint ever references measurements
         // the store has not durably recorded.
-        if let Some(store) = &self.store {
-            store.flush()?;
-        }
+        self.store.flush()?;
         self.park().save_with(path, self.io_faults.as_ref())
     }
 
@@ -933,14 +993,26 @@ impl<B: Backend> Tuner<B> {
         let by_workload: HashMap<String, usize> =
             self.tasks.iter().enumerate().map(|(i, t)| (t.workload.key(), i)).collect();
         let workloads: HashSet<String> = by_workload.keys().cloned().collect();
-        let Some(store) = &self.store else { return };
-        let replay = store.replay_backend(B::TAG, &spec_fp, &workloads);
-        let matched = replay.records.len();
-        let (spec_mismatches, workload_mismatches) =
-            (replay.spec_mismatches, replay.workload_mismatches);
+        // Snapshot the matching records out of the store (under the lock
+        // for a shared one — replay must not hold it across model
+        // pretraining).
+        let Some((records, spec_mismatches, workload_mismatches, file)) =
+            self.store.with(|store| {
+                let replay = store.replay_backend(B::TAG, &spec_fp, &workloads);
+                (
+                    replay.records.into_iter().cloned().collect::<Vec<TuningRecord>>(),
+                    replay.spec_mismatches,
+                    replay.workload_mismatches,
+                    store.replay_stats(),
+                )
+            })
+        else {
+            return;
+        };
+        let matched = records.len();
         let mut preseeded = 0u64;
         let mut samples: Vec<Sample> = Vec::new();
-        for record in replay.records {
+        for record in &records {
             let ti = by_workload[&record.workload_fp];
             let key = record.program.dedup_key();
             // A verdict already in the cache (from a checkpoint) wins over
@@ -970,7 +1042,6 @@ impl<B: Backend> Tuner<B> {
             );
         }
         if self.recorder.enabled() {
-            let file = self.store.as_ref().map(|s| s.replay_stats()).unwrap_or_default();
             self.recorder.emit(
                 Record::new("store_replay")
                     .u64("loaded", file.loaded as u64)
@@ -991,15 +1062,17 @@ impl<B: Backend> Tuner<B> {
     /// live, and `store.appended` when a genuinely fresh record is added;
     /// the store itself dedupes, so re-encounters are free.
     fn record_to_store(&mut self, prog: &pruner_sketch::Program) {
-        let Some(store) = self.store.as_mut() else { return };
+        if !self.store.attached() {
+            return;
+        }
         let key = prog.dedup_key();
         if self.store_seeded.contains(&key) {
             self.recorder.counter("store.hits", 1);
             return;
         }
         let Some(outcome) = self.measurer.cached_outcome(prog) else { return };
-        if store.append(TuningRecord::with_backend(&self.spec, B::TAG, prog.clone(), outcome.into()))
-        {
+        let record = TuningRecord::with_backend(&self.spec, B::TAG, prog.clone(), outcome.into());
+        if self.store.append(record) {
             self.recorder.counter("store.appended", 1);
         }
     }

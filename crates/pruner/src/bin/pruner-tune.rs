@@ -69,6 +69,8 @@ USAGE:
                 [--trace-out file.jsonl] [--report] [--store records.jsonl]
     pruner-tune records (stats | compact | export) --store records.jsonl
                 [--platform <p>] [--output dataset.json]
+    pruner-tune serve (start | submit | status | cancel | predict | shutdown) ...
+                (resident multi-tenant tuning daemon; see `serve --help`)
 
 OPTIONS:
     --platform <p>        k80 | t4 | titanv | a100 | orin
@@ -493,6 +495,13 @@ where
             );
             Err(ExitCode::from(4))
         }
+        // The one-shot CLI installs no external stop signal, so a
+        // cancellation can only come from a wrapping service; treat it
+        // like a park (the checkpoint, if any, is resumable).
+        CampaignOutcome::Cancelled => {
+            eprintln!("supervisor: campaign cancelled");
+            Err(ExitCode::from(3))
+        }
     }
 }
 
@@ -631,8 +640,265 @@ fn records_main(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const SERVE_USAGE: &str = "\
+pruner-tune serve: resident multi-tenant tuning daemon (see docs/SERVING.md)
+
+USAGE:
+    pruner-tune serve start --socket <path> --state-dir <dir>
+                [--workers N] [--budget N] [--model-dir <dir>]
+                [--predict-threads N]
+    pruner-tune serve submit --socket <path> --tenant <name> --platform <p>
+                (--network <name> | --matmul B,M,N,K | --conv2d N,C,H,W,CO,K,S,P)...
+                [--trials N] [--seed N] [--threads N] [--no-psa]
+                [--checkpoint-every N] [--model <name>]
+    pruner-tune serve status --socket <path> --campaign <id> [--output file.json]
+    pruner-tune serve cancel --socket <path> --campaign <id>
+    pruner-tune serve predict --socket <path> --model <name> --matmul B,M,N,K...
+    pruner-tune serve shutdown --socket <path>
+
+OPTIONS:
+    --socket <path>       Unix domain socket the daemon answers on
+    --state-dir <dir>     daemon state root: shared store, per-tenant campaign
+                          directories (checkpoints, manifests, results)
+    --workers N           concurrent campaign workers [default: 2]
+    --budget N            max concurrent campaigns per tenant [default: 1]
+    --model-dir <dir>     directory of pre-trained ModelSnapshot JSON files;
+                          `--model <name>` resolves <dir>/<name>.json first,
+                          then the built-in model kinds
+    --predict-threads N   predict_batch parallelism of the shared-model
+                          batchers [default: 1]
+    --tenant <name>       tenant the campaign belongs to ([a-zA-Z0-9_-])
+    --model <name>        submit: share the named frozen daemon model across
+                          tenants (predictions are batched); omit to train a
+                          fresh per-campaign PaCM, byte-identical to the
+                          one-shot CLI. predict: the model to score against
+    --campaign <id>       campaign id returned by submit
+    --output <file>       status: write the finished campaign's result JSON
+
+EXIT CODES:
+    0  request served (status: campaign exists, any state)
+    1  usage error, connection failure, or daemon-side error reply
+
+A daemon restarted on the same --state-dir resumes every in-flight
+campaign from its checkpoint; results are byte-identical to uninterrupted
+runs.
+";
+
+/// Parses repeated workload flags shared by `serve submit` and `serve
+/// predict`.
+fn parse_workload_flag(
+    flag: &str,
+    value: &str,
+    workloads: &mut Vec<Workload>,
+) -> Result<bool, String> {
+    match flag {
+        "--matmul" => {
+            let v = parse_u64_list(value, 4, "--matmul")?;
+            workloads.push(Workload::matmul(v[0], v[1], v[2], v[3]));
+            Ok(true)
+        }
+        "--conv2d" => {
+            let v = parse_u64_list(value, 8, "--conv2d")?;
+            workloads.push(Workload::conv2d(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]));
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// `pruner-tune serve <verb>` — run or talk to the tuning daemon.
+fn serve_main(argv: &[String]) -> Result<ExitCode, String> {
+    use pruner::serve::{Client, Daemon, Request, Response, ServeConfig};
+    use std::time::Duration;
+
+    let verb = argv.first().map(String::as_str).unwrap_or_default();
+    if matches!(verb, "--help" | "-h" | "help" | "") {
+        print!("{SERVE_USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    // Flag soup shared by all verbs; each verb checks what it needs.
+    let mut socket: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut workers: usize = 2;
+    let mut budget: usize = 1;
+    let mut model_dir: Option<String> = None;
+    let mut predict_threads: usize = 1;
+    let mut tenant: Option<String> = None;
+    let mut campaign: Option<String> = None;
+    let mut model: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut platform: Option<GpuSpec> = None;
+    let mut network: Option<Network> = None;
+    let mut workloads: Vec<Workload> = Vec::new();
+    let mut config = TunerConfig::default();
+    let mut trials: Option<usize> = None;
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value("--socket")?),
+            "--state-dir" => state_dir = Some(value("--state-dir")?),
+            "--workers" => {
+                workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--budget" => {
+                budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--model-dir" => model_dir = Some(value("--model-dir")?),
+            "--predict-threads" => {
+                predict_threads = value("--predict-threads")?
+                    .parse()
+                    .map_err(|e| format!("--predict-threads: {e}"))?
+            }
+            "--tenant" => tenant = Some(value("--tenant")?),
+            "--campaign" => campaign = Some(value("--campaign")?),
+            "--model" => model = Some(value("--model")?),
+            "--output" => output = Some(value("--output")?),
+            "--platform" => {
+                let v = value("--platform")?;
+                platform =
+                    Some(GpuSpec::by_name(&v).ok_or_else(|| format!("unknown platform `{v}`"))?);
+            }
+            "--network" => {
+                let v = value("--network")?;
+                network = Some(
+                    zoo::by_short_name(&v, 1).ok_or_else(|| format!("unknown network `{v}`"))?,
+                );
+            }
+            "--trials" => {
+                trials = Some(value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?)
+            }
+            "--seed" => {
+                config.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1)
+            }
+            "--no-psa" => config.use_psa = false,
+            "--checkpoint-every" => {
+                config.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            other if parse_workload_flag(other, &value(other)?, &mut workloads)? => {}
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    let socket = socket.ok_or("serve needs --socket <path>")?;
+
+    if verb == "start" {
+        let state_dir = state_dir.ok_or("serve start needs --state-dir <dir>")?;
+        let cfg = ServeConfig {
+            socket: socket.clone().into(),
+            state_dir: state_dir.into(),
+            workers,
+            per_tenant_budget: budget,
+            model_dir: model_dir.map(Into::into),
+            predict_threads,
+        };
+        let daemon = Daemon::start(cfg).map_err(|e| format!("cannot start daemon: {e}"))?;
+        if daemon.resumed() > 0 {
+            println!("resumed  : {} in-flight campaign(s)", daemon.resumed());
+        }
+        println!("serving  : {socket}");
+        daemon.wait_shutdown().map_err(|e| format!("shutdown error: {e}"))?;
+        println!("daemon stopped");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut client = Client::connect_with_retry(&socket, Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    let request = match verb {
+        "submit" => {
+            let tenant = tenant.ok_or("serve submit needs --tenant <name>")?;
+            let platform = platform.ok_or("serve submit needs --platform <p>")?;
+            if let Some(trials) = trials {
+                if trials < config.measure_per_round {
+                    return Err(format!("need at least {} trials", config.measure_per_round));
+                }
+                config.rounds = trials / config.measure_per_round;
+            }
+            let mut pairs: Vec<(Workload, u64)> =
+                workloads.into_iter().map(|wl| (wl, 1)).collect();
+            if let Some(net) = &network {
+                for sg in net.subgraphs() {
+                    pairs.push((sg.workload.clone(), sg.weight));
+                }
+            }
+            if pairs.is_empty() {
+                return Err("serve submit needs --network or --matmul/--conv2d".into());
+            }
+            Request::SubmitCampaign { tenant, spec: platform, workloads: pairs, config, model }
+        }
+        "status" => Request::Status {
+            campaign: campaign.ok_or("serve status needs --campaign <id>")?,
+        },
+        "cancel" => Request::Cancel {
+            campaign: campaign.ok_or("serve cancel needs --campaign <id>")?,
+        },
+        "predict" => {
+            if workloads.is_empty() {
+                return Err("serve predict needs at least one --matmul/--conv2d".into());
+            }
+            Request::PredictOnly {
+                model: model.ok_or("serve predict needs --model <name>")?,
+                programs: workloads.iter().map(pruner::sketch::Program::fallback).collect(),
+            }
+        }
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown serve verb `{other}`")),
+    };
+    let response = client.call(&request).map_err(|e| format!("request failed: {e}"))?;
+    match response {
+        Response::Submitted { campaign } => {
+            println!("submitted: {campaign}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Response::Status { campaign, state, best_latency_s, result } => {
+            match best_latency_s {
+                Some(best) => println!("{campaign}: {state} (best {:.4} ms)", best * 1e3),
+                None => println!("{campaign}: {state}"),
+            }
+            if let (Some(path), Some(json)) = (&output, &result) {
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("result written to {path}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Response::Cancelled { campaign } => {
+            println!("cancelled: {campaign}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Response::Scores { scores } => {
+            for (i, score) in scores.iter().enumerate() {
+                println!("program {i}: {score}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Response::ShuttingDown => {
+            println!("daemon shutting down");
+            Ok(ExitCode::SUCCESS)
+        }
+        Response::Error { message } => Err(format!("daemon error: {message}")),
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return match serve_main(&argv[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{SERVE_USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if argv.first().map(String::as_str) == Some("records") {
         return match records_main(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,

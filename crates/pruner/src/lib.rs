@@ -54,6 +54,7 @@ pub use pruner_gpu as gpu;
 pub use pruner_ir as ir;
 pub use pruner_nn as nn;
 pub use pruner_psa as psa;
+pub use pruner_serve as serve;
 pub use pruner_sketch as sketch;
 pub use pruner_store as store;
 pub use pruner_trace as trace;
