@@ -1,0 +1,221 @@
+//! Bench 10 — cross-hardware continual-learning fleet.
+//!
+//! Extends the paper's two-platform Momentum Transfer Learning study to
+//! an N-device roster: one shared Siamese trunk tuned across the roster
+//! in order, per-device scoring heads keyed by hardware fingerprint, and
+//! a replay-based anti-forgetting evaluation after every stage. Reports:
+//!
+//! * **transfer efficiency** per (trained-on, evaluated) device pair —
+//!   probe-rank Spearman after each stage minus the pre-trained baseline;
+//! * **forgetting deltas** per device — probe score right after the
+//!   device's own stage vs. after the final stage;
+//! * **degeneracy check** — a 2-device fleet must reproduce, byte for
+//!   byte, the plain pairwise MTL chain the tuner already implements
+//!   (pre-train on A, MTL-tune A, carry the Siamese, MTL-tune B). This
+//!   pins that the fleet is a generalization, not a divergence.
+//!
+//! Writes machine-readable `BENCH_10.json` at the workspace root. See
+//! `docs/FLEET.md` for the fleet contract.
+//!
+//! `PRUNER_BENCH_SMOKE=1` shrinks campaigns so CI can exercise the
+//! harness end to end in seconds.
+
+use pruner::gpu::GpuSpec;
+use pruner::ir::Workload;
+use pruner::tuner::fleet::{pretrain_samples, FleetConfig};
+use pruner::tuner::{pretrain_pacm, ModelSetup, Tuner, TunerConfig};
+use pruner::{Fleet, FleetResult};
+use pruner_bench::{results_dir, TextTable};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TransferCell {
+    stage: usize,
+    trained_on: String,
+    evaluated: String,
+    score: f64,
+    delta_vs_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct ForgettingCell {
+    device: String,
+    trained_stage: usize,
+    score_after_training: f64,
+    final_score: f64,
+    delta: f64,
+}
+
+#[derive(Serialize)]
+struct Bench10Result {
+    smoke: bool,
+    full: bool,
+    roster: Vec<String>,
+    best_latency_s: Vec<f64>,
+    baseline: Vec<f64>,
+    probe_scores: Vec<Vec<f64>>,
+    transfer: Vec<TransferCell>,
+    forgetting: Vec<ForgettingCell>,
+    two_device_matches_mtl: bool,
+}
+
+fn smoke() -> bool {
+    std::env::var("PRUNER_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Fresh scratch directory for one fleet's state.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pruner-bench10-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+fn bench_config(roster: Vec<GpuSpec>, name: &str) -> FleetConfig {
+    let mut cfg = FleetConfig::quick(roster, scratch(name));
+    cfg.workloads = vec![
+        (Workload::matmul(1, 128, 128, 128), 2),
+        (Workload::conv2d(1, 16, 14, 14, 32, 3, 1, 1), 1),
+    ];
+    let (rounds, measure) = if smoke() { (3, 4) } else { (10, 8) };
+    cfg.tuner = TunerConfig {
+        rounds,
+        measure_per_round: measure,
+        space_size: 64,
+        target_pool: 128,
+        train_epochs: 1,
+        mtl_epochs: 2,
+        ..TunerConfig::quick()
+    };
+    cfg.pretrain_per_workload = if smoke() { 16 } else { 48 };
+    cfg.pretrain_epochs = if smoke() { 2 } else { 4 };
+    cfg.probes_per_workload = if smoke() { 12 } else { 32 };
+    cfg
+}
+
+/// The 2-device degeneracy check: a fleet over [A, B] must produce the
+/// same per-stage `TuningResult`s as the manual pairwise-MTL chain.
+fn two_device_matches_mtl() -> bool {
+    let cfg = bench_config(vec![GpuSpec::k80(), GpuSpec::t4()], "degeneracy");
+    let fleet_result =
+        Fleet::new(cfg.clone()).run().expect("2-device fleet").result.expect("completed");
+
+    // Manual chain, exactly what the tuner exposed before the fleet:
+    // pre-train on the first device, MTL-tune it, carry the Siamese into
+    // the second device's campaign.
+    let pre = pretrain_samples(
+        &cfg.roster[0],
+        &cfg.workloads,
+        cfg.pretrain_per_workload,
+        cfg.seed,
+    );
+    let pretrained = pretrain_pacm(&pre, cfg.pretrain_epochs, cfg.tuner.seed);
+    let mut chain_results = Vec::new();
+    let mut siamese = pretrained;
+    for spec in &cfg.roster {
+        let mut tuner = Tuner::new(
+            spec.clone(),
+            cfg.tuner,
+            ModelSetup::Mtl { pretrained: siamese.clone(), momentum: cfg.momentum },
+        );
+        for (wl, weight) in &cfg.workloads {
+            tuner.add_task(wl.clone(), *weight);
+        }
+        let result = tuner.run();
+        siamese = tuner.mtl().expect("MTL campaign").siamese().clone();
+        chain_results.push(result);
+    }
+    let fleet_json =
+        serde_json::to_string(&fleet_result.results).expect("serialize fleet results");
+    let chain_json = serde_json::to_string(&chain_results).expect("serialize chain results");
+    fleet_json == chain_json
+}
+
+fn main() {
+    let full = pruner_bench::full_scale();
+    let roster = if full {
+        GpuSpec::all()
+    } else {
+        vec![GpuSpec::k80(), GpuSpec::t4(), GpuSpec::a100()]
+    };
+    let cfg = bench_config(roster, "roster");
+    let roster_names: Vec<String> = cfg.roster.iter().map(|s| s.name.clone()).collect();
+    let run = Fleet::new(cfg).run().expect("fleet run");
+    let result: FleetResult = run.result.expect("roster completed");
+
+    let degenerate_ok = two_device_matches_mtl();
+    assert!(
+        degenerate_ok,
+        "2-device fleet diverged from the pairwise MTL chain — the fleet \
+         must be a strict generalization of the existing transfer path"
+    );
+
+    println!(
+        "Bench 10 — cross-hardware fleet ({} devices, {} stages)\n",
+        roster_names.len(),
+        result.devices.len()
+    );
+    let mut table = TextTable::new(&["stage", "device", "best (ms)", "probe ρ", "Δ baseline"]);
+    for d in &result.devices {
+        let score = result.report.probe_scores[d.stage][d.stage];
+        table.row(vec![
+            d.stage.to_string(),
+            d.name.clone(),
+            format!("{:.4}", d.best_latency_s * 1e3),
+            format!("{:+.3}", score),
+            format!("{:+.3}", score - result.report.baseline[d.stage]),
+        ]);
+    }
+    table.print();
+    println!();
+    let mut forget = TextTable::new(&["device", "after stage", "final", "forgetting Δ"]);
+    for f in &result.report.forgetting {
+        forget.row(vec![
+            f.device.clone(),
+            format!("{:+.3}", f.score_after_training),
+            format!("{:+.3}", f.final_score),
+            format!("{:+.3}", f.delta),
+        ]);
+    }
+    forget.print();
+    println!("\n2-device degeneracy vs pairwise MTL chain: byte-identical = {degenerate_ok}");
+
+    let out = Bench10Result {
+        smoke: smoke(),
+        full,
+        roster: roster_names,
+        best_latency_s: result.devices.iter().map(|d| d.best_latency_s).collect(),
+        baseline: result.report.baseline.clone(),
+        probe_scores: result.report.probe_scores.clone(),
+        transfer: result
+            .report
+            .transfer
+            .iter()
+            .map(|t| TransferCell {
+                stage: t.stage,
+                trained_on: t.trained_on.clone(),
+                evaluated: t.evaluated.clone(),
+                score: t.score,
+                delta_vs_baseline: t.delta_vs_baseline,
+            })
+            .collect(),
+        forgetting: result
+            .report
+            .forgetting
+            .iter()
+            .map(|f| ForgettingCell {
+                device: f.device.clone(),
+                trained_stage: f.trained_stage,
+                score_after_training: f.score_after_training,
+                final_score: f.final_score,
+                delta: f.delta,
+            })
+            .collect(),
+        two_device_matches_mtl: degenerate_ok,
+    };
+    let path = results_dir().parent().expect("workspace root").join("BENCH_10.json");
+    let file = std::fs::File::create(&path).expect("create BENCH_10.json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &out)
+        .expect("serialize BENCH_10.json");
+    println!("\n[results written to {}]", path.display());
+}

@@ -34,7 +34,7 @@ mod tlp;
 pub use ansor::AnsorModel;
 pub use gbdt::{Gbdt, XgbModel};
 pub use model::{CostModel, ModelKind, ModelSnapshot, RandomModel};
-pub use pacm::PacmModel;
+pub use pacm::{HeadSnapshot, PacmModel};
 pub use sample::{
     attention_masks, attention_masks_in, group_by_task, stack_flow, stack_flow_in, stack_pooled,
     stack_pooled_in, stack_stmt, stack_stmt_in, stack_tokens, stack_tokens_in, Sample,

@@ -136,6 +136,59 @@ impl PacmModel {
     pub fn weight_count(&mut self) -> usize {
         self.num_weights()
     }
+
+    /// Captures the final scoring head as a detached [`HeadSnapshot`].
+    ///
+    /// PaCM splits naturally into a *trunk* (the statement encoder, the
+    /// data-flow embedding and its self-attention — everything up to the
+    /// concatenation) and a *head* (the final MLP turning the joined
+    /// representation into a ranking score). The trunk learns
+    /// platform-agnostic structure; the head calibrates it to one device's
+    /// latency landscape. The cross-hardware fleet keys one snapshot per
+    /// device fingerprint: when the roster revisits a device, restoring
+    /// its head resumes that device's calibration while the shared trunk
+    /// keeps everything learned since.
+    pub fn head_snapshot(&self) -> HeadSnapshot {
+        HeadSnapshot {
+            head: self.head.clone(),
+            use_stmt: self.use_stmt,
+            use_flow: self.use_flow,
+        }
+    }
+
+    /// Restores a previously captured scoring head, leaving the trunk
+    /// untouched. Weights only — the Adam moments stay with the model, so
+    /// a restore never rewinds the optimizer clock.
+    ///
+    /// # Panics
+    /// Panics if the snapshot came from a different branch configuration
+    /// (the head input width differs between the ablations).
+    pub fn restore_head(&mut self, snapshot: &HeadSnapshot) {
+        assert!(
+            snapshot.use_stmt == self.use_stmt && snapshot.use_flow == self.use_flow,
+            "head snapshot branch mismatch: snapshot ({}, {}) vs model ({}, {})",
+            snapshot.use_stmt,
+            snapshot.use_flow,
+            self.use_stmt,
+            self.use_flow
+        );
+        self.head = snapshot.head.clone();
+    }
+}
+
+/// A detached, serializable copy of PaCM's final scoring head — the
+/// per-device half of the shared-trunk / per-head split.
+///
+/// Produced by [`PacmModel::head_snapshot`], restored by
+/// [`PacmModel::restore_head`]. The fleet orchestrator
+/// (`pruner-tuner::fleet`) keeps one per `GpuSpec::fingerprint` so N
+/// devices share one trunk while each keeps its own calibration; see
+/// `docs/FLEET.md` for the architecture.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeadSnapshot {
+    head: Mlp,
+    use_stmt: bool,
+    use_flow: bool,
 }
 
 impl Module for PacmModel {
@@ -268,5 +321,63 @@ mod tests {
         a.fit(&samples, 3);
         b.fit(&samples, 3);
         assert_eq!(a.predict(&samples), b.predict(&samples));
+    }
+
+    /// Snapshot → train → restore must bring the head weights back
+    /// bit-for-bit: restoring an untouched model is a no-op, and a model
+    /// whose head drifted through training regains the snapshot's head
+    /// exactly (the trunk keeps its progress).
+    #[test]
+    fn head_snapshot_restore_round_trips() {
+        let (samples, _) = ranking_samples(24, 44);
+        let mut m = PacmModel::new(9);
+        m.fit(&samples, 2);
+        let snap = m.head_snapshot();
+        let before = m.predict(&samples);
+
+        // Restore onto the unchanged model: predictions identical.
+        m.restore_head(&snap);
+        assert_eq!(m.predict(&samples), before, "no-op restore must not drift");
+
+        // Train on, then restore: the fresh snapshot must equal the old
+        // one byte-for-byte even though the trunk moved.
+        m.fit(&samples, 3);
+        assert_ne!(m.predict(&samples), before, "training must move the model");
+        m.restore_head(&snap);
+        assert_eq!(
+            serde_json::to_string(&m.head_snapshot()).unwrap(),
+            serde_json::to_string(&snap).unwrap(),
+            "restored head must match the snapshot bit-for-bit"
+        );
+    }
+
+    /// A snapshot survives JSON serialization: restoring the deserialized
+    /// copy is indistinguishable from restoring the original.
+    #[test]
+    fn head_snapshot_serde_round_trips() {
+        let (samples, _) = ranking_samples(16, 45);
+        let mut m = PacmModel::new(11);
+        m.fit(&samples, 2);
+        let snap = m.head_snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HeadSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+
+        let mut a = PacmModel::new(12);
+        let mut b = PacmModel::new(12);
+        a.restore_head(&snap);
+        b.restore_head(&back);
+        assert_eq!(a.predict(&samples), b.predict(&samples));
+    }
+
+    /// Restoring a head across ablation boundaries is a hard error — the
+    /// head input width differs, so silently accepting it would corrupt
+    /// the model.
+    #[test]
+    #[should_panic(expected = "branch mismatch")]
+    fn head_snapshot_branch_mismatch_rejected() {
+        let full = PacmModel::new(1);
+        let mut ablated = PacmModel::without_stmt_branch(1);
+        ablated.restore_head(&full.head_snapshot());
     }
 }

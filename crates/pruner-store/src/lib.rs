@@ -663,6 +663,41 @@ mod tests {
         cleanup(&path);
     }
 
+    /// Fleet-sharing regression: a roster of devices appends to ONE log,
+    /// and the same schedule measured on two devices is two records with
+    /// different latencies. Replay keyed by fingerprint must hand each
+    /// device exactly its own measurement — if device A's record ever
+    /// preseeded device B's cache, B would warm-start from A's latency
+    /// for an identical schedule and silently corrupt its campaign.
+    /// `tests/fleet.rs` pins the same property end-to-end through a
+    /// tuner warm start; this pins the store-level filter directly.
+    #[test]
+    fn shared_log_never_leaks_records_across_device_fingerprints() {
+        let path = tmp_path("fleet-isolation");
+        let k80 = GpuSpec::k80();
+        let t4 = GpuSpec::t4();
+        let mm = Workload::matmul(1, 64, 64, 64);
+        let mut store = Store::open(&path).unwrap();
+        // Identical schedule, two devices, very different latencies.
+        assert!(store.append(success(&k80, &mm, 5.0e-3)));
+        assert!(store.append(success(&t4, &mm, 1.0e-3)));
+        assert_eq!(store.len(), 2, "same schedule on two devices is two records");
+
+        let campaign: HashSet<String> = [mm.key()].into_iter().collect();
+        for (own, own_latency) in [(&k80, 5.0e-3), (&t4, 1.0e-3)] {
+            let replay = store.replay(&own.fingerprint(), &campaign);
+            assert_eq!(replay.records.len(), 1, "exactly the device's own record");
+            assert_eq!(replay.records[0].spec_fp, own.fingerprint());
+            assert_eq!(replay.records[0].outcome.latency_s(), Some(own_latency));
+            assert_eq!(replay.spec_mismatches, 1, "the other device's record is filtered");
+        }
+        // A fingerprint the log has never seen gets nothing.
+        let foreign = store.replay(&GpuSpec::a100().fingerprint(), &campaign);
+        assert!(foreign.records.is_empty());
+        assert_eq!(foreign.spec_mismatches, 2);
+        cleanup(&path);
+    }
+
     #[test]
     fn backends_never_collide_and_replay_never_mixes_them() {
         let path = tmp_path("backends");

@@ -54,7 +54,7 @@ mod report;
 mod sink;
 
 pub use record::{mask_host_fields, Record, Value};
-pub use report::{Report, ServeActivity, StoreActivity, SupervisorActivity};
+pub use report::{FleetActivity, Report, ServeActivity, StoreActivity, SupervisorActivity};
 pub use sink::TraceHandle;
 
 /// Version stamped into every JSONL record as the leading `"v"` field.

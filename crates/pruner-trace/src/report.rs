@@ -47,6 +47,9 @@ pub struct Report {
     /// Tuning-daemon activity, present when the trace came from a
     /// `pruner-serve` process (`serve.*` records).
     pub serve: Option<ServeActivity>,
+    /// Cross-hardware fleet activity, present when the trace came from a
+    /// `pruner-tune fleet` run (`fleet.*` records).
+    pub fleet: Option<FleetActivity>,
 }
 
 /// What a campaign's attached tuning-record store did: the warm-start
@@ -108,6 +111,30 @@ pub struct ServeActivity {
     pub batched_requests: u64,
     /// Total samples scored through the batcher.
     pub batched_samples: u64,
+}
+
+/// What a cross-hardware fleet run did over its roster: stages tuned (one
+/// supervised campaign per device), probe evaluations scored after each
+/// stage, and how the run ended (completed the roster, parked mid-roster,
+/// or resumed from a manifest).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetActivity {
+    /// Roster length from the `fleet.start` record.
+    pub roster: u64,
+    /// Stages completed, as (device name, best weighted latency in
+    /// seconds), in completion order (`fleet.stage` records).
+    pub stages: Vec<(String, f64)>,
+    /// Anti-forgetting probe evaluations emitted (`fleet.eval` records).
+    pub evals: u64,
+    /// Pre-training samples consumed before stage 0 (`fleet.pretrain`).
+    pub pretrain_samples: u64,
+    /// Stages already done when a manifest resume happened
+    /// (`fleet.resume`); 0 for a fresh run.
+    pub resumed_at: u64,
+    /// Whether the run parked mid-roster (`fleet.park`).
+    pub parked: bool,
+    /// Whether the run completed the roster (`fleet.done`).
+    pub completed: bool,
 }
 
 const LEDGER_KEYS: [&str; 7] = [
@@ -242,6 +269,43 @@ impl Report {
                     serve.batched_requests += get_u64(record, "requests");
                     serve.batched_samples += get_u64(record, "samples");
                 }
+                "fleet.start" => {
+                    let fleet = report.fleet.get_or_insert_with(FleetActivity::default);
+                    fleet.roster = get_u64(record, "roster");
+                }
+                "fleet.pretrain" => {
+                    report
+                        .fleet
+                        .get_or_insert_with(FleetActivity::default)
+                        .pretrain_samples = get_u64(record, "samples");
+                }
+                "fleet.resume" => {
+                    report.fleet.get_or_insert_with(FleetActivity::default).resumed_at =
+                        get_u64(record, "stages_done");
+                }
+                "fleet.stage" => {
+                    let fleet = report.fleet.get_or_insert_with(FleetActivity::default);
+                    let device = record
+                        .get("device")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    let best = record
+                        .get("best_latency_s")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(f64::NAN);
+                    fleet.stages.push((device, best));
+                }
+                "fleet.eval" => {
+                    report.fleet.get_or_insert_with(FleetActivity::default).evals += 1;
+                }
+                "fleet.park" => {
+                    report.fleet.get_or_insert_with(FleetActivity::default).parked = true;
+                }
+                "fleet.done" => {
+                    report.fleet.get_or_insert_with(FleetActivity::default).completed =
+                        true;
+                }
                 "counter" => {
                     if let (Some(name), Some(value)) = (
                         record.get("name").and_then(Value::as_str),
@@ -343,6 +407,38 @@ impl Report {
                     serve.batched_samples
                 );
             }
+        }
+        if let Some(fleet) = &self.fleet {
+            let _ = writeln!(out, "--- fleet ---");
+            let _ = writeln!(
+                out,
+                "{:<21}: {} devices, {} stages done",
+                "roster",
+                fleet.roster,
+                fleet.stages.len()
+            );
+            if fleet.resumed_at > 0 {
+                let _ = writeln!(out, "{:<21}: at stage {}", "resumed", fleet.resumed_at);
+            }
+            if fleet.pretrain_samples > 0 {
+                let _ = writeln!(
+                    out,
+                    "{:<21}: {} samples",
+                    "pretrained", fleet.pretrain_samples
+                );
+            }
+            for (device, best) in &fleet.stages {
+                let _ = writeln!(out, "stage {device:<15}: {:.4} ms", best * 1e3);
+            }
+            let _ = writeln!(out, "{:<21}: {}", "probe evals", fleet.evals);
+            let status = if fleet.completed {
+                "completed"
+            } else if fleet.parked {
+                "parked mid-roster"
+            } else {
+                "interrupted"
+            };
+            let _ = writeln!(out, "{:<21}: {status}", "status");
         }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "--- counters ---");
@@ -535,6 +631,48 @@ mod tests {
         assert!(sup.quarantined);
         assert_eq!(sup.outcome, "quarantined");
         assert!(report.render().contains("gave up after repeated faults"));
+    }
+
+    #[test]
+    fn fleet_records_aggregate_and_render() {
+        let mut records = demo_records();
+        records.push(Record::new("fleet.start").u64("roster", 3).u64("workloads", 2).u64("stages_done", 0));
+        records.push(Record::new("fleet.pretrain").u64("samples", 48).u64("epochs", 3));
+        records.push(
+            Record::new("fleet.stage")
+                .u64("stage", 0)
+                .str("device", "NVIDIA K80")
+                .str("fingerprint", "k80-fp")
+                .f64("best_latency_s", 2e-3)
+                .u64("trials", 40),
+        );
+        for device in ["NVIDIA K80", "NVIDIA T4", "NVIDIA A100"] {
+            records.push(
+                Record::new("fleet.eval").u64("stage", 0).str("device", device).f64("score", 0.5),
+            );
+        }
+        records.push(Record::new("fleet.park").u64("stages_done", 1));
+        let report = Report::from_records(&records);
+        let fleet = report.fleet.clone().expect("fleet activity must be aggregated");
+        assert_eq!(fleet.roster, 3);
+        assert_eq!(fleet.pretrain_samples, 48);
+        assert_eq!(fleet.stages, vec![("NVIDIA K80".to_string(), 2e-3)]);
+        assert_eq!(fleet.evals, 3);
+        assert!(fleet.parked && !fleet.completed);
+        let text = report.render();
+        assert!(text.contains("--- fleet ---"), "missing fleet section:\n{text}");
+        assert!(text.contains("3 devices, 1 stages done"));
+        assert!(text.contains("parked mid-roster"));
+        // A resumed run that finishes flips the status.
+        records.push(Record::new("fleet.resume").u64("stages_done", 1));
+        records.push(Record::new("fleet.done").u64("stages", 3).u64("transfer_pairs", 9));
+        let finished = Report::from_records(&records);
+        let fleet = finished.fleet.as_ref().unwrap();
+        assert_eq!(fleet.resumed_at, 1);
+        assert!(fleet.completed);
+        assert!(finished.render().contains("status               : completed"));
+        // A fleet-less campaign renders no fleet section.
+        assert!(!Report::from_records(&demo_records()).render().contains("fleet"));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 mod checkpoint;
 mod curve;
+pub mod fleet;
 mod measure;
 mod mtl;
 mod state;
@@ -47,6 +48,10 @@ mod tuner;
 
 pub use checkpoint::{Checkpoint, MeasurerCheckpoint, TaskCheckpoint};
 pub use curve::{CurvePoint, TuningCurve};
+pub use fleet::{
+    Fleet, FleetConfig, FleetDeviceSummary, FleetResult, FleetRun, FleetStatus,
+    FleetTransferReport, ForgettingDelta, TransferPair, FLEET_MANIFEST_VERSION,
+};
 pub use measure::{
     MeasureOutcome, Measurer, PipelineStage, RetryPolicy, SearchStats, TimeModel, WallTimings,
 };

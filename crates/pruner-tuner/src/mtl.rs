@@ -1,4 +1,35 @@
 //! Momentum Transfer Learning (paper §2.5, Figure 5).
+//!
+//! MTL is how a verifier trained on one platform becomes useful on
+//! another without forgetting what it knows. The pre-trained PaCM acts as
+//! a **Siamese** network: each online round clones it into a *target*,
+//! fine-tunes the target on the measurements collected so far on the new
+//! platform, and folds the target's progress back into the Siamese
+//! weights with the momentum rule `P_s ← m·P_s + (1−m)·P_t` (`m = 0.99`).
+//! The target — fresh off the Siamese weights every round, fully adapted
+//! to the round's data — serves as the round's predictor; the Siamese
+//! copy drifts slowly, so a few noisy measurements can never wipe out the
+//! pre-trained knowledge.
+//!
+//! ## The transfer path, end to end
+//!
+//! 1. **Pre-train** a PaCM offline on a source platform's labeled
+//!    programs ([`pretrain_pacm`], or a store replay through
+//!    [`CostModel::pretrain`]).
+//! 2. **Configure** a campaign with
+//!    [`ModelSetup::Mtl`](crate::ModelSetup::Mtl) — the tuner builds an
+//!    [`Mtl`] around the pre-trained weights and runs [`Mtl::round`]
+//!    once per tuning round instead of plain fitting.
+//! 3. **Carry** the evolved Siamese onward: [`Mtl::siamese`] exposes it,
+//!    campaign checkpoints embed it (so resume is byte-identical), and
+//!    the cross-hardware fleet (`crate::fleet`) chains it across an
+//!    ordered roster of devices — snapshotting each device's scoring
+//!    head by fingerprint ([`pruner_cost::HeadSnapshot`]) so the shared
+//!    trunk keeps learning while per-device calibration is preserved.
+//!
+//! Determinism: every step is seeded and banded bit-exactly, so MTL
+//! campaigns are byte-identical at any thread count and across
+//! kill+resume — the same contract the rest of the tuner honors.
 
 use pruner_cost::{CostModel, PacmModel, Sample};
 use pruner_nn::Module;

@@ -33,6 +33,7 @@
 //! section.
 
 use crate::checkpoint::Checkpoint;
+use crate::mtl::Mtl;
 use crate::state::CampaignStatus;
 use crate::tuner::{Tuner, TuningResult};
 use pruner_gpu::Backend;
@@ -229,6 +230,14 @@ pub struct SupervisedRun {
     /// The campaign result, when any attempt got far enough to produce
     /// one.
     pub result: Option<TuningResult>,
+    /// The final MTL state (evolved Siamese weights) of the campaign,
+    /// when it ran with [`ModelSetup::Mtl`](crate::ModelSetup::Mtl) and
+    /// completed or parked cleanly. This is how cross-platform transfer
+    /// survives the supervisor boundary: the fleet orchestrator
+    /// ([`crate::fleet`]) chains the Siamese from one device's campaign
+    /// into the next. `None` for non-MTL campaigns and for runs that
+    /// ended without a clean result (quarantined, hard-killed).
+    pub mtl: Option<Mtl>,
     /// How the supervision ended.
     pub outcome: CampaignOutcome,
     /// Every fault detected, in order.
@@ -242,14 +251,17 @@ pub struct SupervisedRun {
 /// (watchdog-declared stale) report nothing: their channel is simply
 /// dropped.
 enum WorkerMsg {
-    /// The campaign finished; here is the final result.
-    Done(TuningResult),
+    /// The campaign finished; here is the final result plus the final
+    /// MTL state (when the campaign ran with momentum transfer).
+    Done(Box<TuningResult>, Box<Option<Mtl>>),
     /// The campaign parked; here is the live snapshot.
     Parked {
         /// Why the park happened (decides the [`CampaignOutcome`]).
         reason: ParkReason,
         /// Snapshot at the park point.
         result: Box<TuningResult>,
+        /// MTL state at the park point (mirrors the checkpoint).
+        mtl: Box<Option<Mtl>>,
     },
     /// The state machine reported a write failure.
     Failed(String),
@@ -270,7 +282,7 @@ enum ParkReason {
 
 /// What one supervision attempt concluded.
 enum Verdict {
-    Finished(CampaignOutcome, Option<TuningResult>),
+    Finished(CampaignOutcome, Option<Box<TuningResult>>, Box<Option<Mtl>>),
     Faulted(CampaignFault),
 }
 
@@ -361,9 +373,10 @@ impl Supervisor {
                 },
             };
             match verdict {
-                Verdict::Finished(outcome, result) => {
+                Verdict::Finished(outcome, result, mtl) => {
                     self.emit_done(outcome, restarts);
-                    return SupervisedRun { result, outcome, faults, restarts };
+                    let result = result.map(|boxed| *boxed);
+                    return SupervisedRun { result, mtl: *mtl, outcome, faults, restarts };
                 }
                 Verdict::Faulted(fault) => {
                     self.emit_fault(&fault, attempt);
@@ -374,6 +387,7 @@ impl Supervisor {
                         self.emit_done(CampaignOutcome::Cancelled, restarts);
                         return SupervisedRun {
                             result: None,
+                            mtl: None,
                             outcome: CampaignOutcome::Cancelled,
                             faults,
                             restarts,
@@ -389,6 +403,7 @@ impl Supervisor {
                         self.emit_done(CampaignOutcome::Quarantined, restarts);
                         return SupervisedRun {
                             result: None,
+                            mtl: None,
                             outcome: CampaignOutcome::Quarantined,
                             faults,
                             restarts,
@@ -485,7 +500,11 @@ impl Supervisor {
                             return WorkerMsg::Failed(format!("park failed: {e}"));
                         }
                     }
-                    WorkerMsg::Parked { reason, result: Box::new(tuner.result()) }
+                    WorkerMsg::Parked {
+                        reason,
+                        result: Box::new(tuner.result()),
+                        mtl: Box::new(tuner.mtl().cloned()),
+                    }
                 };
                 tuner.start();
                 loop {
@@ -518,7 +537,10 @@ impl Supervisor {
                     match tuner.step() {
                         CampaignStatus::Running => {}
                         CampaignStatus::Done => {
-                            let _ = tx.send(WorkerMsg::Done(tuner.result()));
+                            let _ = tx.send(WorkerMsg::Done(
+                                Box::new(tuner.result()),
+                                Box::new(tuner.mtl().cloned()),
+                            ));
                             return;
                         }
                         CampaignStatus::Failed(reason) => {
@@ -553,18 +575,18 @@ impl Supervisor {
         let mut park_requested_at: Option<Instant> = None;
         loop {
             match rx.recv_timeout(poll) {
-                Ok(WorkerMsg::Done(result)) => {
+                Ok(WorkerMsg::Done(result, mtl)) => {
                     let _ = handle.join();
-                    return Verdict::Finished(CampaignOutcome::Completed, Some(result));
+                    return Verdict::Finished(CampaignOutcome::Completed, Some(result), mtl);
                 }
-                Ok(WorkerMsg::Parked { reason, result }) => {
+                Ok(WorkerMsg::Parked { reason, result, mtl }) => {
                     let _ = handle.join();
                     let outcome = match reason {
                         ParkReason::Sim => CampaignOutcome::SimDeadlineExceeded,
                         ParkReason::Wall => CampaignOutcome::WallDeadlineExceeded,
                         ParkReason::Cancel => CampaignOutcome::Cancelled,
                     };
-                    return Verdict::Finished(outcome, Some(*result));
+                    return Verdict::Finished(outcome, Some(result), mtl);
                 }
                 Ok(WorkerMsg::Failed(message)) => {
                     let _ = handle.join();
@@ -580,7 +602,7 @@ impl Supervisor {
                     // design; anything else dying silently is a panic
                     // (catch_unwind should have reported it).
                     if self.stop_mode() == STOP_KILL {
-                        return Verdict::Finished(CampaignOutcome::Cancelled, None);
+                        return Verdict::Finished(CampaignOutcome::Cancelled, None, Box::new(None));
                     }
                     return Verdict::Faulted(CampaignFault::Panicked {
                         message: "campaign worker exited without reporting".to_string(),
@@ -592,7 +614,7 @@ impl Supervisor {
                     // nothing more is written.
                     if self.stop_mode() == STOP_KILL {
                         abandon.store(true, Ordering::SeqCst);
-                        return Verdict::Finished(CampaignOutcome::Cancelled, None);
+                        return Verdict::Finished(CampaignOutcome::Cancelled, None, Box::new(None));
                     }
                     let now_ms = started.elapsed().as_millis() as u64;
                     if let Some(requested) = park_requested_at {
@@ -603,6 +625,7 @@ impl Supervisor {
                             return Verdict::Finished(
                                 CampaignOutcome::WallDeadlineExceeded,
                                 None,
+                                Box::new(None),
                             );
                         }
                         continue;

@@ -492,6 +492,14 @@ impl<B: Backend> Tuner<B> {
         }
     }
 
+    /// The campaign's Momentum-Transfer-Learning state, when configured
+    /// with [`ModelSetup::Mtl`] — read it after the run to carry the
+    /// evolved Siamese weights to the next platform (the cross-hardware
+    /// fleet does exactly this; see `crate::fleet` and `docs/FLEET.md`).
+    pub fn mtl(&self) -> Option<&Mtl> {
+        self.mtl.as_ref()
+    }
+
     /// Snapshots the complete campaign state at `phase`.
     ///
     /// # Panics

@@ -71,6 +71,8 @@ USAGE:
                 [--platform <p>] [--output dataset.json]
     pruner-tune serve (start | submit | status | cancel | predict | shutdown) ...
                 (resident multi-tenant tuning daemon; see `serve --help`)
+    pruner-tune fleet --state-dir <dir> --roster <p1,p2,...> ...
+                (cross-hardware continual-learning fleet; see `fleet --help`)
 
 OPTIONS:
     --platform <p>        k80 | t4 | titanv | a100 | orin
@@ -706,6 +708,257 @@ fn parse_workload_flag(
     }
 }
 
+const FLEET_USAGE: &str = "\
+pruner-tune fleet: tune one workload suite across an ordered roster of
+devices with a shared continually-learning cost model (see docs/FLEET.md)
+
+USAGE:
+    pruner-tune fleet --state-dir <dir> --roster <p1,p2,...>
+                (--matmul B,M,N,K | --conv2d N,C,H,W,CO,K,S,P)...
+                [--roster-file specs.json]
+                [--trials N] [--seed N] [--threads N] [--momentum F]
+                [--pretrain N] [--probes N] [--store records.jsonl]
+                [--halt-after-stage N]
+                [--watchdog-secs S] [--max-restarts N]
+                [--output fleet.json] [--trace-out file.jsonl] [--report]
+
+OPTIONS:
+    --state-dir <dir>     fleet state: the resume manifest (fleet.json) and
+                          per-stage supervisor checkpoints. Rerunning with
+                          the same directory resumes mid-roster,
+                          byte-identically to an uninterrupted run
+    --roster <list>       comma-separated device presets, in tuning order:
+                          k80 | t4 | titanv | a100 | orin. A device may
+                          repeat (its scoring head is restored on revisit)
+    --roster-file <file>  JSON array of full GpuSpec objects appended after
+                          the --roster presets (synthetic devices)
+    --matmul B,M,N,K      add a matmul task to the suite (repeatable)
+    --conv2d N,C,H,W,CO,K,S,P  add a conv2d task (repeatable)
+    --trials N            measurement budget per stage [default: 800]
+    --seed N              RNG seed (campaigns, pre-training, probes) [default: 42]
+    --threads N           pipeline worker threads; fleet results are
+                          byte-identical at any value [default: all host cores]
+    --momentum F          MTL momentum folding each stage into the shared
+                          Siamese trunk [default: 0.99]
+    --pretrain N          pre-training samples per workload drawn on the
+                          first roster device [default: 64]
+    --probes N            probe programs per workload per device for the
+                          anti-forgetting evaluation [default: 32]
+    --store <file>        shared measurement store; stages warm-start from
+                          records of their own device fingerprint only
+    --halt-after-stage N  park the fleet after N completed stages (exit 3);
+                          rerun with the same --state-dir to resume
+    --watchdog-secs S     per-stage supervisor watchdog [default: 30]
+    --max-restarts N      per-stage restarts before quarantine [default: 3]
+    --output <file>       write the FleetResult (per-stage results plus the
+                          transfer/forgetting report) as JSON
+    --trace-out <file>    write fleet.* / supervisor.* / campaign trace
+                          events as JSONL
+    --report              print the end-of-run summary table (includes the
+                          fleet section) to stderr
+
+EXIT CODES:
+    0    roster completed
+    1    usage or I/O error
+    3    fleet parked mid-roster (--halt-after-stage or stage deadline)
+";
+
+/// `pruner-tune fleet` — run a cross-hardware continual-learning fleet.
+fn fleet_main(argv: &[String]) -> Result<ExitCode, String> {
+    use pruner::{Fleet, FleetConfig, FleetStatus};
+
+    if matches!(argv.first().map(String::as_str), Some("--help" | "-h" | "help")) {
+        print!("{FLEET_USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut state_dir: Option<String> = None;
+    let mut roster: Vec<GpuSpec> = Vec::new();
+    let mut roster_file: Option<String> = None;
+    let mut workloads: Vec<Workload> = Vec::new();
+    let mut config = TunerConfig::default();
+    let mut trials: Option<usize> = None;
+    let mut momentum: f32 = 0.99;
+    let mut pretrain: usize = 64;
+    let mut probes: usize = 32;
+    let mut store: Option<String> = None;
+    let mut halt_after_stage: Option<usize> = None;
+    let mut watchdog_secs: f64 = 30.0;
+    let mut max_restarts: u32 = 3;
+    let mut output: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut report = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--state-dir" => state_dir = Some(value("--state-dir")?),
+            "--roster" => {
+                for name in value("--roster")?.split(',') {
+                    let name = name.trim();
+                    roster.push(
+                        GpuSpec::by_name(name)
+                            .ok_or_else(|| format!("unknown roster platform `{name}`"))?,
+                    );
+                }
+            }
+            "--roster-file" => roster_file = Some(value("--roster-file")?),
+            "--trials" => {
+                trials = Some(value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?)
+            }
+            "--seed" => {
+                config.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1)
+            }
+            "--momentum" => {
+                momentum = value("--momentum")?.parse().map_err(|e| format!("--momentum: {e}"))?
+            }
+            "--pretrain" => {
+                pretrain = value("--pretrain")?.parse().map_err(|e| format!("--pretrain: {e}"))?
+            }
+            "--probes" => {
+                probes = value("--probes")?.parse().map_err(|e| format!("--probes: {e}"))?
+            }
+            "--store" => store = Some(value("--store")?),
+            "--halt-after-stage" => {
+                halt_after_stage = Some(
+                    value("--halt-after-stage")?
+                        .parse()
+                        .map_err(|e| format!("--halt-after-stage: {e}"))?,
+                )
+            }
+            "--watchdog-secs" => {
+                watchdog_secs = value("--watchdog-secs")?
+                    .parse()
+                    .map_err(|e| format!("--watchdog-secs: {e}"))?
+            }
+            "--max-restarts" => {
+                max_restarts = value("--max-restarts")?
+                    .parse()
+                    .map_err(|e| format!("--max-restarts: {e}"))?
+            }
+            "--output" => output = Some(value("--output")?),
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--report" => report = true,
+            other if parse_workload_flag(other, &value(other)?, &mut workloads)? => {}
+            other => return Err(format!("unknown fleet flag `{other}`")),
+        }
+    }
+    let state_dir = state_dir.ok_or("fleet needs --state-dir <dir>")?;
+    if let Some(path) = &roster_file {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let extra: Vec<GpuSpec> =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        roster.extend(extra);
+    }
+    if roster.is_empty() {
+        return Err("fleet needs --roster and/or --roster-file".into());
+    }
+    if workloads.is_empty() {
+        return Err("fleet needs at least one --matmul/--conv2d".into());
+    }
+    if let Some(trials) = trials {
+        if trials < config.measure_per_round {
+            return Err(format!("need at least {} trials", config.measure_per_round));
+        }
+        config.rounds = trials / config.measure_per_round;
+    }
+
+    let supervisor = pruner::tuner::SupervisorConfig {
+        watchdog_timeout_s: watchdog_secs,
+        max_restarts,
+        ..Default::default()
+    };
+    let cfg = FleetConfig {
+        roster,
+        workloads: workloads.into_iter().map(|wl| (wl, 1)).collect(),
+        tuner: config,
+        momentum,
+        pretrain_per_workload: pretrain,
+        probes_per_workload: probes,
+        pretrain_epochs: 3,
+        seed: config.seed,
+        state_dir: state_dir.clone().into(),
+        store: store.map(Into::into),
+        halt_after_stages: halt_after_stage,
+        supervisor,
+    };
+    println!("fleet    : {} device(s), state in {state_dir}", cfg.roster.len());
+    for (i, spec) in cfg.roster.iter().enumerate() {
+        println!("stage {i}  : {}", spec.name);
+    }
+
+    let trace = (trace_out.is_some() || report).then(pruner::trace::TraceHandle::new);
+    let roster_len = cfg.roster.len();
+    let mut fleet = Fleet::new(cfg);
+    if let Some(t) = &trace {
+        fleet.set_recorder(Box::new(t.clone()));
+    }
+    let run = fleet.run().map_err(|e| format!("fleet error: {e}"))?;
+
+    let finish = |trace: &Option<pruner::trace::TraceHandle>| -> Result<(), String> {
+        if let (Some(trace), Some(path)) = (trace, &trace_out) {
+            trace
+                .write_atomic(std::path::Path::new(path))
+                .map_err(|e| format!("error writing trace {path}: {e}"))?;
+            println!("trace written to {path} ({} events)", trace.len());
+        }
+        if report {
+            if let Some(trace) = trace {
+                eprint!("{}", trace.report().render());
+            }
+        }
+        Ok(())
+    };
+
+    match run.status {
+        FleetStatus::Parked => {
+            println!(
+                "parked   : {} of {} stage(s) done; rerun with the same --state-dir to resume",
+                run.stages_done, roster_len
+            );
+            finish(&trace)?;
+            Ok(ExitCode::from(3))
+        }
+        FleetStatus::Completed => {
+            let result = run.result.expect("completed fleet has a result");
+            for d in &result.devices {
+                println!(
+                    "stage {}  : {} best {:.4} ms over {} trials",
+                    d.stage,
+                    d.name,
+                    d.best_latency_s * 1e3,
+                    d.trials
+                );
+            }
+            for f in &result.report.forgetting {
+                println!(
+                    "forget   : {} {:+.4} (after-training {:.4} -> final {:.4})",
+                    f.device, f.delta, f.score_after_training, f.final_score
+                );
+            }
+            if let Some(path) = &output {
+                std::fs::File::create(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|f| {
+                        serde_json::to_writer_pretty(f, &result).map_err(|e| e.to_string())
+                    })
+                    .map_err(|e| format!("error writing {path}: {e}"))?;
+                println!("result written to {path}");
+            }
+            finish(&trace)?;
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
 /// `pruner-tune serve <verb>` — run or talk to the tuning daemon.
 fn serve_main(argv: &[String]) -> Result<ExitCode, String> {
     use pruner::serve::{Client, Daemon, Request, Response, ServeConfig};
@@ -899,6 +1152,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if argv.first().map(String::as_str) == Some("fleet") {
+        return match fleet_main(&argv[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{FLEET_USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if argv.first().map(String::as_str) == Some("records") {
         return match records_main(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,
@@ -1064,5 +1326,18 @@ mod tests {
         {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }
+    }
+
+    #[test]
+    fn fleet_usage_mentions_every_flag() {
+        for flag in
+            ["--state-dir", "--roster", "--roster-file", "--matmul", "--conv2d", "--trials",
+             "--seed", "--threads", "--momentum", "--pretrain", "--probes", "--store",
+             "--halt-after-stage", "--watchdog-secs", "--max-restarts", "--output",
+             "--trace-out", "--report"]
+        {
+            assert!(FLEET_USAGE.contains(flag), "FLEET_USAGE missing {flag}");
+        }
+        assert!(USAGE.contains("fleet"), "top-level USAGE must mention the fleet subcommand");
     }
 }

@@ -60,6 +60,8 @@ pub use pruner_store as store;
 pub use pruner_trace as trace;
 pub use pruner_tuner as tuner;
 
+pub use pruner_tuner::fleet::{Fleet, FleetConfig, FleetResult, FleetRun, FleetStatus};
+
 use pruner_cost::{CostModel, ModelKind, PacmModel};
 use pruner_exec::CpuExec;
 use pruner_gpu::{Backend, GpuSpec, Simulator};
